@@ -1,0 +1,73 @@
+"""Engineering benchmarks — wall-clock of the GCED pipeline stages.
+
+Not a paper table; tracks the cost profile of the implementation (the
+paper's future work includes "speeding up the process of evidence
+distillation").
+"""
+
+from benchmarks.common import get_context
+
+
+def _example(ctx, idx=0):
+    return ctx.dataset.answerable_dev()[idx]
+
+
+def test_speed_full_distillation(benchmark):
+    ctx = get_context("squad11")
+    example = _example(ctx)
+
+    def run():
+        # Bypass the context cache: measure a real distillation.
+        return ctx.gced.distill(
+            example.question, example.primary_answer, example.context
+        )
+
+    result = benchmark(run)
+    assert result.evidence
+
+
+def test_speed_reader_predict(benchmark):
+    ctx = get_context("squad11")
+    example = _example(ctx, idx=1)
+    result = benchmark(
+        lambda: ctx.artifacts.reader.predict(example.question, example.context)
+    )
+    assert result.text
+
+
+def test_speed_parse(benchmark):
+    from repro.parsing import SyntacticParser
+    from repro.text.tokenizer import tokenize
+
+    ctx = get_context("squad11")
+    example = _example(ctx, idx=2)
+    tokens = [t.text for t in tokenize(example.context)][:30]
+
+    parser = SyntacticParser()
+
+    def run():
+        # Fresh tuple each call defeats the memoization for honest timing.
+        return parser.parse_constituency(list(tokens))
+
+    tree = benchmark(run)
+    assert tree.leaves()
+
+
+def test_speed_attention(benchmark):
+    from repro.text.tokenizer import word_tokens
+
+    ctx = get_context("squad11")
+    example = _example(ctx, idx=3)
+    tokens = word_tokens(example.context)[:40]
+    matrix = benchmark(lambda: ctx.artifacts.attention.attention_matrix(tokens))
+    assert matrix.shape == (len(tokens), len(tokens))
+
+
+def test_speed_perplexity(benchmark):
+    from repro.text.tokenizer import word_tokens
+
+    ctx = get_context("squad11")
+    example = _example(ctx, idx=4)
+    tokens = word_tokens(example.context)
+    ppl = benchmark(lambda: ctx.artifacts.language_model.perplexity(tokens))
+    assert ppl > 0

@@ -1,0 +1,43 @@
+"""Shared benchmark infrastructure.
+
+Experiment contexts are expensive (dataset generation + corpus fitting +
+calibrating nine baselines), so they are built once per dataset key and
+shared across benchmark modules.  Every benchmark writes its table to
+``benchmarks/results/`` and prints it, so the paper-shaped output survives
+pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import functools
+import pathlib
+import sys
+
+from repro.eval import ExperimentContext, format_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+# Sample sizes: large enough for stable shapes, small enough that the whole
+# suite completes in a few minutes on a laptop.
+N_TRAIN = 120
+N_DEV = 80
+SEED = 0
+
+
+@functools.lru_cache(maxsize=None)
+def get_context(dataset_key: str) -> ExperimentContext:
+    """Build (once) the shared experiment context for ``dataset_key``."""
+    return ExperimentContext.build(
+        dataset_key, seed=SEED, n_train=N_TRAIN, n_dev=N_DEV
+    )
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}", file=sys.stderr)
+
+
+def emit_table(name: str, rows: list[dict], title: str) -> None:
+    emit(name, format_table(rows, title=title))

@@ -1,0 +1,41 @@
+"""Error analysis over distilled evidences (Sec. IV-G).
+
+Distills evidences for a TriviaQA-style dataset (the harder setting),
+triages the weak ones into the paper's failure categories, and prints the
+worst cases with their diagnostics.
+
+Run:  python examples/error_analysis.py
+"""
+
+from collections import Counter
+
+from repro.eval import ExperimentContext
+from repro.eval.error_analysis import CATEGORY_DESCRIPTIONS, analyze_errors
+
+
+def main() -> None:
+    print("Building TriviaQA-Web context (long, noisy contexts)...")
+    ctx = ExperimentContext.build("triviaqa-web", seed=0, n_train=50, n_dev=30)
+    diagnoses = analyze_errors(ctx, n_examples=25)
+
+    counts = Counter(d.category for d in diagnoses)
+    print("\nCategory distribution:")
+    for category, count in counts.most_common():
+        print(f"  {category:<22} {count:>3}  - {CATEGORY_DESCRIPTIONS[category]}")
+
+    problems = [d for d in diagnoses if d.category != "ok"]
+    print(f"\n{len(problems)} / {len(diagnoses)} evidences flagged. Worst cases:")
+    for diagnosis in problems[:4]:
+        print(f"\n  [{diagnosis.category}]")
+        print(f"  Q: {diagnosis.question}")
+        print(f"  A: {diagnosis.answer}")
+        print(f"  evidence: {diagnosis.evidence}")
+        print(
+            f"  I={diagnosis.informativeness:.2f} R={diagnosis.readability:.2f} "
+            f"ratio={diagnosis.length_ratio:.1f} "
+            f"context={diagnosis.context_sentences} sentences"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Explainable QA for a high-stakes domain (the paper's motivation).
+
+The introduction motivates GCED with evidence-based medicine: an answer
+without supporting evidence will not be trusted.  This example builds a
+small clinical-notes-style corpus, answers questions with the heuristic
+reader, and attaches a distilled evidence to every answer — including the
+"unreliable answer" detection pattern from Sec. IV-D3: when the evidence
+does not actually support the question, the user can see it.
+
+Run:  python examples/explainable_medical_qa.py
+"""
+
+from repro import GCED, QATrainer
+
+CLINICAL_NOTES = [
+    "Patient Ardan Holt reported persistent headaches and blurred vision "
+    "after the accident. The examination revealed elevated blood pressure "
+    "of 165 over 95. Doctor Reyes prescribed a beta blocker and scheduled "
+    "a follow-up in two weeks. The patient also mentioned occasional "
+    "dizziness in the mornings.",
+    "Nurse Calloway recorded a temperature of 38.9 degrees for patient "
+    "Mira Voss during the evening round. The fever responded to standard "
+    "antipyretics within four hours. Blood cultures were collected before "
+    "treatment and sent to the laboratory. Her appetite remained normal "
+    "throughout the stay.",
+    "Patient Jonas Bell received the influenza vaccine at the Northfield "
+    "clinic in October. He experienced mild soreness at the injection site "
+    "for one day. No other adverse reactions were reported during the "
+    "observation period. The clinic recommended annual vaccination for "
+    "all staff members.",
+]
+
+QUESTIONS = [
+    ("What did Doctor Reyes prescribe?", CLINICAL_NOTES[0]),
+    ("What temperature did Nurse Calloway record?", CLINICAL_NOTES[1]),
+    ("Where did Jonas Bell receive the influenza vaccine?", CLINICAL_NOTES[2]),
+]
+
+
+def main() -> None:
+    artifacts = QATrainer(seed=0).train(CLINICAL_NOTES)
+    gced = GCED(qa_model=artifacts.reader, artifacts=artifacts)
+
+    for question, context in QUESTIONS:
+        prediction = artifacts.reader.predict(question, context)
+        result = gced.distill(question, prediction.text, context)
+        print(f"Q: {question}")
+        print(f"A: {prediction.text}")
+        print(f"Evidence: {result.evidence}")
+        supported = result.scores.informativeness >= 0.5
+        verdict = "supported" if supported else "NOT SUPPORTED - verify manually"
+        print(f"Support check: {verdict} (I={result.scores.informativeness:.2f})")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: distill an informative-yet-concise evidence for a QA pair.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GCED, QATrainer
+
+# 1. A small corpus: the contexts your QA system answers over.  In a real
+#    deployment these are your documents; fitting takes seconds.
+CORPUS = [
+    "The American Football Conference champion Denver Broncos defeated the "
+    "National Football Conference champion Carolina Panthers to earn the "
+    "Super Bowl title. The game was played at a stadium in Santa Clara. "
+    "Many fans attended the ceremony before the game.",
+    "Beyonce Giselle Knowles-Carter was born and raised in Houston, Texas. "
+    "She performed in various singing and dancing competitions as a child. "
+    "Her mother designed costumes for the group.",
+    "William the Conqueror led the Norman conquest of England and won the "
+    "Battle of Hastings in 1066. He was a duke from Normandy. The battle "
+    "changed English history.",
+]
+
+
+def main() -> None:
+    # 2. "Fine-tune" the QA artifacts on the corpus (TF-IDF, embeddings,
+    #    language model, attention) and build the GCED pipeline.
+    artifacts = QATrainer(seed=0).train(CORPUS)
+    gced = GCED(qa_model=artifacts.reader, artifacts=artifacts)
+
+    # 3. Distill evidence for a QA pair.  The answer may be a model
+    #    prediction or a ground-truth label — GCED explains either.
+    question = "Which NFL team won the Super Bowl title?"
+    answer = "Denver Broncos"
+    result = gced.distill(question, answer, CORPUS[0])
+
+    print(f"Q: {question}")
+    print(f"A: {answer}")
+    print(f"Evidence: {result.evidence}")
+    print(
+        f"Scores: I={result.scores.informativeness:.2f} "
+        f"C={result.scores.conciseness:.2f} "
+        f"R={result.scores.readability:.2f} "
+        f"H={result.scores.hybrid:.2f}"
+    )
+    print(f"Words removed: {100 * result.reduction:.0f}% of the context")
+    print()
+    print("Full trace (the paper's traceability property):")
+    print(result.explain())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""repro — Grow-and-Clip Evidence Distillation (GCED).
+
+Reproduction of Chen, Xiao & Liu, "Grow-and-Clip: Informative-yet-Concise
+Evidence Distillation for Answer Explanation" (ICDE 2022).
+
+Quickstart::
+
+    from repro import GCED, GCEDConfig, QATrainer
+
+    trainer = QATrainer(seed=0)
+    artifacts = trainer.train(corpus_contexts)
+    gced = GCED(qa_model=artifacts.reader, artifacts=artifacts)
+    result = gced.distill(question, answer, context)
+    print(result.evidence)
+    print(result.explain())
+"""
+
+from repro.core import GCED, GCEDConfig, DistillationResult
+from repro.metrics import (
+    HybridScorer,
+    HybridWeights,
+    EvidenceScores,
+    exact_match,
+    f1_score,
+)
+from repro.qa import (
+    QAModel,
+    QATrainer,
+    TrainedArtifacts,
+    SimulatedBaseline,
+    SQUAD_BASELINES,
+    TRIVIAQA_BASELINES,
+    build_baseline,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GCED",
+    "GCEDConfig",
+    "DistillationResult",
+    "HybridScorer",
+    "HybridWeights",
+    "EvidenceScores",
+    "exact_match",
+    "f1_score",
+    "QAModel",
+    "QATrainer",
+    "TrainedArtifacts",
+    "SimulatedBaseline",
+    "SQUAD_BASELINES",
+    "TRIVIAQA_BASELINES",
+    "build_baseline",
+    "__version__",
+]

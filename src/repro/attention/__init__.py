@@ -1,0 +1,6 @@
+"""Multi-head self-attention substrate producing token-pair weights."""
+
+from repro.attention.multihead import MultiHeadAttention
+from repro.attention.uniform import UniformAttention
+
+__all__ = ["MultiHeadAttention", "UniformAttention"]

@@ -1,0 +1,131 @@
+"""Scaled dot-product multi-head self-attention (Eq. 6-8), in numpy.
+
+The paper derives edge weights for the weighted syntactic parsing tree from
+the first-layer encoder attention of the PLM: 16 heads, ``d_k = 64``,
+softmax-normalized scaled dot products, heads concatenated through an
+output projection.  This module reproduces that computation over the
+co-occurrence embeddings of :class:`repro.lm.CooccurrenceEmbeddings`; the
+projection matrices are deterministic functions of the seed, standing in
+for the PLM's trained parameters.
+
+What downstream GCED consumes is the *token-pair attention weight matrix*
+``W[i, j]`` — how much token ``i`` attends to token ``j`` — averaged over
+heads, plus a symmetric variant used to weight tree edges.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.lm.embeddings import CooccurrenceEmbeddings
+from repro.utils.rng import rng_from
+
+__all__ = ["MultiHeadAttention"]
+
+
+def _softmax(scores: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = scores - scores.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+class MultiHeadAttention:
+    """Multi-head self-attention over token embeddings.
+
+    Args:
+        embeddings: fitted co-occurrence embeddings supplying token vectors.
+        heads: number of attention heads (paper: 16).
+        d_k: per-head key/query dimension (paper: 64).
+        seed: seed deriving the fixed projection matrices W_q/W_k/W_v per
+            head and the output projection W_o.
+        content_bias: weight of a similarity bias added to the attention
+            logits.  Random projections of low-dimensional embeddings alone
+            carry a weak relatedness signal; the bias term mixes in the raw
+            embedding dot product (the quantity the projections of a
+            *trained* PLM would amplify), keeping the substrate's behaviour
+            aligned with first-layer PLM attention: related tokens attend
+            more strongly.
+    """
+
+    def __init__(
+        self,
+        embeddings: CooccurrenceEmbeddings,
+        heads: int = 16,
+        d_k: int = 64,
+        seed: int = 0,
+        content_bias: float = 2.0,
+    ) -> None:
+        if heads < 1:
+            raise ValueError("heads must be at least 1")
+        if d_k < 1:
+            raise ValueError("d_k must be at least 1")
+        self.embeddings = embeddings
+        self.heads = heads
+        self.d_k = d_k
+        self.seed = seed
+        self.content_bias = content_bias
+        dim = embeddings.dim
+        rng = rng_from(seed, "attention-projections")
+        scale = 1.0 / np.sqrt(dim)
+        # One (dim, d_k) projection triple per head, as in Eq. 7.
+        self._w_q = rng.standard_normal((heads, dim, d_k)) * scale
+        self._w_k = rng.standard_normal((heads, dim, d_k)) * scale
+        self._w_v = rng.standard_normal((heads, dim, d_k)) * scale
+        self._w_o = rng.standard_normal((heads * d_k, dim)) * scale
+
+    # ---------------------------------------------------------------- core
+    def head_attention(self, tokens: Sequence[str]) -> np.ndarray:
+        """Per-head attention tensor of shape (heads, n, n).
+
+        ``result[h, i, j]`` is the softmax weight with which token ``i``
+        attends to token ``j`` in head ``h``.
+        """
+        n = len(tokens)
+        if n == 0:
+            return np.zeros((self.heads, 0, 0))
+        x = self.embeddings.matrix(tokens)  # (n, dim)
+        sim = x @ x.T  # raw content relatedness
+        logits = np.empty((self.heads, n, n))
+        for h in range(self.heads):
+            q = x @ self._w_q[h]  # (n, d_k)
+            k = x @ self._w_k[h]
+            logits[h] = (q @ k.T) / np.sqrt(self.d_k) + self.content_bias * sim
+        return _softmax(logits, axis=-1)
+
+    def attention_matrix(self, tokens: Sequence[str]) -> np.ndarray:
+        """Head-averaged attention weights, shape (n, n), rows sum to 1."""
+        per_head = self.head_attention(tokens)
+        if per_head.size == 0:
+            return np.zeros((0, 0))
+        return per_head.mean(axis=0)
+
+    def edge_weights(self, tokens: Sequence[str]) -> np.ndarray:
+        """Symmetric token-pair weights for annotating tree edges.
+
+        The parse tree's parent→child edges are undirected dependencies for
+        the purposes of SGS/SCS, so the weight of edge (i, j) is the mean of
+        the two attention directions.
+        """
+        attn = self.attention_matrix(tokens)
+        return (attn + attn.T) / 2.0
+
+    def encode(self, tokens: Sequence[str]) -> np.ndarray:
+        """Full multi-head output (Eq. 8): concat heads, project with W_o.
+
+        Returned shape is (n, dim).  GCED itself only needs the attention
+        weights, but the contextualized vectors are exposed for the
+        embedding-based QA scorer.
+        """
+        n = len(tokens)
+        if n == 0:
+            return np.zeros((0, self.embeddings.dim))
+        x = self.embeddings.matrix(tokens)
+        per_head = self.head_attention(tokens)
+        outputs = []
+        for h in range(self.heads):
+            v = x @ self._w_v[h]  # (n, d_k)
+            outputs.append(per_head[h] @ v)
+        concat = np.concatenate(outputs, axis=1)  # (n, heads * d_k)
+        return concat @ self._w_o

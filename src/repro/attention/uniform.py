@@ -1,0 +1,36 @@
+"""Uniform attention — ablation stand-in for the multi-head substrate.
+
+Assigns every token pair the same weight, removing the content signal SGS
+uses to order its growth and SCS uses to break ties.  DESIGN.md lists
+"does the attention source matter?" as a design-choice ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["UniformAttention"]
+
+
+class UniformAttention:
+    """Drop-in replacement for :class:`MultiHeadAttention` with flat weights."""
+
+    def __init__(self, dim: int = 64) -> None:
+        self.dim = dim
+
+    def attention_matrix(self, tokens: Sequence[str]) -> np.ndarray:
+        n = len(tokens)
+        if n == 0:
+            return np.zeros((0, 0))
+        return np.full((n, n), 1.0 / n)
+
+    def head_attention(self, tokens: Sequence[str]) -> np.ndarray:
+        return self.attention_matrix(tokens)[None, :, :]
+
+    def edge_weights(self, tokens: Sequence[str]) -> np.ndarray:
+        return self.attention_matrix(tokens)
+
+    def encode(self, tokens: Sequence[str]) -> np.ndarray:
+        return np.zeros((len(tokens), self.dim))

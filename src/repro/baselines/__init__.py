@@ -1,0 +1,25 @@
+"""Evidence-extraction baselines GCED is compared against.
+
+* :class:`SentenceSelectorBaseline` — sentence-level minimal context in the
+  style of Min et al. (2018), the approach the paper's introduction
+  critiques (Fig. 1).
+* :class:`FullContextBaseline` — the whole context as "evidence".
+* :class:`WindowBaseline` — a fixed token window around the answer span.
+* :class:`RandomSpanBaseline` — a random sentence (noise floor).
+"""
+
+from repro.baselines.sentence_selector import SentenceSelectorBaseline
+from repro.baselines.simple import (
+    EvidenceBaseline,
+    FullContextBaseline,
+    WindowBaseline,
+    RandomSpanBaseline,
+)
+
+__all__ = [
+    "EvidenceBaseline",
+    "SentenceSelectorBaseline",
+    "FullContextBaseline",
+    "WindowBaseline",
+    "RandomSpanBaseline",
+]

@@ -1,0 +1,33 @@
+"""Sentence-level minimal-context baseline (Min et al. 2018 style).
+
+Selects the smallest set of whole sentences from which the QA model can
+recover the answer — informative, but carrying the intra-sentence noise
+that motivates GCED's token-level distillation (the Fig. 1 critique).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.simple import EvidenceBaseline
+from repro.core.ase import AnswerOrientedSentenceExtractor
+from repro.qa.base import QAModel
+
+__all__ = ["SentenceSelectorBaseline"]
+
+
+class SentenceSelectorBaseline(EvidenceBaseline):
+    """Minimal sentence subset supporting the answer.
+
+    Reuses the ASE machinery: the paper's own ASE module *is* a
+    sentence-selector; the baseline stops there instead of distilling
+    further.
+    """
+
+    name = "sentence-selector"
+
+    def __init__(self, qa_model: QAModel, max_sentences: int = 3) -> None:
+        self._ase = AnswerOrientedSentenceExtractor(
+            qa_model, max_sentences=max_sentences
+        )
+
+    def extract(self, question: str, answer: str, context: str) -> str:
+        return self._ase.extract(question, answer, context).text

@@ -1,0 +1,81 @@
+"""Trivial evidence baselines: full context, answer window, random sentence."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.text.sentences import split_sentences
+from repro.text.tokenizer import detokenize, tokenize
+from repro.utils.rng import rng_from
+
+__all__ = [
+    "EvidenceBaseline",
+    "FullContextBaseline",
+    "WindowBaseline",
+    "RandomSpanBaseline",
+]
+
+
+class EvidenceBaseline(abc.ABC):
+    """Interface shared by all evidence extractors (GCED and baselines)."""
+
+    name: str = "baseline"
+
+    @abc.abstractmethod
+    def extract(self, question: str, answer: str, context: str) -> str:
+        """Return the evidence text for the QA pair."""
+
+
+class FullContextBaseline(EvidenceBaseline):
+    """The degenerate baseline: evidence = the whole context."""
+
+    name = "full-context"
+
+    def extract(self, question: str, answer: str, context: str) -> str:
+        return context
+
+
+class WindowBaseline(EvidenceBaseline):
+    """A fixed token window centred on the answer's first occurrence.
+
+    Concise but oblivious to syntax: windows routinely cut through clause
+    boundaries, which is what costs this baseline readability.
+    """
+
+    name = "answer-window"
+
+    def __init__(self, window: int = 8) -> None:
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self.window = window
+
+    def extract(self, question: str, answer: str, context: str) -> str:
+        tokens = tokenize(context)
+        if not tokens:
+            return ""
+        pos = context.lower().find(answer.lower()) if answer else -1
+        if pos < 0:
+            center = len(tokens) // 2
+        else:
+            center = next(
+                (i for i, t in enumerate(tokens) if t.end > pos), len(tokens) // 2
+            )
+        lo = max(0, center - self.window)
+        hi = min(len(tokens), center + self.window + 1)
+        return detokenize([t.text for t in tokens[lo:hi]])
+
+
+class RandomSpanBaseline(EvidenceBaseline):
+    """A uniformly random sentence — the noise floor for evidence quality."""
+
+    name = "random-sentence"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def extract(self, question: str, answer: str, context: str) -> str:
+        sentences = split_sentences(context)
+        if not sentences:
+            return context
+        rng = rng_from(self.seed, f"random-span:{hash(context) & 0xFFFFFFFF}")
+        return sentences[int(rng.integers(0, len(sentences)))].text

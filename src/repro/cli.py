@@ -1,0 +1,218 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``distill`` — distill evidence for one QA pair over a corpus file.
+* ``dataset`` — generate a synthetic dataset and write SQuAD-schema JSON.
+* ``experiment`` — run one of the paper's experiments and print the table.
+* ``errors`` — triage weak evidences (Sec. IV-G error analysis).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro import GCED, QATrainer
+from repro.datasets import DATASET_KEYS, load_dataset
+from repro.datasets.io import save_dataset
+from repro.eval import (
+    ExperimentContext,
+    ablation_table,
+    agreement_table,
+    degradation_curves,
+    format_table,
+    human_evaluation_table,
+    qa_augmentation_table,
+    reduction_statistics,
+)
+from repro.eval.error_analysis import CATEGORY_DESCRIPTIONS, analyze_errors
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = (
+    "table2",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "fig7",
+    "reduction",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Grow-and-Clip Evidence Distillation (GCED) toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_distill = sub.add_parser("distill", help="distill evidence for a QA pair")
+    p_distill.add_argument("--question", required=True)
+    p_distill.add_argument("--answer", required=True)
+    p_distill.add_argument(
+        "--context",
+        help="context string; defaults to the corpus file's first paragraph",
+    )
+    p_distill.add_argument(
+        "--corpus",
+        type=pathlib.Path,
+        help="text file, one context paragraph per line (training corpus)",
+    )
+    p_distill.add_argument("--seed", type=int, default=0)
+    p_distill.add_argument(
+        "--trace", action="store_true", help="print the full distillation trace"
+    )
+
+    p_dataset = sub.add_parser("dataset", help="generate a synthetic dataset")
+    p_dataset.add_argument("key", choices=DATASET_KEYS)
+    p_dataset.add_argument("--out", type=pathlib.Path, required=True)
+    p_dataset.add_argument("--n-train", type=int, default=120)
+    p_dataset.add_argument("--n-dev", type=int, default=60)
+    p_dataset.add_argument("--seed", type=int, default=0)
+
+    p_exp = sub.add_parser("experiment", help="run a paper experiment")
+    p_exp.add_argument("name", choices=_EXPERIMENTS)
+    p_exp.add_argument("--dataset", default=None, choices=DATASET_KEYS)
+    p_exp.add_argument("--n-examples", type=int, default=24)
+    p_exp.add_argument("--n-train", type=int, default=100)
+    p_exp.add_argument("--n-dev", type=int, default=60)
+    p_exp.add_argument("--seed", type=int, default=0)
+
+    p_err = sub.add_parser("errors", help="triage weak evidences (Sec. IV-G)")
+    p_err.add_argument("--dataset", default="squad11", choices=DATASET_KEYS)
+    p_err.add_argument("--n-examples", type=int, default=30)
+    p_err.add_argument("--seed", type=int, default=0)
+
+    p_report = sub.add_parser(
+        "report", help="run the full evaluation suite and write a markdown report"
+    )
+    p_report.add_argument("--dataset", default="squad11", choices=DATASET_KEYS)
+    p_report.add_argument("--out", type=pathlib.Path, required=True)
+    p_report.add_argument("--n-examples", type=int, default=24)
+    p_report.add_argument("--n-train", type=int, default=100)
+    p_report.add_argument("--n-dev", type=int, default=60)
+    p_report.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _default_dataset(name: str) -> str:
+    return {
+        "table2": "squad11",
+        "table4": "squad11",
+        "table5": "triviaqa-web",
+        "table6": "squad11",
+        "table7": "triviaqa-web",
+        "table8": "squad20",
+        "fig7": "squad11",
+        "reduction": "squad11",
+    }[name]
+
+
+def _run_distill(args: argparse.Namespace) -> int:
+    if args.corpus:
+        corpus = [
+            line.strip()
+            for line in args.corpus.read_text().splitlines()
+            if line.strip()
+        ]
+    elif args.context:
+        corpus = [args.context]
+    else:
+        print("error: provide --corpus and/or --context", file=sys.stderr)
+        return 2
+    context = args.context or corpus[0]
+    artifacts = QATrainer(seed=args.seed).train(corpus)
+    gced = GCED(qa_model=artifacts.reader, artifacts=artifacts)
+    result = gced.distill(args.question, args.answer, context)
+    if args.trace:
+        print(result.explain())
+    else:
+        print(result.evidence)
+    return 0
+
+
+def _run_dataset(args: argparse.Namespace) -> int:
+    dataset = load_dataset(
+        args.key, seed=args.seed, n_train=args.n_train, n_dev=args.n_dev
+    )
+    save_dataset(dataset, args.out)
+    print(
+        f"wrote {len(dataset.train)} train / {len(dataset.dev)} dev examples "
+        f"to {args.out}"
+    )
+    return 0
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    dataset_key = args.dataset or _default_dataset(args.name)
+    ctx = ExperimentContext.build(
+        dataset_key, seed=args.seed, n_train=args.n_train, n_dev=args.n_dev
+    )
+    n = args.n_examples
+    if args.name == "table2":
+        print(format_table(agreement_table(ctx, n_examples=n)))
+    elif args.name in ("table4", "table5"):
+        print(format_table(human_evaluation_table(ctx, n_examples=n)))
+    elif args.name in ("table6", "table7"):
+        print(format_table(qa_augmentation_table(ctx, n_examples=n)))
+    elif args.name == "table8":
+        print(format_table(ablation_table(ctx, n_examples=n)))
+    elif args.name == "fig7":
+        print(format_table(degradation_curves(ctx, n_examples=n)))
+    elif args.name == "reduction":
+        stats = reduction_statistics(ctx, n_examples=n)
+        print(
+            f"{stats['dataset']}: {100 * stats['mean_reduction']:.1f}% words "
+            f"removed ({stats['mean_context_words']:.0f} -> "
+            f"{stats['mean_evidence_words']:.0f})"
+        )
+    return 0
+
+
+def _run_errors(args: argparse.Namespace) -> int:
+    ctx = ExperimentContext.build(args.dataset, seed=args.seed)
+    diagnoses = analyze_errors(ctx, n_examples=args.n_examples)
+    counts: dict[str, int] = {}
+    for diagnosis in diagnoses:
+        counts[diagnosis.category] = counts.get(diagnosis.category, 0) + 1
+    print("category counts:")
+    for category, count in sorted(counts.items(), key=lambda kv: -kv[1]):
+        print(f"  {category:<22} {count:>3}  {CATEGORY_DESCRIPTIONS[category]}")
+    worst = [d for d in diagnoses if d.category != "ok"][:5]
+    if worst:
+        print("\nworst cases:")
+        for diagnosis in worst:
+            print(f"  [{diagnosis.category}] Q: {diagnosis.question}")
+            print(f"    evidence: {diagnosis.evidence[:100]}")
+    return 0
+
+
+def _run_report(args: argparse.Namespace) -> int:
+    from repro.eval.report import write_report
+
+    ctx = ExperimentContext.build(
+        args.dataset, seed=args.seed, n_train=args.n_train, n_dev=args.n_dev
+    )
+    path = write_report(ctx, args.out, n_examples=args.n_examples)
+    print(f"report written to {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "distill": _run_distill,
+        "dataset": _run_dataset,
+        "experiment": _run_experiment,
+        "errors": _run_errors,
+        "report": _run_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests/CLI
+    raise SystemExit(main())

@@ -1,0 +1,44 @@
+"""GCED core: the five modules of Fig. 3 plus the end-to-end pipeline.
+
+* :class:`AnswerOrientedSentenceExtractor` (ASE, Sec. III-B)
+* :class:`QuestionRelevantWordsSelector` (QWS, Sec. III-C)
+* :class:`WeightedTreeConstructor` (WSPTC, Sec. III-D)
+* :class:`EvidenceForestConstructor` (EFC, Sec. III-E)
+* :class:`OptimalEvidenceDistiller` (OEC / Grow-and-Clip, Sec. III-F)
+* :class:`GCED` — the pipeline tying them together.
+"""
+
+from repro.core.config import GCEDConfig
+from repro.core.ase import AnswerOrientedSentenceExtractor, ASEResult
+from repro.core.qws import QuestionRelevantWordsSelector, QWSResult
+from repro.core.wsptc import WeightedTreeConstructor
+from repro.core.efc import EvidenceForest, EvidenceForestConstructor
+from repro.core.oec import OptimalEvidenceDistiller, GrowTrace, ClipTrace
+from repro.core.pipeline import GCED, DistillationResult
+from repro.core.batch import BatchDistiller, BatchStats
+from repro.core.serialize import (
+    result_to_dict,
+    write_results_jsonl,
+    read_results_jsonl,
+)
+
+__all__ = [
+    "BatchDistiller",
+    "BatchStats",
+    "result_to_dict",
+    "write_results_jsonl",
+    "read_results_jsonl",
+    "GCEDConfig",
+    "AnswerOrientedSentenceExtractor",
+    "ASEResult",
+    "QuestionRelevantWordsSelector",
+    "QWSResult",
+    "WeightedTreeConstructor",
+    "EvidenceForest",
+    "EvidenceForestConstructor",
+    "OptimalEvidenceDistiller",
+    "GrowTrace",
+    "ClipTrace",
+    "GCED",
+    "DistillationResult",
+]

@@ -1,0 +1,127 @@
+"""Evidence Forest Constructor (EFC) — Sec. III-E.
+
+The forest's trees are the connected components induced in the weighted
+syntactic parsing tree by the question-relevant clue words, the answer
+words, and their parents (Fig. 6(b): clue nodes 3, 5, 7 with parents 2, 6
+form two evidence trees; answer nodes 13, 15 with parent 14 form the
+answer tree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.parsing.tree import DependencyTree
+from repro.text.normalize import normalize_answer
+from repro.text.tokenizer import Token
+
+__all__ = ["EvidenceForest", "EvidenceForestConstructor"]
+
+
+@dataclass
+class EvidenceForest:
+    """The evidence forest over a weighted syntactic parsing tree.
+
+    Attributes:
+        tree: the underlying dependency tree T.
+        components: node sets of the forest trees, each connected in T.
+        roots: the root of each component (its shallowest node).
+        protected: union of all component nodes — the clue/answer material
+            the clip step must never remove.
+        answer_components: indices of components containing answer words.
+    """
+
+    tree: DependencyTree
+    components: list[frozenset[int]]
+    roots: list[int]
+    protected: frozenset[int]
+    answer_components: frozenset[int]
+
+    def __len__(self) -> int:
+        return len(self.components)
+
+
+class EvidenceForestConstructor:
+    """Builds the evidence forest from clue and answer token indices."""
+
+    def find_answer_indices(
+        self, tokens: list[Token], answer: str
+    ) -> frozenset[int]:
+        """Token indices of the answer span inside the AOS tokens.
+
+        Prefers a contiguous surface match; falls back to matching the
+        answer's individual content words (answers occasionally differ in
+        inflection or ordering from the context span).
+        """
+        if not answer.strip():
+            return frozenset()
+        answer_words = [w for w in normalize_answer(answer).split() if w]
+        if not answer_words:
+            return frozenset()
+        norm = [normalize_answer(t.text) for t in tokens]
+        # Match over content positions only (articles/punctuation normalize
+        # to ""), then return the full original index range so interior
+        # function words like the "the" of "William the Conqueror" stay in
+        # the protected answer span.
+        content = [(i, w) for i, w in enumerate(norm) if w]
+        m = len(answer_words)
+        for k in range(len(content) - m + 1):
+            if [w for _i, w in content[k : k + m]] == answer_words:
+                first = content[k][0]
+                last = content[k + m - 1][0]
+                return frozenset(range(first, last + 1))
+        loose = {
+            i for i, w in enumerate(norm) if w and w in set(answer_words)
+        }
+        return frozenset(loose)
+
+    def build(
+        self,
+        tree: DependencyTree,
+        clue_indices: frozenset[int],
+        answer_indices: frozenset[int],
+    ) -> EvidenceForest:
+        """Construct the forest from marked nodes plus their parents."""
+        marked: set[int] = set(clue_indices) | set(answer_indices)
+        with_parents = set(marked)
+        for node in marked:
+            parent = tree.parent(node)
+            if parent != -1:
+                with_parents.add(parent)
+
+        # Connected components of T restricted to `with_parents`.
+        components: list[frozenset[int]] = []
+        roots: list[int] = []
+        unvisited = set(with_parents)
+        while unvisited:
+            seed = unvisited.pop()
+            component = {seed}
+            frontier = [seed]
+            while frontier:
+                node = frontier.pop()
+                neighbors = [tree.parent(node)] + tree.children(node)
+                for neighbor in neighbors:
+                    if neighbor in unvisited:
+                        unvisited.discard(neighbor)
+                        component.add(neighbor)
+                        frontier.append(neighbor)
+            # The component root is the node whose parent lies outside.
+            comp_roots = [
+                node for node in component if tree.parent(node) not in component
+            ]
+            # Within one tree a connected set has exactly one such node.
+            components.append(frozenset(component))
+            roots.append(comp_roots[0])
+
+        answer_components = frozenset(
+            idx
+            for idx, comp in enumerate(components)
+            if comp & answer_indices
+        )
+        return EvidenceForest(
+            tree=tree,
+            components=components,
+            roots=roots,
+            protected=frozenset(with_parents),
+            answer_components=answer_components,
+        )

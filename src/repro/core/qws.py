@@ -1,0 +1,118 @@
+"""Question-relevant Words Selector (QWS) — Sec. III-C.
+
+Removes insignificant question words, then marks every token of the
+answer-oriented sentences that matches a remaining question word or one of
+its WordNet relatives (synonyms, antonyms, hypernym siblings).  Inflected
+surface forms are matched through a light stemmer so "represented" in the
+context matches "represent" in the question.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lexicon.stopwords import is_insignificant
+from repro.lexicon.wordnet import MiniWordNet, default_wordnet
+from repro.text.stem import lemma, light_stem as _stem
+from repro.text.tokenizer import Token, tokenize
+
+__all__ = ["QWSResult", "QuestionRelevantWordsSelector"]
+
+
+@dataclass(frozen=True)
+class QWSResult:
+    """Output of QWS.
+
+    Attributes:
+        significant_words: question words surviving the stopword filter.
+        clue_indices: indices (into the AOS token list) of clue tokens.
+        clue_words: the matched surface forms, for inspection.
+        matches: mapping question word → set of matched AOS token indices,
+            the trace the paper renders in Fig. 5.
+    """
+
+    significant_words: tuple[str, ...]
+    clue_indices: frozenset[int]
+    clue_words: tuple[str, ...]
+    matches: dict[str, frozenset[int]]
+
+
+class QuestionRelevantWordsSelector:
+    """Marks question-relevant clue words in the answer-oriented sentences.
+
+    Args:
+        wordnet: lexical database for synonym/antonym/sibling expansion.
+        knowledge: optional entity knowledge graph
+            (:class:`repro.lexicon.knowledge.KnowledgeGraph`) — the paper's
+            "world knowledge" extension: question entities additionally
+            expand to related entities' words, bridging gaps like
+            Solomon → David → Bathsheba (Sec. IV-G's failure case).
+        knowledge_hops: neighbourhood radius for entity expansion.
+    """
+
+    def __init__(
+        self,
+        wordnet: MiniWordNet | None = None,
+        knowledge=None,
+        knowledge_hops: int = 1,
+    ) -> None:
+        self.wordnet = wordnet or default_wordnet()
+        self.knowledge = knowledge
+        self.knowledge_hops = knowledge_hops
+
+    def significant_question_words(self, question: str) -> list[str]:
+        """Question words after removing question terms, auxiliaries,
+        function words and punctuation."""
+        return [
+            t.text
+            for t in tokenize(question)
+            if t.is_word and not is_insignificant(t.text)
+        ]
+
+    def _expansion(self, word: str) -> set[str]:
+        """The word, its lemma, and all WordNet relatives (stemmed too).
+
+        Looking up the lemma lets inflected question words ("won") reach
+        the lexicon's base-form synsets ("win" → earn/gain/...).
+        """
+        base = lemma(word)
+        related = (
+            {word.lower(), base}
+            | self.wordnet.related(word)
+            | self.wordnet.related(base)
+        )
+        if self.knowledge is not None:
+            related |= self.knowledge.related_words(
+                word, hops=self.knowledge_hops
+            )
+        return {_stem(w) for w in related} | {w.lower() for w in related}
+
+    def select(self, question: str, aos_tokens: list[Token]) -> QWSResult:
+        """Find clue tokens of ``question`` among the AOS tokens."""
+        significant = self.significant_question_words(question)
+        matches: dict[str, frozenset[int]] = {}
+        clue_indices: set[int] = set()
+        for word in significant:
+            expansion = self._expansion(word)
+            hits = {
+                tok.index
+                for tok in aos_tokens
+                if tok.is_word
+                and (tok.lower in expansion or _stem(tok.lower) in expansion)
+            }
+            if hits:
+                matches[word] = frozenset(hits)
+                clue_indices.update(hits)
+        clue_words = tuple(
+            aos_tokens[i].text for i in sorted(clue_indices)
+        )
+        return QWSResult(
+            significant_words=tuple(significant),
+            clue_indices=frozenset(clue_indices),
+            clue_words=clue_words,
+            matches=matches,
+        )
+
+    def empty(self) -> QWSResult:
+        """The "w/o QWS" ablation: no clue words at all."""
+        return QWSResult((), frozenset(), (), {})

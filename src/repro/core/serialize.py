@@ -1,0 +1,88 @@
+"""Serialization of distillation results (JSON / JSONL).
+
+A downstream QA service stores the evidence, its scores, and the trace so
+that every served answer remains auditable — the traceability property the
+paper emphasizes over end-to-end neural explainers.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable
+
+from repro.core.pipeline import DistillationResult
+
+__all__ = ["result_to_dict", "write_results_jsonl", "read_results_jsonl"]
+
+
+def _finite(value: float) -> float | None:
+    """JSON has no -inf; invalid scores serialize as null."""
+    return value if value == value and abs(value) != float("inf") else None
+
+
+def result_to_dict(
+    result: DistillationResult,
+    question: str = "",
+    answer: str = "",
+) -> dict:
+    """Flatten a result (plus its QA pair) into a JSON-safe dict."""
+    return {
+        "question": question,
+        "answer": answer,
+        "evidence": result.evidence,
+        "scores": {
+            "informativeness": _finite(result.scores.informativeness),
+            "conciseness": _finite(result.scores.conciseness),
+            "readability": _finite(result.scores.readability),
+            "hybrid": _finite(result.scores.hybrid),
+        },
+        "reduction": result.reduction,
+        "answer_oriented_sentences": [s.text for s in result.ase.sentences],
+        "clue_words": list(result.qws.clue_words),
+        "forest_size": result.forest_size,
+        "grow_steps": [
+            {
+                "selected_root": step.selected_root,
+                "parent": step.parent,
+                "weight": step.weight,
+                "forest_size_after": step.forest_size_after,
+            }
+            for step in result.grow_trace
+        ],
+        "clip_steps": [
+            {
+                "clipped_root": step.clipped_root,
+                "removed": sorted(step.removed_nodes),
+                "hybrid_after": _finite(step.hybrid_after),
+            }
+            for step in result.clip_trace
+        ],
+        "evidence_token_indices": sorted(result.evidence_nodes),
+    }
+
+
+def write_results_jsonl(
+    path: str | pathlib.Path,
+    items: Iterable[tuple[str, str, DistillationResult]],
+) -> int:
+    """Write (question, answer, result) triples as JSONL; returns the count."""
+    path = pathlib.Path(path)
+    count = 0
+    with path.open("w") as handle:
+        for question, answer, result in items:
+            handle.write(
+                json.dumps(result_to_dict(result, question, answer)) + "\n"
+            )
+            count += 1
+    return count
+
+
+def read_results_jsonl(path: str | pathlib.Path) -> list[dict]:
+    """Read serialized results back as plain dicts."""
+    path = pathlib.Path(path)
+    return [
+        json.loads(line)
+        for line in path.read_text().splitlines()
+        if line.strip()
+    ]

@@ -1,0 +1,76 @@
+"""Weighted Syntactic Parsing Tree Constructor (WSPTC) — Sec. III-D.
+
+Parses the answer-oriented sentences into a token-level tree (L-PCFG parse
+lexicalized into dependencies) and annotates every edge with the
+multi-head attention weight between the child and parent tokens (Eq. 6-8).
+"""
+
+from __future__ import annotations
+
+from repro.attention.multihead import MultiHeadAttention
+from repro.parsing.dependency import SyntacticParser
+from repro.parsing.tree import DependencyTree
+from repro.text.tokenizer import Token
+
+__all__ = ["WeightedTreeConstructor"]
+
+
+class WeightedTreeConstructor:
+    """Builds the weighted syntactic parsing tree for the AOS tokens.
+
+    Multi-sentence AOS inputs are parsed jointly: each sentence gets its
+    own parse, and sentence roots after the first attach to the first
+    sentence's root, giving one connected tree over all token indices (the
+    paper's tree in Fig. 6 likewise spans multiple sentences).
+    """
+
+    def __init__(
+        self,
+        parser: SyntacticParser,
+        attention: MultiHeadAttention,
+    ) -> None:
+        self.parser = parser
+        self.attention = attention
+
+    def _sentence_boundaries(self, tokens: list[Token]) -> list[tuple[int, int]]:
+        """Split the token list at sentence-final punctuation."""
+        boundaries: list[tuple[int, int]] = []
+        start = 0
+        for i, tok in enumerate(tokens):
+            if tok.text in (".", "!", "?"):
+                boundaries.append((start, i + 1))
+                start = i + 1
+        if start < len(tokens):
+            boundaries.append((start, len(tokens)))
+        return boundaries or [(0, len(tokens))]
+
+    def build(self, tokens: list[Token]) -> DependencyTree:
+        """Construct the weighted tree over ``tokens``."""
+        if not tokens:
+            raise ValueError("WSPTC needs at least one token")
+        words = [t.text for t in tokens]
+        parents = [-1] * len(tokens)
+        first_root: int | None = None
+        for start, end in self._sentence_boundaries(tokens):
+            sent_words = words[start:end]
+            if not sent_words:
+                continue
+            sent_tree = self.parser.parse(sent_words)
+            for local in range(len(sent_words)):
+                parent_local = sent_tree.parent(local)
+                parents[start + local] = (
+                    -1 if parent_local == -1 else start + parent_local
+                )
+            root_global = start + sent_tree.root
+            if first_root is None:
+                first_root = root_global
+            else:
+                parents[root_global] = first_root
+        tree = DependencyTree(words, parents)
+
+        weights = self.attention.edge_weights(words)
+        for node in range(len(tree)):
+            parent = tree.parent(node)
+            if parent != -1:
+                tree.set_weight(node, weights[node, parent])
+        return tree

@@ -1,0 +1,25 @@
+"""Dataset substrate: synthetic SQuAD- and TriviaQA-style corpora.
+
+The real datasets are unavailable offline; these generators preserve the
+structural properties GCED's evaluation depends on (see DESIGN.md): span
+answers inside multi-sentence contexts, typed distractor spans, SQuAD-2.0
+unanswerable questions, and TriviaQA's longer, noisier web-style contexts.
+"""
+
+from repro.datasets.types import QAExample, QADataset
+from repro.datasets.kb import KnowledgeBase, Entity, Fact
+from repro.datasets.squad import SquadGenerator
+from repro.datasets.triviaqa import TriviaQAGenerator
+from repro.datasets.loader import load_dataset, DATASET_KEYS
+
+__all__ = [
+    "QAExample",
+    "QADataset",
+    "KnowledgeBase",
+    "Entity",
+    "Fact",
+    "SquadGenerator",
+    "TriviaQAGenerator",
+    "load_dataset",
+    "DATASET_KEYS",
+]

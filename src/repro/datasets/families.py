@@ -1,0 +1,139 @@
+"""Family-relation passages — the workload for knowledge-enhanced QWS.
+
+Generates the paper's Sec. IV-G failure pattern at scale: passages where
+the answer to "Who was the mother of X?" is only reachable through a
+relational bridge ("X was the child of Y and his wife Z"), plus the triple
+inventory for building the matching knowledge graph.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.kb import GIVEN_NAMES, SURNAMES, KnowledgeBase
+from repro.datasets.templates import generic_noise
+from repro.datasets.types import QADataset, QAExample
+from repro.lexicon.knowledge import KnowledgeGraph
+from repro.utils.rng import rng_from
+
+__all__ = ["FamilyGenerator"]
+
+_FEMALE_NAMES = (
+    "Beatrice", "Delia", "Fiona", "Helena", "Jocelyn", "Lavinia", "Nadia",
+    "Petra", "Rosalind", "Theodora", "Vivian", "Xenia", "Zelda", "Blanche",
+    "Dorothea", "Felicity", "Harriet", "Josephine",
+)
+_MALE_NAMES = (
+    "Adrian", "Casper", "Edmund", "Gregor", "Ivor", "Konrad", "Magnus",
+    "Osmond", "Quentin", "Silas", "Ulric", "Walter", "Yorick", "Ambrose",
+    "Cornelius", "Emeric", "Gideon", "Ignatius",
+)
+
+_PASSAGE_TEMPLATES = (
+    "{child} was the child of {father} and his wife {mother} according to "
+    "the chronicle.",
+    "{child} grew up as the son of {father} and his wife {mother} in the "
+    "old capital.",
+)
+_FATHER_FACTS = (
+    "{father} governed the province for many years.",
+    "{father} commanded the garrison at the border.",
+    "{father} managed the family estate near the river.",
+)
+_SIBLING_FACTS = (
+    "{child} had brothers named {brother1} and {brother2} through as many houses.",
+    "The household also raised {brother1} and {brother2} in those years.",
+)
+
+
+class FamilyGenerator:
+    """Generates family QA passages and the matching knowledge triples.
+
+    Args:
+        seed: generation seed.
+        kb: optional shared knowledge base (only used for name pools).
+    """
+
+    def __init__(self, seed: int = 0, kb: KnowledgeBase | None = None) -> None:
+        self.seed = seed
+        self.kb = kb
+
+    def _name(self, rng, pool: tuple[str, ...], used: set[str]) -> str:
+        for _ in range(50):
+            given = pool[int(rng.integers(0, len(pool)))]
+            surname = SURNAMES[int(rng.integers(0, len(SURNAMES)))]
+            name = f"{given} {surname}"
+            if name not in used:
+                used.add(name)
+                return name
+        raise RuntimeError("name pool exhausted")  # pragma: no cover
+
+    def generate(
+        self, n_examples: int = 30
+    ) -> tuple[QADataset, KnowledgeGraph, list[dict]]:
+        """Build the dataset, its knowledge graph, and family metadata.
+
+        The metadata list has one dict per example with keys ``child``,
+        ``father``, ``mother``, ``brothers`` — used by evaluations that
+        check whether the relational *bridge* (the father) survives
+        distillation.
+        """
+        rng = rng_from(self.seed, "families")
+        dataset = QADataset(key="families")
+        graph = KnowledgeGraph()
+        families: list[dict] = []
+        used: set[str] = set()
+        for idx in range(n_examples):
+            father = self._name(rng, _MALE_NAMES, used)
+            mother = self._name(rng, _FEMALE_NAMES, used)
+            child = self._name(rng, _MALE_NAMES, used)
+            brother1 = self._name(rng, _MALE_NAMES, used)
+            brother2 = self._name(rng, _MALE_NAMES, used)
+
+            fields = {
+                "child": child,
+                "father": father,
+                "mother": mother,
+                "brother1": brother1,
+                "brother2": brother2,
+            }
+            key_sentence = _PASSAGE_TEMPLATES[
+                int(rng.integers(0, len(_PASSAGE_TEMPLATES)))
+            ].format(**fields)
+            sentences = [
+                key_sentence,
+                _SIBLING_FACTS[int(rng.integers(0, len(_SIBLING_FACTS)))].format(
+                    **fields
+                ),
+                _FATHER_FACTS[int(rng.integers(0, len(_FATHER_FACTS)))].format(
+                    **fields
+                ),
+            ]
+            if rng.random() < 0.6:
+                sentences.append(generic_noise(rng))
+            context = " ".join(sentences)
+            question = f"Who was the mother of {child}?"
+            start = context.find(mother)
+            dataset.dev.append(
+                QAExample(
+                    example_id=f"family-{idx}",
+                    question=question,
+                    context=context,
+                    answers=(mother,),
+                    answer_start=start,
+                    relation="mother_of",
+                )
+            )
+            dataset.train.append(dataset.dev[-1])  # shared corpus for fitting
+
+            graph.add_relation(child, "child_of", father)
+            graph.add_relation(father, "married_to", mother)
+            graph.add_relation(child, "sibling_of", brother1)
+            graph.add_relation(child, "sibling_of", brother2)
+            families.append(
+                {
+                    "child": child,
+                    "father": father,
+                    "mother": mother,
+                    "brothers": (brother1, brother2),
+                }
+            )
+        return dataset, graph, families

@@ -1,0 +1,96 @@
+"""Dataset serialization in the SQuAD JSON schema.
+
+Generated datasets can be exported for inspection or external tools and
+re-imported; real SQuAD-format files (v1.1/v2.0) can be loaded directly,
+so the pipeline runs on the genuine datasets when they are available.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.datasets.types import QADataset, QAExample
+
+__all__ = ["to_squad_json", "from_squad_json", "save_dataset", "load_dataset_json"]
+
+
+def to_squad_json(dataset: QADataset) -> dict:
+    """Render both splits in the SQuAD JSON structure.
+
+    Splits are stored as two top-level "data" articles titled "train" and
+    "dev"; each unique context becomes one paragraph.
+    """
+    articles = []
+    for split_name, examples in (("train", dataset.train), ("dev", dataset.dev)):
+        paragraphs: dict[str, list[QAExample]] = {}
+        for example in examples:
+            paragraphs.setdefault(example.context, []).append(example)
+        articles.append(
+            {
+                "title": split_name,
+                "paragraphs": [
+                    {
+                        "context": context,
+                        "qas": [
+                            {
+                                "id": e.example_id,
+                                "question": e.question,
+                                "is_impossible": e.is_impossible,
+                                "answers": [
+                                    {"text": a, "answer_start": e.answer_start}
+                                    for a in e.answers
+                                ],
+                            }
+                            for e in qas
+                        ],
+                    }
+                    for context, qas in paragraphs.items()
+                ],
+            }
+        )
+    return {"version": dataset.key, "data": articles}
+
+
+def from_squad_json(payload: dict, key: str | None = None) -> QADataset:
+    """Parse a SQuAD-schema dict (exported or genuine) into a QADataset.
+
+    Articles titled "train"/"dev" map onto the corresponding splits;
+    anything else (real SQuAD article titles) goes to ``train``.
+    """
+    dataset = QADataset(key=key or str(payload.get("version", "imported")))
+    for article in payload["data"]:
+        split = dataset.dev if article.get("title") == "dev" else dataset.train
+        for paragraph in article["paragraphs"]:
+            context = paragraph["context"]
+            for qa in paragraph["qas"]:
+                answers = tuple(a["text"] for a in qa.get("answers", ()))
+                is_impossible = bool(qa.get("is_impossible", not answers))
+                start = (
+                    qa["answers"][0]["answer_start"]
+                    if answers and not is_impossible
+                    else -1
+                )
+                split.append(
+                    QAExample(
+                        example_id=str(qa["id"]),
+                        question=qa["question"],
+                        context=context,
+                        answers=() if is_impossible else answers,
+                        answer_start=start,
+                        is_impossible=is_impossible,
+                    )
+                )
+    return dataset
+
+
+def save_dataset(dataset: QADataset, path: str | pathlib.Path) -> None:
+    """Write a dataset to disk as SQuAD-schema JSON."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(to_squad_json(dataset), indent=2))
+
+
+def load_dataset_json(path: str | pathlib.Path, key: str | None = None) -> QADataset:
+    """Read a SQuAD-schema JSON file from disk."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    return from_squad_json(payload, key=key)

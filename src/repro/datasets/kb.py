@@ -1,0 +1,421 @@
+"""Synthetic knowledge base: entities and facts behind the generated corpora.
+
+Entities are composed from curated name parts, giving thousands of distinct
+people, teams, cities, works and events while every generated passage stays
+grammatical and parseable.  Facts are typed relations with literal slots;
+question/statement templates in :mod:`repro.datasets.templates` realize
+them into text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import rng_from
+
+__all__ = ["Entity", "Fact", "KnowledgeBase"]
+
+GIVEN_NAMES = (
+    "Adrian", "Beatrice", "Casper", "Delia", "Edmund", "Fiona", "Gregor",
+    "Helena", "Ivor", "Jocelyn", "Konrad", "Lavinia", "Magnus", "Nadia",
+    "Osmond", "Petra", "Quentin", "Rosalind", "Silas", "Theodora",
+    "Ulric", "Vivian", "Walter", "Xenia", "Yorick", "Zelda", "Ambrose",
+    "Blanche", "Cornelius", "Dorothea", "Emeric", "Felicity", "Gideon",
+    "Harriet", "Ignatius", "Josephine",
+)
+SURNAMES = (
+    "Ashworth", "Blackwood", "Carmichael", "Davenport", "Ellsworth",
+    "Fairbanks", "Galloway", "Hawthorne", "Ironside", "Jardine",
+    "Kingsley", "Lockhart", "Merriweather", "Northcote", "Oakes",
+    "Pemberton", "Quimby", "Ravenscroft", "Sinclair", "Thornbury",
+    "Underhill", "Vanderberg", "Whitfield", "Yarrow", "Zimmerman",
+    "Abernathy", "Bellamy", "Crowther", "Dunmore", "Everhart",
+    "Fenwick", "Greenfield", "Holloway", "Ingram", "Jessop", "Kirkwood",
+)
+PROFESSIONS = (
+    ("physicist", "science"), ("chemist", "science"), ("biologist", "science"),
+    ("astronomer", "science"), ("mathematician", "science"),
+    ("composer", "arts"), ("painter", "arts"), ("novelist", "arts"),
+    ("poet", "arts"), ("architect", "arts"), ("singer", "arts"),
+    ("explorer", "history"), ("general", "history"), ("historian", "history"),
+    ("engineer", "science"), ("philosopher", "history"),
+)
+CITY_NAMES = (
+    "Ashford", "Brookhaven", "Caldwell", "Dunmere", "Eastvale",
+    "Fairmont", "Glenbrook", "Harrowgate", "Ironbridge", "Jasperville",
+    "Kingsport", "Larkspur", "Meadowbrook", "Northfield", "Oakhurst",
+    "Pinecrest", "Quarryville", "Ridgemont", "Silverton", "Thornbury",
+    "Umberfield", "Valemont", "Westbrook", "Yarmouth", "Zephyrhills",
+    "Alderton", "Briarcliff", "Coventry", "Drumlin", "Elmsworth",
+)
+COUNTRY_NAMES = (
+    "Valdoria", "Keldan", "Morravia", "Ostrania", "Pelagia", "Quintara",
+    "Rossmark", "Sylvania", "Tarvain", "Ulmenor", "Vostria", "Wendalia",
+)
+RIVER_NAMES = (
+    "Alder", "Briar", "Crestwood", "Darrow", "Ebonmere", "Fenwick",
+    "Greywater", "Hollybrook", "Silverrun", "Thistle",
+)
+TEAM_MASCOTS = (
+    "Falcons", "Mariners", "Stallions", "Wolves", "Titans", "Comets",
+    "Raiders", "Pioneers", "Huskies", "Cougars", "Thunderbolts", "Rams",
+)
+EVENT_NAMES = (
+    "Continental Cup", "Meridian Trophy", "Harvest Classic",
+    "Northern Shield", "Golden Pennant", "Summit Championship",
+)
+SPORTS = ("football", "basketball", "baseball", "hockey")
+AWARD_NAMES = (
+    "Laurel Medal", "Stellar Prize", "Meridian Award", "Golden Quill",
+    "Crescent Honor", "Beacon Prize",
+)
+WORK_ADJECTIVES = (
+    "Silent", "Golden", "Winter", "Crimson", "Distant", "Hidden",
+    "Restless", "Amber", "Wandering", "Forgotten",
+)
+WORK_NOUNS = (
+    "River", "Garden", "Voyage", "Symphony", "Harbor", "Letters",
+    "Meadow", "Lantern", "Orchard", "Horizon",
+)
+WORK_KINDS_BY_DOMAIN = {
+    "arts": ("novel", "symphony", "painting", "song", "poem"),
+    "science": ("treatise", "monograph", "textbook"),
+    "history": ("memoir", "chronicle", "atlas"),
+}
+DISCOVERY_ITEMS = (
+    "the spiral nebula", "the coastal current", "the twin comet",
+    "the mineral spring", "the ancient aqueduct", "the cave paintings",
+    "the migratory route", "the underground lake",
+)
+INVENTION_ITEMS = (
+    "the rotary printing press", "the compact seismograph",
+    "the portable loom", "the double-lens telescope",
+    "the mechanical harvester", "the pneumatic drill",
+)
+UNIVERSITY_STEMS = (
+    "Ashford", "Kingsport", "Northfield", "Silverton", "Valemont",
+    "Coventry", "Ridgemont", "Harrowgate",
+)
+BATTLE_PLACES = (
+    "Harrowgate", "Drumlin", "Eastvale", "Thornbury", "Quarryville",
+    "Larkspur", "Ironbridge", "Glenbrook",
+)
+BAND_ADJECTIVES = (
+    "Velvet", "Midnight", "Electric", "Wandering", "Golden", "Silver",
+    "Crimson", "Northern", "Restless", "Hollow",
+)
+BAND_NOUNS = (
+    "Foxes", "Rivers", "Lanterns", "Sparrows", "Echoes", "Harbors",
+    "Pilots", "Gardens", "Mirrors", "Tides",
+)
+GENRES = ("folk", "jazz", "rock", "blues", "soul")
+SONG_ADJECTIVES = (
+    "Lonely", "Burning", "Quiet", "Endless", "Broken", "Shining",
+)
+SONG_NOUNS = (
+    "Road", "Night", "Heart", "Summer", "Letter", "Bridge",
+)
+
+
+@dataclass(frozen=True)
+class Entity:
+    """A typed named entity with attributes.
+
+    ``etype`` is one of: "person", "team", "city", "country", "river",
+    "university", "work", "event", "battle".
+    """
+
+    name: str
+    etype: str
+    attributes: dict = field(default_factory=dict, hash=False, compare=False)
+
+    def attr(self, key: str):
+        return self.attributes.get(key)
+
+
+@dataclass(frozen=True)
+class Fact:
+    """A relation instance: ``relation(subject, object)`` with qualifiers.
+
+    ``answer_of`` maps question-slot names ("object", "year", "place") to
+    the literal surface string a question about that slot expects.
+    """
+
+    relation: str
+    subject: Entity
+    answer_of: dict = field(hash=False, compare=False)
+
+    def slots(self) -> list[str]:
+        return list(self.answer_of)
+
+
+class KnowledgeBase:
+    """Deterministic entity/fact pools derived from a seed.
+
+    Args:
+        seed: generation seed; two KBs with equal seeds are identical.
+        n_people / n_teams / n_cities: pool sizes (names are combinatorial,
+            so large pools stay distinct).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        n_people: int = 120,
+        n_teams: int = 24,
+        n_cities: int = 30,
+    ) -> None:
+        self.seed = seed
+        rng = rng_from(seed, "kb")
+        self.rivers = [Entity(f"{name} River", "river") for name in RIVER_NAMES]
+        self.cities = self._make_cities(rng, n_cities)
+        self.countries = self._make_countries(rng)
+        self.universities = [
+            Entity(f"University of {stem}", "university", {"city": stem})
+            for stem in UNIVERSITY_STEMS
+        ]
+        self.people = self._make_people(rng, n_people)
+        self.teams = self._make_teams(rng, n_teams)
+        self.battles = self._make_battles(rng)
+        self.bands = self._make_bands(rng)
+
+    # ------------------------------------------------------------- builders
+    def _make_cities(self, rng: np.random.Generator, n: int) -> list[Entity]:
+        cities = []
+        for i in range(min(n, len(CITY_NAMES))):
+            name = CITY_NAMES[i]
+            cities.append(
+                Entity(
+                    name,
+                    "city",
+                    {
+                        "country": str(rng.choice(COUNTRY_NAMES)),
+                        "founded": int(rng.integers(1050, 1900)),
+                        "population": int(rng.integers(40, 900)) * 1000,
+                        "river": str(rng.choice(RIVER_NAMES)) + " River",
+                    },
+                )
+            )
+        return cities
+
+    def _make_countries(self, rng: np.random.Generator) -> list[Entity]:
+        """Country entities; each country's capital is one of its cities."""
+        by_country: dict[str, list[Entity]] = {}
+        for city in self.cities:
+            by_country.setdefault(city.attributes["country"], []).append(city)
+        countries = []
+        for name in COUNTRY_NAMES:
+            cities = by_country.get(name)
+            capital = (
+                cities[0].name
+                if cities
+                else CITY_NAMES[int(rng.integers(0, len(CITY_NAMES)))]
+            )
+            countries.append(
+                Entity(
+                    name,
+                    "country",
+                    {
+                        "capital": capital,
+                        "population": int(rng.integers(2, 90)) * 1_000_000,
+                    },
+                )
+            )
+        return countries
+
+    def _make_people(self, rng: np.random.Generator, n: int) -> list[Entity]:
+        pairs = [(g, s) for g in GIVEN_NAMES for s in SURNAMES]
+        order = rng.permutation(len(pairs))
+        people = []
+        for k in range(min(n, len(pairs))):
+            given, surname = pairs[order[k]]
+            profession, domain = PROFESSIONS[int(rng.integers(0, len(PROFESSIONS)))]
+            birth_year = int(rng.integers(1720, 1975))
+            city = self.cities[int(rng.integers(0, len(self.cities)))]
+            death_year = birth_year + int(rng.integers(55, 90))
+            death_city = self.cities[int(rng.integers(0, len(self.cities)))]
+            work_kind = str(
+                rng.choice(WORK_KINDS_BY_DOMAIN.get(domain, ("volume",)))
+            )
+            work_title = (
+                f"The {rng.choice(WORK_ADJECTIVES)} {rng.choice(WORK_NOUNS)}"
+            )
+            people.append(
+                Entity(
+                    f"{given} {surname}",
+                    "person",
+                    {
+                        "given": given,
+                        "surname": surname,
+                        "profession": profession,
+                        "domain": domain,
+                        "birth_year": birth_year,
+                        "birth_city": city.name,
+                        "death_year": death_year,
+                        "death_city": death_city.name,
+                        "work_title": work_title,
+                        "work_kind": work_kind,
+                        "work_year": birth_year + int(rng.integers(24, 45)),
+                        "award": str(rng.choice(AWARD_NAMES)),
+                        "award_year": birth_year + int(rng.integers(30, 55)),
+                        "university": str(
+                            rng.choice([u.name for u in self.universities])
+                        ),
+                        "discovery": str(
+                            rng.choice(
+                                DISCOVERY_ITEMS
+                                if domain != "science"
+                                else DISCOVERY_ITEMS + INVENTION_ITEMS
+                            )
+                        ),
+                        "discovery_year": birth_year + int(rng.integers(25, 50)),
+                    },
+                )
+            )
+        return people
+
+    def _make_teams(self, rng: np.random.Generator, n: int) -> list[Entity]:
+        combos = [(c, m) for c in CITY_NAMES for m in TEAM_MASCOTS]
+        order = rng.permutation(len(combos))
+        teams = []
+        for k in range(min(n, len(combos))):
+            city, mascot = combos[order[k]]
+            teams.append(
+                Entity(
+                    f"{city} {mascot}",
+                    "team",
+                    {
+                        "city": city,
+                        "mascot": mascot,
+                        "sport": str(rng.choice(SPORTS)),
+                        "event": str(rng.choice(EVENT_NAMES)),
+                        "title_year": int(rng.integers(1950, 2021)),
+                    },
+                )
+            )
+        return teams
+
+    def _make_battles(self, rng: np.random.Generator) -> list[Entity]:
+        battles = []
+        for place in BATTLE_PLACES:
+            winner = self.people[int(rng.integers(0, len(self.people)))]
+            battles.append(
+                Entity(
+                    f"Battle of {place}",
+                    "battle",
+                    {
+                        "place": place,
+                        "year": int(rng.integers(1100, 1900)),
+                        "winner": winner.name,
+                    },
+                )
+            )
+        return battles
+
+    def _make_bands(self, rng: np.random.Generator) -> list[Entity]:
+        combos = [(a, n) for a in BAND_ADJECTIVES for n in BAND_NOUNS]
+        order = rng.permutation(len(combos))
+        bands = []
+        for k in range(20):
+            adjective, noun = combos[order[k]]
+            formed = int(rng.integers(1955, 2010))
+            singer = self.people[int(rng.integers(0, len(self.people)))]
+            bands.append(
+                Entity(
+                    f"The {adjective} {noun}",
+                    "band",
+                    {
+                        "genre": str(rng.choice(GENRES)),
+                        "formed_year": formed,
+                        "origin": str(rng.choice(CITY_NAMES)),
+                        "album": f"The {rng.choice(WORK_ADJECTIVES)} {rng.choice(WORK_NOUNS)}",
+                        "album_year": formed + int(rng.integers(1, 8)),
+                        "song": f"{rng.choice(SONG_ADJECTIVES)} {rng.choice(SONG_NOUNS)}",
+                        "singer": singer.name,
+                    },
+                )
+            )
+        return bands
+
+    # ---------------------------------------------------------------- facts
+    def facts_about(self, person: Entity) -> list[Fact]:
+        """All relation instances available for a person entity."""
+        a = person.attributes
+        return [
+            Fact("born_in", person, {"place": a["birth_city"], "year": str(a["birth_year"])}),
+            Fact("died_in", person, {"place": a["death_city"], "year": str(a["death_year"])}),
+            Fact("profession", person, {"profession": a["profession"]}),
+            Fact(
+                "created_work",
+                person,
+                {"work": a["work_title"], "year": str(a["work_year"]), "kind": a["work_kind"]},
+            ),
+            Fact("award", person, {"award": "the " + a["award"], "year": str(a["award_year"])}),
+            Fact("studied_at", person, {"university": a["university"]}),
+            Fact(
+                "discovered",
+                person,
+                {"thing": a["discovery"], "year": str(a["discovery_year"])},
+            ),
+        ]
+
+    def facts_about_team(self, team: Entity, opponent: Entity) -> list[Fact]:
+        a = team.attributes
+        return [
+            Fact(
+                "won_championship",
+                team,
+                {
+                    "winner": team.name,
+                    "loser": opponent.name,
+                    "event": "the " + a["event"],
+                    "year": str(a["title_year"]),
+                },
+            ),
+            Fact("home_city", team, {"city": a["city"], "sport": a["sport"]}),
+        ]
+
+    def facts_about_city(self, city: Entity) -> list[Fact]:
+        a = city.attributes
+        return [
+            Fact("located_in", city, {"country": a["country"]}),
+            Fact("founded_year", city, {"year": str(a["founded"])}),
+            Fact("population", city, {"population": f"{a['population']:,}"}),
+            Fact("river", city, {"river": "The " + a["river"]}),
+        ]
+
+    def facts_about_country(self, country: Entity) -> list[Fact]:
+        a = country.attributes
+        return [
+            Fact("capital_of", country, {"capital": a["capital"]}),
+            Fact(
+                "country_population",
+                country,
+                {"population": f"{a['population']:,}"},
+            ),
+        ]
+
+    def facts_about_band(self, band: Entity) -> list[Fact]:
+        a = band.attributes
+        return [
+            Fact(
+                "band_formed",
+                band,
+                {"year": str(a["formed_year"]), "place": a["origin"], "genre": a["genre"]},
+            ),
+            Fact(
+                "band_album",
+                band,
+                {"album": a["album"], "year": str(a["album_year"])},
+            ),
+            Fact("band_singer", band, {"singer": a["singer"]}),
+        ]
+
+    def facts_about_battle(self, battle: Entity) -> list[Fact]:
+        a = battle.attributes
+        return [
+            Fact("battle_year", battle, {"year": str(a["year"])}),
+            Fact("battle_winner", battle, {"winner": a["winner"]}),
+        ]

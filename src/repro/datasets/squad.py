@@ -1,0 +1,221 @@
+"""Synthetic SQuAD-style dataset generator.
+
+Passages are Wikipedia-style: an anchor entity introduced first, two to
+four fact sentences about it (with embellishments), plus distractor
+sentences about *other* entities of the same types — exactly the material
+that creates competing candidate spans for QA models and redundant
+subtrees for GCED to clip.
+
+SQuAD-2.0 passages additionally carry unanswerable questions: a question
+about an anchor relation whose fact sentence was *not* included.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.kb import Entity, Fact, KnowledgeBase
+from repro.datasets.templates import (
+    generic_noise,
+    question_slots,
+    realize_question,
+    realize_statement,
+)
+from repro.datasets.types import QADataset, QAExample
+from repro.utils.rng import rng_from
+
+__all__ = ["SquadGenerator"]
+
+
+def _locate(context: str, answer: str) -> tuple[str, int]:
+    """Find ``answer`` in ``context`` case-insensitively.
+
+    Returns the *context surface form* and its offset, so the stored gold
+    span always matches the passage verbatim.
+    """
+    pos = context.find(answer)
+    if pos < 0:
+        pos = context.lower().find(answer.lower())
+    if pos < 0:
+        raise ValueError(f"answer {answer!r} not found in generated context")
+    return context[pos : pos + len(answer)], pos
+
+
+class SquadGenerator:
+    """Generates SQuAD-1.1 or SQuAD-2.0 style datasets.
+
+    Args:
+        version: "1.1" or "2.0".
+        seed: master generation seed.
+        kb: shared knowledge base (a fresh one is built if omitted).
+        embellish: probability of decorating each fact sentence.
+    """
+
+    def __init__(
+        self,
+        version: str = "1.1",
+        seed: int = 0,
+        kb: KnowledgeBase | None = None,
+        embellish: float = 0.55,
+    ) -> None:
+        if version not in ("1.1", "2.0"):
+            raise ValueError("version must be '1.1' or '2.0'")
+        self.version = version
+        self.seed = seed
+        self.kb = kb or KnowledgeBase(seed=seed)
+        self.embellish = embellish
+
+    @property
+    def key(self) -> str:
+        return "squad11" if self.version == "1.1" else "squad20"
+
+    # ------------------------------------------------------------ passages
+    def _anchor_facts(
+        self, rng: np.random.Generator
+    ) -> tuple[Entity, list[Fact]]:
+        """Pick an anchor entity and its available facts."""
+        kind = rng.random()
+        if kind < 0.55:
+            person = self.kb.people[int(rng.integers(0, len(self.kb.people)))]
+            return person, self.kb.facts_about(person)
+        if kind < 0.75:
+            idx = int(rng.integers(0, len(self.kb.teams)))
+            team = self.kb.teams[idx]
+            opponent = self.kb.teams[(idx + 1 + int(rng.integers(0, len(self.kb.teams) - 1))) % len(self.kb.teams)]
+            return team, self.kb.facts_about_team(team, opponent)
+        if kind < 0.8:
+            city = self.kb.cities[int(rng.integers(0, len(self.kb.cities)))]
+            return city, self.kb.facts_about_city(city)
+        if kind < 0.88:
+            band = self.kb.bands[int(rng.integers(0, len(self.kb.bands)))]
+            return band, self.kb.facts_about_band(band)
+        if kind < 0.94:
+            country = self.kb.countries[int(rng.integers(0, len(self.kb.countries)))]
+            return country, self.kb.facts_about_country(country)
+        battle = self.kb.battles[int(rng.integers(0, len(self.kb.battles)))]
+        return battle, self.kb.facts_about_battle(battle)
+
+    def _distractor_sentence(
+        self, anchor: Entity, rng: np.random.Generator
+    ) -> str:
+        """A fact sentence about a different entity (same-type distractors)."""
+        if anchor.etype == "person" or rng.random() < 0.4:
+            other = self.kb.people[int(rng.integers(0, len(self.kb.people)))]
+            if other.name == anchor.name:
+                other = self.kb.people[
+                    (int(rng.integers(0, len(self.kb.people))) + 1)
+                    % len(self.kb.people)
+                ]
+            facts = self.kb.facts_about(other)
+        elif anchor.etype == "team":
+            idx = int(rng.integers(0, len(self.kb.teams)))
+            other = self.kb.teams[idx]
+            opponent = self.kb.teams[(idx + 1) % len(self.kb.teams)]
+            facts = self.kb.facts_about_team(other, opponent)
+        elif anchor.etype == "city":
+            other = self.kb.cities[int(rng.integers(0, len(self.kb.cities)))]
+            facts = self.kb.facts_about_city(other)
+        else:
+            other = self.kb.battles[int(rng.integers(0, len(self.kb.battles)))]
+            facts = self.kb.facts_about_battle(other)
+        fact = facts[int(rng.integers(0, len(facts)))]
+        return realize_statement(fact, rng, embellish=self.embellish)
+
+    def _build_passage(
+        self, rng: np.random.Generator
+    ) -> tuple[str, list[Fact], list[Fact]]:
+        """Build one passage; returns (context, included facts, held-out facts)."""
+        anchor, facts = self._anchor_facts(rng)
+        order = list(rng.permutation(len(facts)))
+        n_included = int(rng.integers(2, min(4, len(facts)) + 1))
+        included = [facts[i] for i in order[:n_included]]
+        held_out = [facts[i] for i in order[n_included:]]
+
+        sentences = [
+            realize_statement(fact, rng, embellish=self.embellish)
+            for fact in included
+        ]
+        n_distractors = int(rng.integers(1, 3))
+        for _ in range(n_distractors):
+            sentences.append(self._distractor_sentence(anchor, rng))
+        if rng.random() < 0.5:
+            sentences.append(generic_noise(rng))
+        # Keep the first anchor sentence first (introduces the entity),
+        # lightly shuffle the rest.
+        head, tail = sentences[0], sentences[1:]
+        rng.shuffle(tail)
+        context = " ".join([head] + tail)
+        return context, included, held_out
+
+    # ------------------------------------------------------------ examples
+    def _examples_for_passage(
+        self,
+        context: str,
+        included: list[Fact],
+        held_out: list[Fact],
+        rng: np.random.Generator,
+        passage_id: str,
+    ) -> list[QAExample]:
+        examples: list[QAExample] = []
+        n_questions = int(rng.integers(1, 4))
+        askable = [
+            (fact, slot)
+            for fact in included
+            for slot in question_slots(fact.relation)
+        ]
+        order = list(rng.permutation(len(askable)))
+        for qi in order[:n_questions]:
+            fact, slot = askable[qi]
+            question, answer = realize_question(fact, slot, rng)
+            surface, start = _locate(context, answer)
+            examples.append(
+                QAExample(
+                    example_id=f"{passage_id}-q{len(examples)}",
+                    question=question,
+                    context=context,
+                    answers=(surface,),
+                    answer_start=start,
+                    relation=f"{fact.relation}:{slot}",
+                )
+            )
+        if self.version == "2.0" and held_out and rng.random() < 0.45:
+            fact = held_out[int(rng.integers(0, len(held_out)))]
+            slots = question_slots(fact.relation)
+            if slots:
+                slot = slots[int(rng.integers(0, len(slots)))]
+                question, _answer = realize_question(fact, slot, rng)
+                examples.append(
+                    QAExample(
+                        example_id=f"{passage_id}-imp",
+                        question=question,
+                        context=context,
+                        answers=(),
+                        is_impossible=True,
+                        relation=f"{fact.relation}:{slot}",
+                    )
+                )
+        return examples
+
+    def generate(self, n_train: int = 120, n_dev: int = 60) -> QADataset:
+        """Generate a dataset with approximately the requested split sizes.
+
+        Sizes count *examples*; passages carry 1-4 examples each, so the
+        generator keeps building passages until both splits are filled.
+        """
+        dataset = QADataset(key=self.key)
+        rng = rng_from(self.seed, f"squad-{self.version}")
+        passage_idx = 0
+        while len(dataset.train) < n_train or len(dataset.dev) < n_dev:
+            passage_id = f"{self.key}-p{passage_idx}"
+            context, included, held_out = self._build_passage(rng)
+            examples = self._examples_for_passage(
+                context, included, held_out, rng, passage_id
+            )
+            target = (
+                dataset.train
+                if len(dataset.train) < n_train
+                else dataset.dev
+            )
+            target.extend(examples)
+            passage_idx += 1
+        return dataset

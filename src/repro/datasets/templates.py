@@ -1,0 +1,300 @@
+"""Statement and question templates realizing KB facts into text.
+
+Every statement template embeds the fact's literal answer slots verbatim,
+so generated contexts always contain the exact gold span.  Embellishments
+(leading adverbials, appositives, trailing clauses) add the redundant
+material the Grow-and-Clip algorithm is designed to remove.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.kb import Fact
+
+__all__ = [
+    "realize_statement",
+    "realize_question",
+    "question_slots",
+    "intro_sentence",
+    "generic_noise",
+    "web_noise",
+]
+
+# relation -> list of statement templates.  {name} is the subject.
+_STATEMENTS: dict[str, tuple[str, ...]] = {
+    "born_in": (
+        "{name} was born in {place} in {year}.",
+        "{name} was born in {year} in the city of {place}.",
+    ),
+    "died_in": (
+        "{name} died in {place} in {year}.",
+        "{name} passed away in {year} in {place}.",
+    ),
+    "capital_of": (
+        "The capital of {name} is {capital}.",
+        "{capital} serves as the capital of {name}.",
+    ),
+    "country_population": (
+        "{name} has a population of about {population} people.",
+        "Roughly {population} people live in {name}.",
+    ),
+    "profession": (
+        "{name} was a celebrated {profession}.",
+        "{name} worked for many years as a {profession}.",
+    ),
+    "created_work": (
+        "{name} created the {kind} {work} in {year}.",
+        "{name} completed the famous {kind} {work} in {year}.",
+    ),
+    "award": (
+        "{name} received {award} in {year}.",
+        "{name} was honored with {award} in {year}.",
+    ),
+    "studied_at": (
+        "{name} studied at the {university}.",
+        "{name} graduated from the {university}.",
+    ),
+    "discovered": (
+        "{name} discovered {thing} in {year}.",
+        "{name} identified {thing} in {year} after a long expedition.",
+    ),
+    "won_championship": (
+        "The {winner} defeated the {loser} to win {event} in {year}.",
+        "The {winner} beat the {loser} and captured {event} in {year}.",
+    ),
+    "home_city": (
+        "The {name} are a {sport} team based in {city}.",
+        "The {name} play {sport} in their home city of {city}.",
+    ),
+    "located_in": (
+        "{name} is a city in {country}.",
+        "{name} lies in the western region of {country}.",
+    ),
+    "founded_year": (
+        "{name} was founded in {year}.",
+        "The city of {name} was established in {year}.",
+    ),
+    "population": (
+        "{name} has a population of {population} inhabitants.",
+        "Around {population} people live in {name}.",
+    ),
+    "river": (
+        "{river} flows through the center of {name}.",
+        "{river} runs along the old quarter of {name}.",
+    ),
+    "band_formed": (
+        "{name} were a {genre} band formed in {place} in {year}.",
+        "{name} formed in {place} in {year} and played {genre} music.",
+    ),
+    "band_album": (
+        "{name} released the album {album} in {year}.",
+        "{name} recorded the album {album} in {year}.",
+    ),
+    "band_singer": (
+        "{singer} sang lead vocals for {name}.",
+        "{name} featured {singer} as the lead singer.",
+    ),
+    "battle_year": (
+        "The {name} was fought in {year}.",
+        "In {year}, the {name} took place near the town walls.",
+    ),
+    "battle_winner": (
+        "{winner} won the {name} after a long campaign.",
+        "The {name} ended with a decisive victory for {winner}.",
+    ),
+}
+
+# relation -> slot -> (question template, uses subject name).
+_QUESTIONS: dict[str, dict[str, tuple[str, ...]]] = {
+    "born_in": {
+        "place": ("Where was {name} born?", "In which city was {name} born?"),
+        "year": ("When was {name} born?", "In which year was {name} born?"),
+    },
+    "died_in": {
+        "place": ("Where did {name} die?",),
+        "year": ("When did {name} die?",),
+    },
+    "capital_of": {
+        "capital": ("What is the capital of {name}?",),
+    },
+    "country_population": {
+        "population": ("What is the population of {name}?",),
+    },
+    "profession": {
+        "profession": (
+            "What was the profession of {name}?",
+            "What did {name} work as?",
+        ),
+    },
+    "created_work": {
+        "work": ("Which {kind} did {name} create?",),
+        "year": ("When did {name} create {work}?",),
+    },
+    "award": {
+        "award": ("Which award did {name} receive?",),
+        "year": ("When did {name} receive {award}?",),
+    },
+    "studied_at": {
+        "university": ("Where did {name} study?",),
+    },
+    "discovered": {
+        "thing": ("What did {name} discover?",),
+        "year": ("When did {name} discover {thing}?",),
+    },
+    "won_championship": {
+        "winner": ("Which team won {event} in {year}?",),
+        "loser": ("Which team did the {winner} defeat to win {event}?",),
+        "year": ("When did the {winner} win {event}?",),
+    },
+    "home_city": {
+        "city": ("Where are the {name} based?",),
+    },
+    "located_in": {
+        "country": ("In which country is {name}?",),
+    },
+    "founded_year": {
+        "year": ("When was {name} founded?",),
+    },
+    "population": {
+        "population": ("What is the population of {name}?",),
+    },
+    "river": {
+        "river": ("Which river flows through {name}?",),
+    },
+    "band_formed": {
+        "year": ("When were {name} formed?",),
+        "place": ("Where were {name} formed?",),
+        "genre": ("What kind of music did {name} play?",),
+    },
+    "band_album": {
+        "album": ("Which album did {name} release?",),
+        "year": ("When did {name} release {album}?",),
+    },
+    "band_singer": {
+        "singer": ("Who sang lead vocals for {name}?",),
+    },
+    "battle_year": {
+        "year": ("When was the {name} fought?",),
+    },
+    "battle_winner": {
+        "winner": ("Who won the {name}?",),
+    },
+}
+
+_LEADING = (
+    "In the early years, ",
+    "According to the chronicle, ",
+    "As the records show, ",
+    "During that remarkable period, ",
+    "After years of preparation, ",
+)
+_TRAILING = (
+    " which attracted wide attention",
+    " after a long and difficult struggle",
+    " to the surprise of many observers",
+    " despite the doubts of the critics",
+    " following months of careful work",
+)
+_APPOSITIVE_PERSON = (
+    ", a figure admired by many,",
+    ", whose reputation grew steadily,",
+    ", known throughout the region,",
+)
+
+_GENERIC_NOISE = (
+    "The local archive preserves many documents from that period.",
+    "Historians continue to debate the details of the era.",
+    "Several letters from those years survive in private collections.",
+    "The surrounding countryside was known for its quiet villages.",
+    "Visitors today can still see traces of that history.",
+    "Many stories about those days were passed down through families.",
+)
+_WEB_NOISE = (
+    "Read the full story and share your thoughts in the comments.",
+    "Sign up for the newsletter to get weekly history highlights.",
+    "This article was last updated by the editorial team.",
+    "Related topics and further reading are listed below.",
+    "Photo credits appear at the end of the page.",
+)
+
+
+def _fields(fact: Fact) -> dict[str, str]:
+    fields = {"name": fact.subject.name}
+    fields.update({k: str(v) for k, v in fact.answer_of.items()})
+    return fields
+
+
+def question_slots(relation: str) -> list[str]:
+    """Askable slots of a relation."""
+    return list(_QUESTIONS.get(relation, {}))
+
+
+def realize_statement(
+    fact: Fact,
+    rng: np.random.Generator,
+    embellish: float = 0.5,
+) -> str:
+    """Render a fact as a declarative sentence, optionally embellished.
+
+    Embellishment never touches the answer-slot substrings, so the gold
+    span always survives verbatim.
+    """
+    templates = _STATEMENTS[fact.relation]
+    sentence = templates[int(rng.integers(0, len(templates)))].format(
+        **_fields(fact)
+    )
+    if rng.random() < embellish:
+        kind = rng.random()
+        if kind < 0.4:
+            lead = _LEADING[int(rng.integers(0, len(_LEADING)))]
+            if sentence.startswith("The "):
+                # Only the article loses its capital; proper nouns keep it.
+                sentence = lead + "the " + sentence[4:]
+            else:
+                sentence = lead + sentence
+        elif kind < 0.7 and fact.subject.etype == "person" and sentence.startswith(
+            fact.subject.name + " "
+        ):
+            appositive = _APPOSITIVE_PERSON[
+                int(rng.integers(0, len(_APPOSITIVE_PERSON)))
+            ]
+            sentence = (
+                fact.subject.name
+                + appositive
+                + sentence[len(fact.subject.name) :]
+            )
+        else:
+            trailing = _TRAILING[int(rng.integers(0, len(_TRAILING)))]
+            sentence = sentence[:-1] + trailing + "."
+    return sentence
+
+
+def realize_question(
+    fact: Fact, slot: str, rng: np.random.Generator
+) -> tuple[str, str]:
+    """Render a question about ``slot`` of ``fact``; returns (question, answer)."""
+    templates = _QUESTIONS[fact.relation][slot]
+    question = templates[int(rng.integers(0, len(templates)))].format(
+        **_fields(fact)
+    )
+    answer = str(fact.answer_of[slot])
+    # Strip a leading article from answers like "the Laurel Medal": SQuAD
+    # gold spans are usually article-free, and normalization drops articles
+    # anyway, but the span must match the context surface exactly.
+    return question, answer
+
+
+def intro_sentence(fact: Fact, rng: np.random.Generator) -> str:
+    """An anchor-introducing first sentence (profession/home facts work best)."""
+    return realize_statement(fact, rng, embellish=0.2)
+
+
+def generic_noise(rng: np.random.Generator) -> str:
+    """A content-free filler sentence (Wikipedia-style)."""
+    return _GENERIC_NOISE[int(rng.integers(0, len(_GENERIC_NOISE)))]
+
+
+def web_noise(rng: np.random.Generator) -> str:
+    """A web-boilerplate filler sentence (TriviaQA-Web style)."""
+    return _WEB_NOISE[int(rng.integers(0, len(_WEB_NOISE)))]

@@ -1,0 +1,92 @@
+"""Dataset containers mirroring the SQuAD JSON schema."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["QAExample", "QADataset"]
+
+
+@dataclass(frozen=True)
+class QAExample:
+    """One question-answer-context triple.
+
+    Attributes:
+        example_id: stable unique id (seed-derived, reproducible).
+        question: natural-language question.
+        context: the passage containing (for answerable questions) the
+            answer span.
+        answers: acceptable gold answer strings (empty for unanswerable).
+        answer_start: character offset of the first gold answer in the
+            context, or -1 for unanswerable questions.
+        is_impossible: SQuAD-2.0 unanswerable flag.
+        relation: the KB relation the question asks about (generator
+            metadata, useful for error analysis).
+    """
+
+    example_id: str
+    question: str
+    context: str
+    answers: tuple[str, ...]
+    answer_start: int = -1
+    is_impossible: bool = False
+    relation: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.is_impossible:
+            if not self.answers:
+                raise ValueError(f"{self.example_id}: answerable without answers")
+            if self.answer_start < 0:
+                raise ValueError(f"{self.example_id}: missing answer_start")
+            gold = self.answers[0]
+            found = self.context[self.answer_start : self.answer_start + len(gold)]
+            if found != gold:
+                raise ValueError(
+                    f"{self.example_id}: answer_start mismatch "
+                    f"({found!r} != {gold!r})"
+                )
+
+    @property
+    def primary_answer(self) -> str:
+        """The canonical gold answer ("" for unanswerable questions)."""
+        return self.answers[0] if self.answers else ""
+
+
+@dataclass
+class QADataset:
+    """A named dataset with train/dev splits.
+
+    ``key`` matches the registry dataset keys: "squad11", "squad20",
+    "triviaqa-web", "triviaqa-wiki".
+    """
+
+    key: str
+    train: list[QAExample] = field(default_factory=list)
+    dev: list[QAExample] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.train) + len(self.dev)
+
+    def contexts(self) -> Iterator[str]:
+        """All unique contexts (training corpus for the QA artifacts)."""
+        seen: set[str] = set()
+        for example in self.train + self.dev:
+            if example.context not in seen:
+                seen.add(example.context)
+                yield example.context
+
+    def answerable_dev(self) -> list[QAExample]:
+        """Dev examples with at least one gold answer."""
+        return [e for e in self.dev if not e.is_impossible]
+
+    def calibration_triples(
+        self, limit: int | None = None
+    ) -> list[tuple[str, str, str]]:
+        """(question, context, gold) triples for baseline calibration."""
+        triples = [
+            (e.question, e.context, e.primary_answer)
+            for e in self.train
+            if not e.is_impossible
+        ]
+        return triples[:limit] if limit else triples

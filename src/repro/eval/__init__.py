@@ -1,0 +1,29 @@
+"""Experiment harness: rater simulation, agreement, and table runners."""
+
+from repro.eval.agreement import krippendorff_alpha
+from repro.eval.human import RaterPanel, RatingRecord, PanelResult
+from repro.eval.context import ExperimentContext
+from repro.eval.experiments import (
+    human_evaluation_table,
+    qa_augmentation_table,
+    ablation_table,
+    degradation_curves,
+    reduction_statistics,
+    agreement_table,
+)
+from repro.eval.tables import format_table
+
+__all__ = [
+    "krippendorff_alpha",
+    "RaterPanel",
+    "RatingRecord",
+    "PanelResult",
+    "ExperimentContext",
+    "human_evaluation_table",
+    "qa_augmentation_table",
+    "ablation_table",
+    "degradation_curves",
+    "reduction_statistics",
+    "agreement_table",
+    "format_table",
+]

@@ -1,0 +1,169 @@
+"""Shared experiment state: dataset + trained artifacts + models + GCED.
+
+Building a context is the expensive part of every experiment (dataset
+generation, corpus fitting, baseline calibration), so one context is built
+per dataset key and shared by all table/figure runners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import GCEDConfig
+from repro.core.pipeline import GCED, DistillationResult
+from repro.datasets.loader import load_dataset
+from repro.datasets.types import QADataset, QAExample
+from repro.eval.human import RatingRecord
+from repro.lexicon.stopwords import is_insignificant
+from repro.qa.registry import (
+    SQUAD_BASELINES,
+    TRIVIAQA_BASELINES,
+    SimulatedBaseline,
+    build_baseline,
+)
+from repro.qa.training import QATrainer, TrainedArtifacts
+from repro.text.tokenizer import word_tokens
+
+__all__ = ["ExperimentContext"]
+
+
+@dataclass
+class ExperimentContext:
+    """Everything an experiment needs for one dataset.
+
+    Use :meth:`build` — the constructor fields are wired there.
+    """
+
+    dataset: QADataset
+    artifacts: TrainedArtifacts
+    gced: GCED
+    baselines: dict[str, SimulatedBaseline]
+    seed: int
+
+    _gold_evidence_cache: dict[str, DistillationResult] = None  # type: ignore[assignment]
+
+    @classmethod
+    def build(
+        cls,
+        dataset_key: str,
+        seed: int = 0,
+        n_train: int = 100,
+        n_dev: int = 50,
+        config: GCEDConfig | None = None,
+        calibration_limit: int = 60,
+    ) -> "ExperimentContext":
+        """Construct the full experiment state for ``dataset_key``."""
+        dataset = load_dataset(dataset_key, seed=seed, n_train=n_train, n_dev=n_dev)
+        artifacts = QATrainer(seed=seed).train(dataset.contexts())
+        gced = GCED(
+            qa_model=artifacts.reader, artifacts=artifacts, config=config
+        )
+        specs = (
+            SQUAD_BASELINES
+            if dataset_key.startswith("squad")
+            else TRIVIAQA_BASELINES
+        )
+        triples = dataset.calibration_triples(limit=calibration_limit)
+        baselines = {
+            spec.name: build_baseline(
+                spec.name, dataset_key, artifacts.reader, triples, seed=seed
+            )
+            for spec in specs
+        }
+        ctx = cls(
+            dataset=dataset,
+            artifacts=artifacts,
+            gced=gced,
+            baselines=baselines,
+            seed=seed,
+        )
+        ctx._gold_evidence_cache = {}
+        return ctx
+
+    # ------------------------------------------------------------ evidence
+    def gold_evidence(self, example: QAExample) -> DistillationResult:
+        """GCED evidence distilled from the ground-truth answer (cached)."""
+        cached = self._gold_evidence_cache.get(example.example_id)
+        if cached is None:
+            cached = self.gced.distill(
+                example.question, example.primary_answer, example.context
+            )
+            self._gold_evidence_cache[example.example_id] = cached
+        return cached
+
+    def predicted_evidence(
+        self, example: QAExample, model: SimulatedBaseline
+    ) -> tuple[DistillationResult, str]:
+        """Evidence distilled from ``model``'s predicted answer.
+
+        Returns (distillation, predicted answer).  If the model predicts an
+        empty answer (abstention), distillation is skipped and an empty
+        result placeholder is produced by distilling from the gold answer's
+        question with no basis — callers should filter on ``predicted``.
+        """
+        prediction = model.predict_example(
+            example.question,
+            example.context,
+            example.primary_answer,
+            example.example_id,
+        )
+        predicted = prediction.text
+        if not predicted.strip():
+            return self.gold_evidence(example), ""
+        result = self.gced.distill(example.question, predicted, example.context)
+        return result, predicted
+
+    # ------------------------------------------------------------- ratings
+    def expected_evidence_length(self, question: str, answer: str) -> int:
+        """The Table I rubric's "expected evidence" length estimate.
+
+        An ideal evidence restates the question's significant content with
+        the answer plus minimal syntactic glue.
+        """
+        significant = [
+            w for w in word_tokens(question) if not is_insignificant(w)
+        ]
+        return max(4, len(word_tokens(answer)) + len(significant) + 3)
+
+    def question_coverage(self, question: str, evidence: str) -> float:
+        """Fraction of significant question words matched in the evidence.
+
+        Matching reuses QWS (surface, stem, or lexicon relative), which is
+        exactly what a human checks when judging whether an evidence is
+        "related to the QA pair" (Table I rubric).
+        """
+        from repro.text.tokenizer import tokenize
+
+        qws = self.gced.qws
+        significant = qws.significant_question_words(question)
+        if not significant:
+            return 1.0
+        result = qws.select(question, tokenize(evidence))
+        return len(result.matches) / len(significant)
+
+    def rating_record(
+        self, result: DistillationResult, question: str, answer: str
+    ) -> RatingRecord:
+        """Machine-score inputs for the simulated rater panel."""
+        expected = self.expected_evidence_length(question, answer)
+        length = max(1, len(word_tokens(result.evidence)))
+        return RatingRecord(
+            informativeness=result.scores.informativeness,
+            length_ratio=length / expected,
+            readability=result.scores.readability,
+            question_coverage=self.question_coverage(question, result.evidence),
+        )
+
+    def rating_record_for_text(
+        self, evidence: str, question: str, answer: str
+    ) -> RatingRecord:
+        """Rating record for a baseline evidence (plain text, not GCED)."""
+        scores = self.gced.scorer.score(question, answer, evidence)
+        expected = self.expected_evidence_length(question, answer)
+        length = max(1, len(word_tokens(evidence)))
+        return RatingRecord(
+            informativeness=scores.informativeness,
+            length_ratio=length / expected,
+            readability=scores.readability,
+            question_coverage=self.question_coverage(question, evidence),
+        )

@@ -1,0 +1,67 @@
+"""ASCII line charts for benchmark output (Fig. 7 rendering).
+
+The paper's Fig. 7 plots EM/F1 against the predicted-answer substitution
+fraction δ; this renders the same curves as a terminal-friendly chart so
+benchmark logs carry the figure, not just its table.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ascii_chart", "degradation_chart"]
+
+
+def ascii_chart(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Render named (x, y) series as an ASCII chart.
+
+    Each series is drawn with its own glyph (a, b, c, ...); axes are
+    annotated with the data ranges.
+    """
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        return title + "\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    glyphs = "abcdefghijklmnopqrstuvwxyz"
+    legend = []
+    for i, (name, pts) in enumerate(series.items()):
+        glyph = glyphs[i % len(glyphs)]
+        legend.append(f"{glyph}={name}")
+        for x, y in pts:
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = height - 1 - int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            current = grid[row][col]
+            grid[row][col] = "*" if current not in (" ", glyph) else glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:7.1f} +" + "-" * width)
+    for row in grid:
+        lines.append("        |" + "".join(row))
+    lines.append(f"{y_lo:7.1f} +" + "-" * width)
+    lines.append(f"         {x_lo:<8.2f}" + " " * max(0, width - 16) + f"{x_hi:>8.2f}")
+    lines.append("         " + "  ".join(legend))
+    return "\n".join(lines)
+
+
+def degradation_chart(rows: list[dict], metric: str = "EM", title: str = "") -> str:
+    """Render ``degradation_curves`` rows (model, delta, EM/F1) as a chart."""
+    series: dict[str, list[tuple[float, float]]] = {}
+    for row in rows:
+        series.setdefault(row["model"], []).append((row["delta"], row[metric]))
+    for pts in series.values():
+        pts.sort()
+    return ascii_chart(series, title=title or f"{metric} vs delta")

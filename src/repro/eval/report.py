@@ -1,0 +1,104 @@
+"""One-shot experiment report builder.
+
+Runs the full evaluation suite for a dataset and renders a markdown report
+(the auto-generated counterpart of EXPERIMENTS.md): rater agreement, human
+evaluation, QA augmentation, degradation, word reduction, and error triage.
+Exposed on the CLI as ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.eval.context import ExperimentContext
+from repro.eval.error_analysis import analyze_errors
+from repro.eval.experiments import (
+    agreement_table,
+    degradation_curves,
+    human_evaluation_table,
+    qa_augmentation_table,
+    reduction_statistics,
+)
+from repro.eval.figures import degradation_chart
+from repro.eval.tables import format_table
+
+__all__ = ["build_report", "write_report"]
+
+
+def _section(title: str, body: str) -> str:
+    return f"## {title}\n\n```text\n{body}\n```\n"
+
+
+def build_report(
+    ctx: ExperimentContext,
+    n_examples: int = 24,
+    degradation_models: tuple[str, ...] | None = None,
+) -> str:
+    """Render the full markdown report for one experiment context."""
+    key = ctx.dataset.key
+    parts = [f"# GCED evaluation report — {key}\n"]
+
+    parts.append(
+        _section(
+            "Rater agreement (Table II shape)",
+            format_table(agreement_table(ctx, n_examples=n_examples)),
+        )
+    )
+    parts.append(
+        _section(
+            "Human evaluation (Table IV/V shape)",
+            format_table(human_evaluation_table(ctx, n_examples=max(8, n_examples // 2))),
+        )
+    )
+    qa_rows = qa_augmentation_table(ctx, n_examples=n_examples)
+    gain = float(np.mean([r["EM+GCED"] - r["EM"] for r in qa_rows]))
+    parts.append(
+        _section(
+            f"QA augmentation (Table VI/VII shape) — mean EM gain {gain:+.2f}",
+            format_table(qa_rows),
+        )
+    )
+    models = degradation_models or tuple(list(ctx.baselines)[:3])
+    degradation_rows = degradation_curves(
+        ctx, n_examples=n_examples, model_names=models
+    )
+    parts.append(
+        _section(
+            "Degradation with predicted answers (Fig. 7 shape)",
+            format_table(degradation_rows)
+            + "\n\n"
+            + degradation_chart(degradation_rows),
+        )
+    )
+    stats = reduction_statistics(ctx, n_examples=n_examples)
+    parts.append(
+        _section(
+            "Word reduction (Sec. IV-D1)",
+            f"{100 * stats['mean_reduction']:.1f}% of context words removed "
+            f"({stats['mean_context_words']:.0f} -> "
+            f"{stats['mean_evidence_words']:.0f} per context, "
+            f"n={stats['n']})",
+        )
+    )
+    diagnoses = analyze_errors(ctx, n_examples=n_examples)
+    counts: dict[str, int] = {}
+    for diagnosis in diagnoses:
+        counts[diagnosis.category] = counts.get(diagnosis.category, 0) + 1
+    triage = "\n".join(
+        f"{category:<22} {count}" for category, count in sorted(counts.items())
+    )
+    parts.append(_section("Error triage (Sec. IV-G)", triage))
+    return "\n".join(parts)
+
+
+def write_report(
+    ctx: ExperimentContext,
+    path: str | pathlib.Path,
+    n_examples: int = 24,
+) -> pathlib.Path:
+    """Build and save the report; returns the written path."""
+    path = pathlib.Path(path)
+    path.write_text(build_report(ctx, n_examples=n_examples))
+    return path

@@ -1,0 +1,13 @@
+"""Statistical tests for the experiment claims.
+
+The paper states there is "no significant difference between human
+evaluation for predicted-answer-based evidences and ground-truth-based
+evidences (the p-value is > 0.5)"; ``paired_pvalue`` reproduces that
+check.  Implementations live in :mod:`repro.utils.statistics` (imported
+here for the eval-facing API) so lower layers can use them without
+importing the eval package.
+"""
+
+from repro.utils.statistics import mean_confidence_interval, paired_pvalue
+
+__all__ = ["paired_pvalue", "mean_confidence_interval"]

@@ -1,0 +1,87 @@
+"""Configuration-grid sweeps over the GCED pipeline.
+
+Generic machinery behind the design-ablation benchmarks: evaluate any
+grid of :class:`GCEDConfig` variants on a fixed example set and collect
+per-variant evidence statistics — length, I/C/R/H means, reduction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.config import GCEDConfig
+from repro.core.pipeline import GCED
+from repro.datasets.types import QAExample
+from repro.qa.training import TrainedArtifacts
+from repro.text.tokenizer import word_tokens
+
+__all__ = ["sweep_configs", "config_grid"]
+
+
+def config_grid(base: GCEDConfig | None = None, **axes: Sequence) -> list[GCEDConfig]:
+    """Cartesian product of config overrides.
+
+    >>> grid = config_grid(clip_times=[1, 2], max_answer_sentences=[2, 3])
+    >>> len(grid)
+    4
+    """
+    base = base or GCEDConfig()
+    configs = [base]
+    for field_name, values in axes.items():
+        if field_name not in {f.name for f in dataclasses.fields(GCEDConfig)}:
+            raise KeyError(f"GCEDConfig has no field {field_name!r}")
+        configs = [
+            dataclasses.replace(config, **{field_name: value})
+            for config in configs
+            for value in values
+        ]
+    return configs
+
+
+def _label(config: GCEDConfig, axes: Iterable[str]) -> str:
+    return ", ".join(f"{name}={getattr(config, name)}" for name in axes)
+
+
+def sweep_configs(
+    artifacts: TrainedArtifacts,
+    examples: Sequence[QAExample],
+    configs: Sequence[GCEDConfig],
+    label_fields: Sequence[str] = ("clip_times",),
+) -> list[dict]:
+    """Evaluate each config on the examples; one stats row per config."""
+    if not examples:
+        raise ValueError("sweep needs at least one example")
+    rows: list[dict] = []
+    for config in configs:
+        gced = GCED(
+            qa_model=artifacts.reader, artifacts=artifacts, config=config
+        )
+        lengths, informativeness, readability, hybrid, reduction = (
+            [], [], [], [], []
+        )
+        for example in examples:
+            result = gced.distill(
+                example.question, example.primary_answer, example.context
+            )
+            if not result.evidence:
+                continue
+            lengths.append(len(word_tokens(result.evidence)))
+            informativeness.append(result.scores.informativeness)
+            readability.append(result.scores.readability)
+            hybrid.append(result.scores.hybrid)
+            reduction.append(result.reduction)
+        rows.append(
+            {
+                "config": _label(config, label_fields),
+                "mean_words": float(np.mean(lengths)) if lengths else 0.0,
+                "I": float(np.mean(informativeness)) if informativeness else 0.0,
+                "R": float(np.mean(readability)) if readability else 0.0,
+                "H": float(np.mean(hybrid)) if hybrid else 0.0,
+                "reduction": float(np.mean(reduction)) if reduction else 0.0,
+                "n": len(lengths),
+            }
+        )
+    return rows

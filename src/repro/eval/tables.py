@@ -1,0 +1,38 @@
+"""Plain-text table formatting for benchmark output."""
+
+from __future__ import annotations
+
+__all__ = ["format_table"]
+
+
+def _render(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(rows: list[dict], columns: list[str] | None = None, title: str = "") -> str:
+    """Render a list of dict rows as an aligned text table.
+
+    >>> print(format_table([{"a": 1, "b": 2.5}], title="T"))
+    T
+    a  b
+    -  ----
+    1  2.50
+    """
+    if not rows:
+        return title + "\n(no rows)" if title else "(no rows)"
+    columns = columns or list(rows[0])
+    cells = [[_render(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(col.ljust(w) for col, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

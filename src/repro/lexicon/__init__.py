@@ -1,0 +1,23 @@
+"""Lexical resources: mini-WordNet and function-word lists for QWS."""
+
+from repro.lexicon.wordnet import MiniWordNet, default_wordnet
+from repro.lexicon.knowledge import KnowledgeGraph, graph_from_kb
+from repro.lexicon.stopwords import (
+    QUESTION_WORDS,
+    AUXILIARY_VERBS,
+    FUNCTION_WORDS,
+    INSIGNIFICANT_WORDS,
+    is_insignificant,
+)
+
+__all__ = [
+    "MiniWordNet",
+    "default_wordnet",
+    "KnowledgeGraph",
+    "graph_from_kb",
+    "QUESTION_WORDS",
+    "AUXILIARY_VERBS",
+    "FUNCTION_WORDS",
+    "INSIGNIFICANT_WORDS",
+    "is_insignificant",
+]

@@ -1,0 +1,170 @@
+"""Entity knowledge graph — the paper's "world knowledge" future work.
+
+Sec. IV-G: GCED fails on the Solomon/Bathsheba example because it "doesn't
+have knowledge to know the relationship among child, David, and wife".
+This module adds that capability: a typed entity-relation graph
+(networkx) that QWS can consult, so question entities expand not only
+through the lexical database but also through *related entities* — the
+bridge words a human uses when judging relevance.
+
+The graph can be built from user triples or derived automatically from a
+synthetic :class:`repro.datasets.kb.KnowledgeBase`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import networkx as nx
+
+from repro.lexicon.stopwords import is_insignificant
+
+__all__ = ["KnowledgeGraph", "graph_from_kb"]
+
+
+def _content_words(entity: str) -> list[str]:
+    """Words of a multi-word entity worth indexing (no articles etc.)."""
+    return [
+        w for w in entity.split() if len(w) > 2 and not is_insignificant(w)
+    ]
+
+
+class KnowledgeGraph:
+    """Typed entity-relation graph with neighbourhood queries.
+
+    Nodes are lowercased entity surface strings; edges carry a ``relation``
+    attribute.  Multi-word entities are also indexed by their individual
+    content words so that token-level lookups ("Bathsheba" inside a longer
+    mention) still resolve.
+    """
+
+    def __init__(self) -> None:
+        self._graph = nx.Graph()
+        self._word_index: dict[str, set[str]] = {}
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    @property
+    def n_edges(self) -> int:
+        return self._graph.number_of_edges()
+
+    # ------------------------------------------------------------- building
+    def add_entity(self, name: str) -> str:
+        """Register an entity; returns its canonical (lowercased) node id."""
+        node = name.lower().strip()
+        if not node:
+            raise ValueError("entity name must be non-empty")
+        if node not in self._graph:
+            self._graph.add_node(node)
+            for word in _content_words(node):
+                self._word_index.setdefault(word, set()).add(node)
+        return node
+
+    def add_relation(self, subject: str, relation: str, obj: str) -> None:
+        """Add a typed edge (undirected: relatedness is symmetric for QWS)."""
+        s = self.add_entity(subject)
+        o = self.add_entity(obj)
+        self._graph.add_edge(s, o, relation=relation)
+
+    def add_triples(self, triples: Iterable[tuple[str, str, str]]) -> None:
+        for subject, relation, obj in triples:
+            self.add_relation(subject, relation, obj)
+
+    # -------------------------------------------------------------- queries
+    def resolve(self, word: str) -> set[str]:
+        """Entity nodes matching ``word`` (exact node or word-index hit)."""
+        word = word.lower().strip()
+        nodes: set[str] = set()
+        if word in self._graph:
+            nodes.add(word)
+        nodes |= self._word_index.get(word, set())
+        return nodes
+
+    def __contains__(self, word: str) -> bool:
+        return bool(self.resolve(word))
+
+    def neighbors(self, word: str, hops: int = 1) -> set[str]:
+        """Entities within ``hops`` of any entity matched by ``word``."""
+        if hops < 1:
+            raise ValueError("hops must be at least 1")
+        frontier = self.resolve(word)
+        seen = set(frontier)
+        for _ in range(hops):
+            next_frontier: set[str] = set()
+            for node in frontier:
+                next_frontier.update(self._graph.neighbors(node))
+            next_frontier -= seen
+            seen |= next_frontier
+            frontier = next_frontier
+        return seen - self.resolve(word)
+
+    def related_words(self, word: str, hops: int = 1) -> set[str]:
+        """Individual content words of the neighbour entities.
+
+        This is the expansion set QWS consumes: any of these words
+        appearing in the answer-oriented sentences marks a clue token.
+        """
+        words: set[str] = set()
+        for entity in self.neighbors(word, hops=hops):
+            words.update(_content_words(entity))
+        return words
+
+    def relation_path(self, a: str, b: str) -> list[str] | None:
+        """Shortest relation chain between two entities, or None.
+
+        Used by the explanation trace: "Solomon —child_of→ David
+        —married_to→ Bathsheba".
+        """
+        sources = self.resolve(a)
+        targets = self.resolve(b)
+        if not sources or not targets:
+            return None
+        best: list[str] | None = None
+        for source in sources:
+            for target in targets:
+                try:
+                    path = nx.shortest_path(self._graph, source, target)
+                except nx.NetworkXNoPath:
+                    continue
+                if best is None or len(path) < len(best):
+                    best = path
+        if best is None:
+            return None
+        chain = []
+        for u, v in zip(best, best[1:]):
+            relation = self._graph.edges[u, v].get("relation", "related")
+            chain.append(f"{u} -{relation}-> {v}")
+        return chain
+
+
+def graph_from_kb(kb) -> KnowledgeGraph:
+    """Derive a knowledge graph from a synthetic dataset KB.
+
+    Encodes the same relations the passage generators verbalize, so the
+    graph is exactly the "world knowledge" a reader of the corpus would
+    accumulate.
+    """
+    graph = KnowledgeGraph()
+    for person in kb.people:
+        attrs = person.attributes
+        graph.add_relation(person.name, "born_in", attrs["birth_city"])
+        graph.add_relation(person.name, "profession", attrs["profession"])
+        graph.add_relation(person.name, "created", attrs["work_title"])
+        graph.add_relation(person.name, "received", attrs["award"])
+        graph.add_relation(person.name, "studied_at", attrs["university"])
+        graph.add_relation(person.name, "discovered", attrs["discovery"])
+    for team in kb.teams:
+        attrs = team.attributes
+        graph.add_relation(team.name, "based_in", attrs["city"])
+        graph.add_relation(team.name, "plays", attrs["sport"])
+        graph.add_relation(team.name, "won", attrs["event"])
+    for city in kb.cities:
+        attrs = city.attributes
+        graph.add_relation(city.name, "located_in", attrs["country"])
+        graph.add_relation(city.name, "river", attrs["river"])
+    for battle in kb.battles:
+        attrs = battle.attributes
+        graph.add_relation(battle.name, "fought_at", attrs["place"])
+        graph.add_relation(battle.name, "won_by", attrs["winner"])
+    return graph

@@ -1,0 +1,79 @@
+"""Insignificant-word lists used by the Question-relevant Words Selector.
+
+Sec. III-C: QWS removes "all question terms (such as who, where), auxiliary
+verbs (such as do, did), functional words (conj, art, prep, pron) and
+punctuations" before looking up clue words.
+"""
+
+from __future__ import annotations
+
+import string
+
+__all__ = [
+    "QUESTION_WORDS",
+    "AUXILIARY_VERBS",
+    "FUNCTION_WORDS",
+    "INSIGNIFICANT_WORDS",
+    "is_insignificant",
+]
+
+QUESTION_WORDS = frozenset(
+    {
+        "who", "whom", "whose", "what", "which", "where", "when", "why",
+        "how", "whether",
+    }
+)
+
+AUXILIARY_VERBS = frozenset(
+    {
+        "do", "does", "did", "done", "doing",
+        "be", "am", "is", "are", "was", "were", "been", "being",
+        "have", "has", "had", "having",
+        "will", "would", "shall", "should", "can", "could", "may",
+        "might", "must",
+    }
+)
+
+# Conjunctions, articles, prepositions, pronouns and other closed-class words.
+FUNCTION_WORDS = frozenset(
+    {
+        # articles / determiners
+        "a", "an", "the", "this", "that", "these", "those", "some", "any",
+        "each", "every", "no", "such", "its", "his", "her", "their", "our",
+        "my", "your",
+        # conjunctions
+        "and", "or", "but", "nor", "so", "yet", "because", "although",
+        "while", "if", "than", "as", "though", "since", "unless", "whereas",
+        # prepositions
+        "of", "in", "on", "at", "by", "for", "with", "about", "against",
+        "between", "into", "through", "during", "before", "after", "above",
+        "below", "to", "from", "up", "down", "over", "under", "across",
+        "near", "off", "onto", "upon", "within", "without", "along",
+        "around", "behind", "beside", "toward", "towards", "via",
+        # pronouns
+        "i", "you", "he", "she", "it", "we", "they", "me", "him", "them",
+        "us", "himself", "herself", "itself", "themselves", "one", "there",
+        # misc closed-class
+        "not", "also", "both", "either", "neither", "only", "own", "same",
+        "then", "too", "very", "just", "most", "more", "other", "another",
+        "many", "much", "few", "all",
+    }
+)
+
+_PUNCTUATION = frozenset(string.punctuation)
+
+INSIGNIFICANT_WORDS = QUESTION_WORDS | AUXILIARY_VERBS | FUNCTION_WORDS
+
+
+def is_insignificant(word: str) -> bool:
+    """True if ``word`` should be removed from a question before QWS lookup.
+
+    >>> is_insignificant("Which")
+    True
+    >>> is_insignificant("NFL")
+    False
+    """
+    lowered = word.lower()
+    if lowered in INSIGNIFICANT_WORDS:
+        return True
+    return all(ch in _PUNCTUATION for ch in word)

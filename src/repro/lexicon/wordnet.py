@@ -1,0 +1,130 @@
+"""Mini-WordNet: synonym / antonym / hypernym-sibling lookups for QWS.
+
+The paper (Sec. III-C) expands each significant question word with "its
+synonyms, antonyms, sibling terms sharing the same hypernym (by lookup
+from WordNet)".  This module provides the same query surface over the
+embedded synset inventory in :mod:`repro.lexicon.data`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from repro.lexicon.data import SYNSETS
+from repro.lexicon.data_extended import EXTENDED_SYNSETS
+
+__all__ = ["MiniWordNet", "default_wordnet"]
+
+ALL_SYNSETS = SYNSETS + EXTENDED_SYNSETS
+
+
+class MiniWordNet:
+    """In-memory lexical database with WordNet-style relation queries.
+
+    A word may belong to several synsets (e.g. "record" as noun-achievement
+    and verb-create); queries union over all of them, matching how QWS uses
+    WordNet (any related surface form counts as a clue).
+    """
+
+    def __init__(
+        self,
+        synsets: Iterable[tuple[tuple[str, ...], str, tuple[str, ...]]] | None = None,
+    ) -> None:
+        if synsets is None:
+            synsets = ALL_SYNSETS
+        self._synsets: list[tuple[tuple[str, ...], str, tuple[str, ...]]] = []
+        self._word_to_synsets: dict[str, list[int]] = defaultdict(list)
+        self._hypernym_to_synsets: dict[str, list[int]] = defaultdict(list)
+        for lemmas, hypernym, antonyms in synsets:
+            self.add_synset(lemmas, hypernym, antonyms)
+
+    def add_synset(
+        self,
+        lemmas: tuple[str, ...] | list[str],
+        hypernym: str,
+        antonyms: tuple[str, ...] | list[str] = (),
+    ) -> int:
+        """Register a synset; returns its id.  Lemmas are lowercased."""
+        lemmas = tuple(lemma.lower() for lemma in lemmas)
+        antonyms = tuple(a.lower() for a in antonyms)
+        if not lemmas:
+            raise ValueError("a synset needs at least one lemma")
+        sid = len(self._synsets)
+        self._synsets.append((lemmas, hypernym, antonyms))
+        for lemma in lemmas:
+            self._word_to_synsets[lemma].append(sid)
+        self._hypernym_to_synsets[hypernym].append(sid)
+        return sid
+
+    def __contains__(self, word: str) -> bool:
+        return word.lower() in self._word_to_synsets
+
+    def __len__(self) -> int:
+        return len(self._synsets)
+
+    @property
+    def vocabulary(self) -> set[str]:
+        """All lemmas known to the lexicon."""
+        return set(self._word_to_synsets)
+
+    def synsets_of(self, word: str) -> list[int]:
+        """Ids of the synsets containing ``word`` (empty if unknown)."""
+        return list(self._word_to_synsets.get(word.lower(), ()))
+
+    def synonyms(self, word: str) -> set[str]:
+        """Words sharing a synset with ``word`` (excluding the word itself)."""
+        word = word.lower()
+        result: set[str] = set()
+        for sid in self._word_to_synsets.get(word, ()):
+            result.update(self._synsets[sid][0])
+        result.discard(word)
+        return result
+
+    def antonyms(self, word: str) -> set[str]:
+        """Antonyms of ``word``, expanded to the antonyms' full synsets."""
+        word = word.lower()
+        direct: set[str] = set()
+        for sid in self._word_to_synsets.get(word, ()):
+            direct.update(self._synsets[sid][2])
+        expanded = set(direct)
+        for ant in direct:
+            expanded.update(self.synonyms(ant))
+        expanded.discard(word)
+        return expanded
+
+    def siblings(self, word: str) -> set[str]:
+        """Lemmas of sister synsets sharing a hypernym with ``word``.
+
+        Excludes the word's own synonyms (those are returned by
+        :meth:`synonyms`) and the word itself.
+        """
+        word = word.lower()
+        own_synsets = set(self._word_to_synsets.get(word, ()))
+        result: set[str] = set()
+        for sid in own_synsets:
+            hypernym = self._synsets[sid][1]
+            for sibling_id in self._hypernym_to_synsets[hypernym]:
+                if sibling_id not in own_synsets:
+                    result.update(self._synsets[sibling_id][0])
+        result.discard(word)
+        return result - self.synonyms(word)
+
+    def related(self, word: str) -> set[str]:
+        """Union of synonyms, antonyms and hypernym siblings of ``word``.
+
+        This is exactly the expansion set QWS matches against the
+        answer-oriented sentences.
+        """
+        return self.synonyms(word) | self.antonyms(word) | self.siblings(word)
+
+
+_DEFAULT: MiniWordNet | None = None
+
+
+def default_wordnet() -> MiniWordNet:
+    """Return the shared lexicon built from the embedded synset data."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = MiniWordNet()
+    return _DEFAULT

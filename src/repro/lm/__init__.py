@@ -1,0 +1,6 @@
+"""Language-model substrate: n-gram LM for perplexity, co-occurrence embeddings."""
+
+from repro.lm.ngram import NGramLanguageModel
+from repro.lm.embeddings import CooccurrenceEmbeddings
+
+__all__ = ["NGramLanguageModel", "CooccurrenceEmbeddings"]

@@ -1,0 +1,172 @@
+"""Co-occurrence word embeddings (PPMI + truncated SVD).
+
+Stands in for the PLM's learned token embeddings (the ``x_i`` fed into the
+multi-head attention of Eq. 6-8).  Positive pointwise mutual information
+over a symmetric context window, factored with sparse SVD, yields dense
+vectors where related corpus tokens (e.g. "Broncos" / "champion") have
+higher cosine similarity — precisely the signal WSPTC's attention weights
+need to carry.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.linalg import svds
+
+__all__ = ["CooccurrenceEmbeddings"]
+
+
+class CooccurrenceEmbeddings:
+    """PPMI-SVD embeddings over a token corpus.
+
+    Args:
+        dim: embedding dimensionality (also the attention model dimension).
+        window: symmetric co-occurrence window size.
+        min_count: tokens rarer than this share a single UNK vector.
+        seed: seed for the deterministic SVD starting vector.
+    """
+
+    def __init__(
+        self,
+        dim: int = 64,
+        window: int = 4,
+        min_count: int = 1,
+        seed: int = 0,
+    ) -> None:
+        if dim < 2:
+            raise ValueError("dim must be at least 2")
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self.dim = dim
+        self.window = window
+        self.min_count = min_count
+        self.seed = seed
+        self._index: dict[str, int] = {}
+        self._vectors: np.ndarray | None = None
+        self._unk: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ fit
+    def fit(self, sentences: Iterable[Sequence[str]]) -> "CooccurrenceEmbeddings":
+        """Build PPMI matrix from ``sentences`` and factor it with SVD."""
+        corpus = [[t.lower() for t in sent] for sent in sentences]
+        counts = Counter(tok for sent in corpus for tok in sent)
+        vocab = sorted(tok for tok, n in counts.items() if n >= self.min_count)
+        self._index = {tok: i for i, tok in enumerate(vocab)}
+        n_vocab = len(vocab)
+        if n_vocab == 0:
+            raise ValueError("empty corpus: no tokens above min_count")
+
+        pair_counts: Counter[tuple[int, int]] = Counter()
+        for sent in corpus:
+            ids = [self._index.get(t, -1) for t in sent]
+            for i, wi in enumerate(ids):
+                if wi < 0:
+                    continue
+                lo = max(0, i - self.window)
+                hi = min(len(ids), i + self.window + 1)
+                for j in range(lo, hi):
+                    wj = ids[j]
+                    if j != i and wj >= 0:
+                        pair_counts[(wi, wj)] += 1
+
+        total = sum(pair_counts.values())
+        if total == 0:
+            # Degenerate corpus of one-token sentences: fall back to random
+            # but deterministic vectors so downstream attention still works.
+            rng = np.random.default_rng(self.seed)
+            self._vectors = rng.standard_normal((n_vocab, self.dim)) * 0.1
+            self._unk = np.zeros(self.dim)
+            return self
+
+        row_sums = np.zeros(n_vocab)
+        for (i, _j), c in pair_counts.items():
+            row_sums[i] += c
+
+        rows, cols, vals = [], [], []
+        for (i, j), c in pair_counts.items():
+            # PPMI = max(0, log(p(i,j) / (p(i) p(j))))
+            pmi = np.log((c * total) / (row_sums[i] * row_sums[j]))
+            if pmi > 0:
+                rows.append(i)
+                cols.append(j)
+                vals.append(pmi)
+        matrix = sp.csr_matrix(
+            (vals, (rows, cols)), shape=(n_vocab, n_vocab), dtype=np.float64
+        )
+
+        k = min(self.dim, n_vocab - 1)
+        if k < 1:
+            self._vectors = np.ones((n_vocab, self.dim)) * 0.1
+            self._unk = np.zeros(self.dim)
+            return self
+        rng = np.random.default_rng(self.seed)
+        v0 = rng.standard_normal(min(matrix.shape))
+        u, s, _vt = svds(matrix, k=k, v0=v0)
+        # svds returns singular values ascending; order is irrelevant for
+        # similarity but keep a canonical descending layout.
+        order = np.argsort(-s)
+        u, s = u[:, order], s[order]
+        vectors = u * np.sqrt(np.maximum(s, 0.0))
+        if k < self.dim:  # pad up to requested dim
+            vectors = np.pad(vectors, ((0, 0), (0, self.dim - k)))
+        self._vectors = vectors
+        self._unk = vectors.mean(axis=0)
+        return self
+
+    # -------------------------------------------------------------- queries
+    @property
+    def fitted(self) -> bool:
+        return self._vectors is not None
+
+    def __contains__(self, token: str) -> bool:
+        return token.lower() in self._index
+
+    def vector(self, token: str) -> np.ndarray:
+        """Embedding of ``token``; unknown tokens share the mean vector."""
+        if self._vectors is None or self._unk is None:
+            raise RuntimeError("embeddings are not fitted; call fit() first")
+        idx = self._index.get(token.lower())
+        if idx is None:
+            return self._unk.copy()
+        return self._vectors[idx].copy()
+
+    def matrix(self, tokens: Sequence[str]) -> np.ndarray:
+        """Stack embeddings for a token sequence into an (n, dim) array."""
+        return np.vstack([self.vector(t) for t in tokens]) if tokens else np.zeros(
+            (0, self.dim)
+        )
+
+    def similarity(self, a: str, b: str) -> float:
+        """Cosine similarity between two tokens' embeddings."""
+        va, vb = self.vector(a), self.vector(b)
+        na, nb = np.linalg.norm(va), np.linalg.norm(vb)
+        if na == 0.0 or nb == 0.0:
+            return 0.0
+        return float(va @ vb / (na * nb))
+
+    def most_similar(self, token: str, top_k: int = 10) -> list[tuple[str, float]]:
+        """The ``top_k`` vocabulary tokens most similar to ``token``."""
+        if self._vectors is None:
+            raise RuntimeError("embeddings are not fitted; call fit() first")
+        query = self.vector(token)
+        qn = np.linalg.norm(query)
+        if qn == 0.0:
+            return []
+        norms = np.linalg.norm(self._vectors, axis=1)
+        safe = np.where(norms == 0.0, 1.0, norms)
+        sims = (self._vectors @ query) / (safe * qn)
+        sims[norms == 0.0] = -1.0
+        order = np.argsort(-sims)
+        inv = {i: tok for tok, i in self._index.items()}
+        results = []
+        for idx in order:
+            if inv[idx] == token.lower():
+                continue
+            results.append((inv[idx], float(sims[idx])))
+            if len(results) == top_k:
+                break
+        return results

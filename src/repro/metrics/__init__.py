@@ -1,0 +1,23 @@
+"""The paper's quantitative evidence-quality framework (Sec. II-B)."""
+
+from repro.metrics.overlap import exact_match, f1_score, precision_recall_f1
+from repro.metrics.informativeness import InformativenessScorer
+from repro.metrics.conciseness import conciseness_score
+from repro.metrics.readability import ReadabilityScorer
+from repro.metrics.hybrid import HybridWeights, HybridScorer, EvidenceScores
+from repro.metrics.aggregate import MetricSummary, summarize, bootstrap_diff
+
+__all__ = [
+    "MetricSummary",
+    "summarize",
+    "bootstrap_diff",
+    "exact_match",
+    "f1_score",
+    "precision_recall_f1",
+    "InformativenessScorer",
+    "conciseness_score",
+    "ReadabilityScorer",
+    "HybridWeights",
+    "HybridScorer",
+    "EvidenceScores",
+]

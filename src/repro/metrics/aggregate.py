@@ -1,0 +1,65 @@
+"""Corpus-level metric aggregation with confidence intervals.
+
+Experiment tables report means; this module carries the uncertainty that a
+careful reproduction should expose: Student-t confidence intervals and
+bootstrap comparisons between two evidence-extraction methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.statistics import mean_confidence_interval
+
+__all__ = ["MetricSummary", "summarize", "bootstrap_diff"]
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean with a confidence interval and sample size."""
+
+    name: str
+    mean: float
+    ci_low: float
+    ci_high: float
+    n: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.mean:.3f} "
+            f"[{self.ci_low:.3f}, {self.ci_high:.3f}] (n={self.n})"
+        )
+
+
+def summarize(
+    name: str, values: list[float], confidence: float = 0.95
+) -> MetricSummary:
+    """Mean ± t-interval for one metric's per-example values."""
+    mean, lo, hi = mean_confidence_interval(values, confidence=confidence)
+    return MetricSummary(name=name, mean=mean, ci_low=lo, ci_high=hi, n=len(values))
+
+
+def bootstrap_diff(
+    sample_a: list[float],
+    sample_b: list[float],
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Paired bootstrap of mean(a) - mean(b).
+
+    Returns (mean difference, probability that a <= b) — the significance
+    check behind "method A beats method B" claims.
+    """
+    n = min(len(sample_a), len(sample_b))
+    if n == 0:
+        raise ValueError("empty samples")
+    a = np.asarray(sample_a[:n], dtype=float)
+    b = np.asarray(sample_b[:n], dtype=float)
+    rng = np.random.default_rng(seed)
+    diffs = np.empty(n_resamples)
+    for i in range(n_resamples):
+        idx = rng.integers(0, n, size=n)
+        diffs[i] = a[idx].mean() - b[idx].mean()
+    return float(a.mean() - b.mean()), float((diffs <= 0).mean())

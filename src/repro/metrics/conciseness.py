@@ -1,0 +1,32 @@
+"""Conciseness ``C(e)`` — Principle 2 / Eq. 2.
+
+``C(e) = 1 / L(e)`` when the evidence is strictly longer than the answer,
+and ``-inf`` otherwise (such evidences are discarded: an evidence no longer
+than its answer cannot *explain* it).
+"""
+
+from __future__ import annotations
+
+from repro.text.tokenizer import word_tokens
+
+__all__ = ["conciseness_score", "evidence_length"]
+
+
+def evidence_length(text: str) -> int:
+    """Length in word tokens (punctuation excluded, as the paper counts words)."""
+    return len(word_tokens(text))
+
+
+def conciseness_score(evidence: str, answer: str) -> float:
+    """``C(e)`` per Eq. 2.
+
+    >>> conciseness_score("Denver Broncos won the title", "Denver Broncos")
+    0.2
+    >>> conciseness_score("Denver Broncos", "Denver Broncos")
+    -inf
+    """
+    len_e = evidence_length(evidence)
+    len_a = evidence_length(answer)
+    if len_e <= len_a:
+        return float("-inf")
+    return 1.0 / len_e

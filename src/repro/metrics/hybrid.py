@@ -1,0 +1,97 @@
+"""Hybrid evidence score ``H(e) = α·I(e) + β·R(e) + γ·C(e)`` (Eq. 5).
+
+The paper sets the weights "by experiments" and uses equal weights in the
+human evaluation; ``HybridWeights()`` defaults to α = β = γ = 1/3.
+
+Scale calibration: raw ``C(e) = 1/L(e)`` lives on a much smaller scale
+than ``I(e) ∈ [0, 1]``.  ``HybridScorer`` therefore normalizes conciseness
+to ``(L(a) + 1) / L(e)`` — a strictly monotone transform of Eq. 2 (so the
+clip search's *ordering* matches the paper's) that equals 1.0 for the
+shortest admissible evidence and decays toward 0 for verbose ones, putting
+all three criteria on [0, 1] and making H a genuine trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics.conciseness import conciseness_score, evidence_length
+from repro.metrics.informativeness import InformativenessScorer
+from repro.metrics.readability import ReadabilityScorer
+
+__all__ = ["HybridWeights", "EvidenceScores", "HybridScorer"]
+
+
+@dataclass(frozen=True)
+class HybridWeights:
+    """Weights (α, β, γ) for informativeness, readability, conciseness.
+
+    Must be positive and sum to 1 (the paper's constraint).
+    """
+
+    alpha: float = 1.0 / 3.0
+    beta: float = 1.0 / 3.0
+    gamma: float = 1.0 / 3.0
+
+    def __post_init__(self) -> None:
+        for value in (self.alpha, self.beta, self.gamma):
+            if value < 0:
+                raise ValueError("hybrid weights must be non-negative")
+        total = self.alpha + self.beta + self.gamma
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"hybrid weights must sum to 1, got {total}")
+
+
+@dataclass(frozen=True)
+class EvidenceScores:
+    """All four quality scores of one evidence."""
+
+    informativeness: float
+    conciseness: float
+    readability: float
+    hybrid: float
+
+    @property
+    def is_valid(self) -> bool:
+        """False if the evidence was discarded by Eq. 2 (too short)."""
+        return self.conciseness != float("-inf")
+
+
+class HybridScorer:
+    """Computes :class:`EvidenceScores` for (question, answer, evidence).
+
+    Args:
+        informativeness: QA-model-backed I(e) scorer.
+        readability: LM-backed R(e) scorer.
+        weights: the (α, β, γ) trade-off.
+    """
+
+    def __init__(
+        self,
+        informativeness: InformativenessScorer,
+        readability: ReadabilityScorer,
+        weights: HybridWeights | None = None,
+    ) -> None:
+        self.informativeness = informativeness
+        self.readability = readability
+        self.weights = weights or HybridWeights()
+
+    def normalized_conciseness(self, evidence: str, answer: str) -> float:
+        """Monotone [0, 1] rescaling of Eq. 2 (see module docstring)."""
+        raw = conciseness_score(evidence, answer)
+        if raw == float("-inf"):
+            return float("-inf")
+        shortest_valid = evidence_length(answer) + 1
+        return min(1.0, shortest_valid * raw)
+
+    def score(self, question: str, answer: str, evidence: str) -> EvidenceScores:
+        """Score one candidate evidence; hybrid is -inf for invalid ones."""
+        c = self.normalized_conciseness(evidence, answer)
+        if c == float("-inf"):
+            return EvidenceScores(0.0, float("-inf"), 0.0, float("-inf"))
+        i = self.informativeness.score(question, answer, evidence)
+        r = self.readability.score(evidence)
+        h = self.weights.alpha * i + self.weights.beta * r + self.weights.gamma * c
+        return EvidenceScores(
+            informativeness=i, conciseness=c, readability=r, hybrid=h
+        )

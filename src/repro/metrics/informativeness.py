@@ -1,0 +1,39 @@
+"""Informativeness ``I(e)`` — Principle 1 / Eq. 1.
+
+An evidence is informative if a QA model re-predicts the input answer from
+the evidence alone.  ``I(e)`` is the F1 overlap between the re-predicted
+answer and the input answer.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.overlap import f1_score
+from repro.qa.base import QAModel
+from repro.utils.cache import LRUCache
+
+__all__ = ["InformativenessScorer"]
+
+
+class InformativenessScorer:
+    """Scores evidence informativeness with a QA model.
+
+    Results are cached on ``(question, answer, evidence)`` because the clip
+    search re-scores many overlapping candidates.
+    """
+
+    def __init__(self, qa_model: QAModel, cache_size: int = 8192) -> None:
+        self.qa_model = qa_model
+        self._cache = LRUCache(capacity=cache_size)
+
+    def score(self, question: str, answer: str, evidence: str) -> float:
+        """``I(e)`` in [0, 1]; empty evidence scores 0."""
+        if not evidence.strip():
+            return 0.0
+        key = (question, answer, evidence)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        predicted = self.qa_model.predict(question, evidence)
+        value = f1_score(predicted.text, answer)
+        self._cache.put(key, value)
+        return value

@@ -1,0 +1,62 @@
+"""Answer-overlap metrics: EM and token-level F1 (Eq. 1).
+
+These follow the SQuAD evaluation exactly (Rajpurkar et al., 2016):
+normalization strips case, punctuation and articles; F1 counts common
+tokens with multiplicity.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.text.normalize import normalize_answer
+
+__all__ = ["exact_match", "precision_recall_f1", "f1_score", "best_f1", "best_em"]
+
+
+def exact_match(prediction: str, gold: str) -> float:
+    """1.0 if the normalized strings are identical, else 0.0."""
+    return float(normalize_answer(prediction) == normalize_answer(gold))
+
+
+def precision_recall_f1(prediction: str, gold: str) -> tuple[float, float, float]:
+    """Token precision, recall and F1 between prediction and gold (Eq. 1).
+
+    ``Pre = Nc / L(pred)``, ``Rec = Nc / L(gold)`` where ``Nc`` is the
+    number of common tokens (with multiplicity).
+
+    Both empty → perfect match (the SQuAD-2.0 no-answer convention).
+    """
+    pred_tokens = normalize_answer(prediction).split()
+    gold_tokens = normalize_answer(gold).split()
+    if not pred_tokens and not gold_tokens:
+        return 1.0, 1.0, 1.0
+    if not pred_tokens or not gold_tokens:
+        return 0.0, 0.0, 0.0
+    common = Counter(pred_tokens) & Counter(gold_tokens)
+    n_common = sum(common.values())
+    if n_common == 0:
+        return 0.0, 0.0, 0.0
+    precision = n_common / len(pred_tokens)
+    recall = n_common / len(gold_tokens)
+    f1 = 2.0 * precision * recall / (precision + recall)
+    return precision, recall, f1
+
+
+def f1_score(prediction: str, gold: str) -> float:
+    """Token-level F1 between a prediction and a gold answer."""
+    return precision_recall_f1(prediction, gold)[2]
+
+
+def best_f1(prediction: str, golds: list[str]) -> float:
+    """Max F1 over multiple acceptable gold answers (SQuAD convention)."""
+    if not golds:
+        return f1_score(prediction, "")
+    return max(f1_score(prediction, g) for g in golds)
+
+
+def best_em(prediction: str, golds: list[str]) -> float:
+    """Max EM over multiple acceptable gold answers."""
+    if not golds:
+        return exact_match(prediction, "")
+    return max(exact_match(prediction, g) for g in golds)

@@ -1,0 +1,54 @@
+"""Readability ``R(e)`` — Eq. 3-4: reciprocal perplexity under the LM.
+
+The paper computes perplexity with the QA model's underlying PLM; here the
+trigram language model fitted by :class:`repro.qa.training.QATrainer`
+plays that role (see DESIGN.md substitutions).
+"""
+
+from __future__ import annotations
+
+from repro.lm.ngram import NGramLanguageModel
+from repro.text.tokenizer import word_tokens
+from repro.utils.cache import LRUCache
+
+__all__ = ["ReadabilityScorer"]
+
+
+class ReadabilityScorer:
+    """``R(e) = 1 / PPL(e)``, cached per evidence string.
+
+    Raw reciprocal perplexity lives on a much smaller scale than I and C
+    (PPL of fluent text may be 5-50), so a calibration exponent
+    ``1 / PPL**gamma`` with gamma < 1 is exposed; the default 0.5 maps
+    typical fluent corpus sentences into the same [0, 1] band as the other
+    two criteria, which is what makes the hybrid trade-off meaningful.
+    """
+
+    def __init__(
+        self,
+        language_model: NGramLanguageModel,
+        gamma: float = 0.5,
+        cache_size: int = 8192,
+    ) -> None:
+        if gamma <= 0:
+            raise ValueError("gamma must be positive")
+        self.language_model = language_model
+        self.gamma = gamma
+        self._cache = LRUCache(capacity=cache_size)
+
+    def perplexity(self, evidence: str) -> float:
+        """Per-token perplexity of the evidence text."""
+        return self.language_model.perplexity(word_tokens(evidence))
+
+    def score(self, evidence: str) -> float:
+        """``R(e)`` in (0, 1]; empty evidence scores 0."""
+        tokens = word_tokens(evidence)
+        if not tokens:
+            return 0.0
+        cached = self._cache.get(evidence)
+        if cached is not None:
+            return cached
+        ppl = self.language_model.perplexity(tokens)
+        value = 1.0 / max(ppl, 1.0) ** self.gamma
+        self._cache.put(evidence, value)
+        return value

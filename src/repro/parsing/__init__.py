@@ -1,0 +1,28 @@
+"""Syntactic parsing substrate.
+
+Pipeline: POS tagging → probabilistic CKY over a binarized PCFG →
+Collins-style head lexicalization → token-level dependency tree.  The
+dependency tree (nodes = token indices) is the structure GCED's Grow-and-
+Clip strategy operates on; WSPTC annotates its edges with attention
+weights.
+"""
+
+from repro.parsing.tree import ParseNode, DependencyTree
+from repro.parsing.pos import PosTagger
+from repro.parsing.grammar import Grammar, Rule, default_grammar
+from repro.parsing.cky import CKYParser
+from repro.parsing.heads import lexicalize
+from repro.parsing.dependency import constituency_to_dependency, SyntacticParser
+
+__all__ = [
+    "ParseNode",
+    "DependencyTree",
+    "PosTagger",
+    "Grammar",
+    "Rule",
+    "default_grammar",
+    "CKYParser",
+    "lexicalize",
+    "constituency_to_dependency",
+    "SyntacticParser",
+]

@@ -1,0 +1,170 @@
+"""Probabilistic CKY chart parser with unary-rule closure.
+
+Parses POS-tag sequences under :class:`repro.parsing.grammar.Grammar` and
+returns the Viterbi (max-probability) constituency tree.  Sentences the
+grammar cannot fully cover fall back to a right-branching glue tree over
+the largest parseable chunks, so the parser is *total* — every input
+receives a tree, as GCED requires (the paper delegates this robustness to
+Stanford CoreNLP).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.parsing.grammar import Grammar, default_grammar
+from repro.parsing.tree import ParseNode
+
+__all__ = ["CKYParser"]
+
+_GLUE_LABEL = "X"
+_GLUE_PENALTY = math.log(1e-4)
+
+
+class CKYParser:
+    """Viterbi CKY over tag sequences.
+
+    The chart maps each span to its best-scoring analyses per nonterminal.
+    Unary closure runs after leaves are seeded and after each binary
+    combination, with a small penalty per unary step to keep chains finite.
+    """
+
+    def __init__(self, grammar: Grammar | None = None) -> None:
+        self.grammar = grammar or default_grammar()
+
+    # ----------------------------------------------------------- chart ops
+    def _apply_unary_closure(
+        self, cell: dict[str, tuple[float, object]]
+    ) -> None:
+        """Extend ``cell`` with unary-rule parents until fixpoint."""
+        agenda = list(cell.keys())
+        while agenda:
+            child = agenda.pop()
+            child_score = cell[child][0]
+            for rule in self.grammar.unary_by_child.get(child, ()):
+                score = child_score + rule.logprob
+                existing = cell.get(rule.parent)
+                if existing is None or score > existing[0]:
+                    cell[rule.parent] = (score, ("unary", child))
+                    agenda.append(rule.parent)
+
+    def parse_tags(
+        self, tags: Sequence[str], words: Sequence[str] | None = None
+    ) -> ParseNode:
+        """Parse a tag sequence; ``words`` (if given) label the leaves.
+
+        Returns a :class:`ParseNode` rooted at the grammar start symbol or,
+        when full coverage fails, at a glue node combining the best chunks.
+        """
+        n = len(tags)
+        if n == 0:
+            raise ValueError("cannot parse an empty sentence")
+        words = list(words) if words is not None else list(tags)
+        if len(words) != n:
+            raise ValueError("words and tags must have equal length")
+
+        # chart[i][j]: analyses of span [i, j) — {label: (logprob, backptr)}
+        chart: list[list[dict[str, tuple[float, object]]]] = [
+            [dict() for _ in range(n + 1)] for _ in range(n + 1)
+        ]
+        for i, tag in enumerate(tags):
+            cell = chart[i][i + 1]
+            cell[tag] = (0.0, ("leaf", i))
+            self._apply_unary_closure(cell)
+
+        for width in range(2, n + 1):
+            for i in range(0, n - width + 1):
+                j = i + width
+                cell = chart[i][j]
+                for split in range(i + 1, j):
+                    left_cell = chart[i][split]
+                    right_cell = chart[split][j]
+                    if not left_cell or not right_cell:
+                        continue
+                    for left_label, (left_score, _lb) in left_cell.items():
+                        for right_label, (right_score, _rb) in right_cell.items():
+                            rules = self.grammar.binary_by_children.get(
+                                (left_label, right_label)
+                            )
+                            if not rules:
+                                continue
+                            for rule in rules:
+                                score = left_score + right_score + rule.logprob
+                                existing = cell.get(rule.parent)
+                                if existing is None or score > existing[0]:
+                                    cell[rule.parent] = (
+                                        score,
+                                        ("binary", split, left_label, right_label),
+                                    )
+                self._apply_unary_closure(cell)
+
+        root_cell = chart[0][n]
+        if self.grammar.start in root_cell:
+            return self._build(chart, 0, n, self.grammar.start, words)
+        return self._glue_parse(chart, n, words)
+
+    # ------------------------------------------------------ reconstruction
+    def _build(
+        self,
+        chart: list[list[dict[str, tuple[float, object]]]],
+        i: int,
+        j: int,
+        label: str,
+        words: Sequence[str],
+    ) -> ParseNode:
+        _score, back = chart[i][j][label]
+        kind = back[0]
+        if kind == "leaf":
+            idx = back[1]
+            return ParseNode(label=label, word=words[idx], index=idx)
+        if kind == "unary":
+            child = self._build(chart, i, j, back[1], words)
+            return ParseNode(label=label, children=[child])
+        _kind, split, left_label, right_label = back
+        left = self._build(chart, i, split, left_label, words)
+        right = self._build(chart, split, j, right_label, words)
+        return ParseNode(label=label, children=[left, right])
+
+    # ------------------------------------------------------------ fallback
+    def _best_chunk(
+        self,
+        chart: list[list[dict[str, tuple[float, object]]]],
+        i: int,
+        n: int,
+        words: Sequence[str],
+    ) -> tuple[int, ParseNode]:
+        """Longest (then best-scoring) constituent starting at ``i``."""
+        preferred = ("S", "NP", "VP", "PP", "ADJP", "ADVP")
+        for j in range(n, i, -1):
+            cell = chart[i][j]
+            if not cell:
+                continue
+            candidates = [lab for lab in preferred if lab in cell]
+            if not candidates:
+                candidates = list(cell.keys())
+            label = max(candidates, key=lambda lab: cell[lab][0])
+            return j, self._build(chart, i, j, label, words)
+        # Unreachable: single-token cells always carry at least the tag.
+        raise RuntimeError(f"no analysis for token {i}")  # pragma: no cover
+
+    def _glue_parse(
+        self,
+        chart: list[list[dict[str, tuple[float, object]]]],
+        n: int,
+        words: Sequence[str],
+    ) -> ParseNode:
+        """Combine maximal chunks left-to-right under a glue root.
+
+        The first chunk is treated as the glue head, which approximates the
+        main-clause-first structure of declarative corpus text.
+        """
+        chunks: list[ParseNode] = []
+        i = 0
+        while i < n:
+            j, node = self._best_chunk(chart, i, n, words)
+            chunks.append(node)
+            i = j
+        if len(chunks) == 1:
+            return chunks[0]
+        return ParseNode(label=_GLUE_LABEL, children=chunks)

@@ -1,0 +1,202 @@
+"""Probabilistic context-free grammar over POS tags.
+
+The L-PCFG of Sec. III-D is reproduced as a compact PCFG in Chomsky normal
+form (binary phrasal rules + unary lexical/promotion rules) whose terminals
+are the POS tags of :mod:`repro.parsing.pos`.  Lexicalization (head word
+annotation) is applied afterwards by :mod:`repro.parsing.heads`, making the
+grammar lexicalized in the L-PCFG sense.
+
+Category inventory:
+
+    TOP sentence root     S clause           NP/NML noun phrase/nominal
+    VP verb phrase        PP preposition     ADJP/ADVP modifiers
+    V/MODAL verb heads    NOM noun heads     DET/ADJ/ADV/P/PRO/CONJ/PUNC
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+
+__all__ = ["Rule", "Grammar", "default_grammar"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A PCFG production ``parent -> children`` with probability ``prob``.
+
+    ``children`` has length 1 (unary promotion or lexical rule whose single
+    child is a POS tag) or 2 (binary phrasal rule).
+    """
+
+    parent: str
+    children: tuple[str, ...]
+    prob: float
+
+    def __post_init__(self) -> None:
+        if len(self.children) not in (1, 2):
+            raise ValueError("rules must be unary or binary")
+        if not (0.0 < self.prob <= 1.0):
+            raise ValueError("rule probability must be in (0, 1]")
+
+    @property
+    def logprob(self) -> float:
+        return math.log(self.prob)
+
+    @property
+    def is_unary(self) -> bool:
+        return len(self.children) == 1
+
+
+class Grammar:
+    """Indexed rule collection for CKY parsing.
+
+    Provides lookups by child pair (binary) and by single child (unary),
+    plus the set of lexical categories available for each POS tag.
+    """
+
+    def __init__(self, rules: list[Rule], start: str = "TOP") -> None:
+        self.start = start
+        self.rules = list(rules)
+        self.binary_by_children: dict[tuple[str, str], list[Rule]] = defaultdict(list)
+        self.unary_by_child: dict[str, list[Rule]] = defaultdict(list)
+        for rule in rules:
+            if rule.is_unary:
+                self.unary_by_child[rule.children[0]].append(rule)
+            else:
+                self.binary_by_children[rule.children].append(rule)
+        self.nonterminals = {r.parent for r in rules}
+        children = {c for r in rules for c in r.children}
+        # Terminals are symbols that never appear on a left-hand side.
+        self.terminals = children - self.nonterminals
+
+    def validate(self) -> list[str]:
+        """Return human-readable issues (non-normalized parents, dead ends)."""
+        issues = []
+        mass: dict[str, float] = defaultdict(float)
+        for rule in self.rules:
+            mass[rule.parent] += rule.prob
+        for parent, total in sorted(mass.items()):
+            if abs(total - 1.0) > 1e-6:
+                issues.append(f"{parent} probabilities sum to {total:.4f}")
+        reachable = {self.start}
+        frontier = [self.start]
+        while frontier:
+            symbol = frontier.pop()
+            for rule in self.rules:
+                if rule.parent == symbol:
+                    for child in rule.children:
+                        if child in self.nonterminals and child not in reachable:
+                            reachable.add(child)
+                            frontier.append(child)
+        unreachable = self.nonterminals - reachable
+        if unreachable:
+            issues.append(f"unreachable nonterminals: {sorted(unreachable)}")
+        return issues
+
+
+def _normalize(raw: list[tuple[str, tuple[str, ...], float]]) -> list[Rule]:
+    """Normalize rule weights per parent into probabilities."""
+    totals: dict[str, float] = defaultdict(float)
+    for parent, _children, weight in raw:
+        totals[parent] += weight
+    return [
+        Rule(parent, children, weight / totals[parent])
+        for parent, children, weight in raw
+    ]
+
+
+def default_grammar() -> Grammar:
+    """The grammar used by GCED's WSPTC.
+
+    Weights are relative frequencies tuned on the synthetic corpus; they
+    are normalized per parent, so only ratios matter.
+    """
+    raw: list[tuple[str, tuple[str, ...], float]] = [
+        # ---- lexical categories (tag promotions) ----
+        ("NOM", ("NN",), 4.0),
+        ("NOM", ("NNS",), 2.0),
+        ("NOM", ("NNP",), 4.0),
+        ("ADJ", ("JJ",), 4.0),
+        ("ADJ", ("JJR",), 0.5),
+        ("ADJ", ("JJS",), 0.5),
+        ("ADJ", ("VBN",), 1.0),  # participial premodifier: "distilled evidence"
+        ("ADJ", ("VBG",), 0.7),  # "dancing competitions"
+        ("ADJ", ("CD",), 1.0),  # "50 years"
+        ("ADV", ("RB",), 1.0),
+        ("P", ("IN",), 4.0),
+        ("P", ("TO",), 1.0),
+        ("DET", ("DT",), 4.0),
+        ("DET", ("PRP$",), 1.0),
+        ("PRO", ("PRP",), 1.0),
+        ("CONJ", ("CC",), 1.0),
+        ("V", ("VBD",), 4.0),
+        ("V", ("VBZ",), 2.0),
+        ("V", ("VBP",), 1.0),
+        ("V", ("VB",), 1.0),
+        ("V", ("VBN",), 1.0),
+        ("V", ("VBG",), 0.2),
+        ("MODAL", ("MD",), 1.0),
+        ("PUNC", ("PUNCT",), 1.0),
+        ("WH", ("WP",), 1.0),
+        ("WH", ("WRB",), 1.0),
+        ("NUM", ("CD",), 1.0),
+        # ---- nominals ----
+        ("NML", ("NOM",), 5.0),
+        ("NML", ("NOM", "NML"), 3.0),  # noun compounds: "Super Bowl title"
+        ("NML", ("ADJ", "NML"), 2.5),
+        ("NML", ("ADJP", "NML"), 1.0),  # coordinated premodifiers
+        ("NML", ("NML", "PUNC"), 0.3),  # appositive commas absorbed low
+        ("NML", ("NUM", "NML"), 0.4),
+        # ---- noun phrases ----
+        ("NP", ("NML",), 4.0),
+        ("NP", ("DET", "NML"), 3.5),
+        ("NP", ("PRO",), 1.0),
+        ("NP", ("NP", "PP"), 1.8),
+        ("NP", ("NP", "NPCONJ"), 0.8),
+        ("NP", ("NP", "APPOS"), 0.5),
+        ("NP", ("NUM",), 0.3),
+        ("NPCONJ", ("CONJ", "NP"), 1.0),
+        ("APPOS", ("PUNC", "NP"), 1.0),  # ", a singer"
+        # ---- prepositional phrases ----
+        ("PP", ("P", "NP"), 1.0),
+        # ---- adjective / adverb phrases ----
+        ("ADJP", ("ADJ",), 2.0),
+        ("ADJP", ("ADV", "ADJP"), 0.5),
+        ("ADJP", ("ADJP", "PP"), 0.3),
+        ("ADJP", ("ADJP", "ADJPCONJ"), 0.6),  # "singing and dancing"
+        ("ADJPCONJ", ("CONJ", "ADJP"), 1.0),
+        ("ADVP", ("ADV",), 1.0),
+        # ---- verb phrases ----
+        ("VP", ("V",), 1.0),
+        ("VP", ("V", "NP"), 4.0),
+        ("VP", ("V", "PP"), 1.5),
+        ("VP", ("V", "ADJP"), 0.8),
+        ("VP", ("V", "VP"), 0.8),  # "was born", "has won"
+        ("VP", ("MODAL", "VP"), 0.5),
+        ("VP", ("VP", "PP"), 2.0),
+        ("VP", ("VP", "ADVP"), 0.4),
+        ("VP", ("ADV", "VP"), 0.4),
+        ("VP", ("VP", "VPCONJ"), 0.5),
+        ("VP", ("V", "SBAR"), 0.3),  # "said that ..."
+        ("VPCONJ", ("CONJ", "VP"), 1.0),
+        # ---- clauses ----
+        ("S", ("NP", "VP"), 6.0),
+        ("S", ("VP",), 0.5),
+        ("S", ("S", "PUNC"), 1.5),
+        ("S", ("PUNC", "S"), 0.1),
+        ("S", ("S", "SCONJ"), 0.5),
+        ("S", ("PP", "S"), 0.4),  # fronted PP: "In 1066, ..."
+        ("S", ("ADVP", "S"), 0.2),
+        ("SCONJ", ("CONJ", "S"), 0.7),
+        ("SCONJ", ("PUNC", "S"), 0.3),
+        ("SBAR", ("P", "S"), 0.6),  # subordinate clause
+        ("SBAR", ("WH", "S"), 0.2),
+        ("SBAR", ("WH", "VP"), 0.2),  # relative clause: "who led ..."
+        # ---- root ----
+        ("TOP", ("S",), 0.85),
+        ("TOP", ("NP",), 0.1),
+        ("TOP", ("VP",), 0.05),
+    ]
+    return Grammar(_normalize(raw))

@@ -1,0 +1,95 @@
+"""Collins-style head rules: lexicalize a constituency tree.
+
+Lexicalization turns the PCFG parse into the L-PCFG artifact of Sec. III-D:
+every constituent is annotated with the token index of its lexical head,
+from which the token-level dependency tree is read off.
+"""
+
+from __future__ import annotations
+
+from repro.parsing.tree import ParseNode
+
+__all__ = ["HEAD_RULES", "lexicalize"]
+
+# parent label -> (priority list of child labels, search direction).
+# The first child whose label appears earliest in the priority list wins;
+# ties are broken by direction ("left" = leftmost such child).
+HEAD_RULES: dict[str, tuple[tuple[str, ...], str]] = {
+    "TOP": (("S", "NP", "VP"), "left"),
+    "S": (("VP", "S", "NP", "SBAR"), "left"),
+    "SBAR": (("S", "VP", "WH"), "right"),
+    "SCONJ": (("S",), "right"),
+    "VP": (("V", "MODAL", "VP"), "left"),
+    "VPCONJ": (("VP",), "right"),
+    "NP": (("NML", "NP", "PRO", "NUM"), "left"),
+    "NPCONJ": (("NP",), "right"),
+    "APPOS": (("NP",), "right"),
+    "NML": (("NML", "NOM"), "right"),  # rightmost nominal heads compounds
+    "PP": (("P",), "left"),
+    "ADJP": (("ADJ", "ADJP"), "right"),
+    "ADJPCONJ": (("ADJP",), "right"),
+    "ADVP": (("ADV",), "right"),
+    # Lexical categories head themselves through their single child.
+    "NOM": ((), "left"),
+    "ADJ": ((), "left"),
+    "ADV": ((), "left"),
+    "P": ((), "left"),
+    "DET": ((), "left"),
+    "PRO": ((), "left"),
+    "CONJ": ((), "left"),
+    "V": ((), "left"),
+    "MODAL": ((), "left"),
+    "PUNC": ((), "left"),
+    "WH": ((), "left"),
+    "NUM": ((), "left"),
+    "X": ((), "left"),  # glue fallback: first chunk heads the sentence
+}
+
+# When the priority list misses, prefer content-bearing children over
+# punctuation and function categories.
+_CONTENT_ORDER = (
+    "VP", "S", "NP", "NML", "NOM", "V", "ADJP", "ADJ", "PP", "ADVP",
+    "ADV", "NUM", "PRO", "MODAL", "DET", "P", "WH", "CONJ", "PUNC",
+)
+
+
+def _pick_head_child(node: ParseNode) -> ParseNode:
+    label = node.label
+    priorities, direction = HEAD_RULES.get(label, ((), "left"))
+    children = node.children if direction == "left" else list(reversed(node.children))
+    for wanted in priorities:
+        for child in children:
+            if child.label == wanted:
+                return child
+    # Fallback: most content-bearing child.
+    best = None
+    best_rank = len(_CONTENT_ORDER)
+    for child in children:
+        try:
+            rank = _CONTENT_ORDER.index(child.label)
+        except ValueError:
+            rank = len(_CONTENT_ORDER) - 1
+        if rank < best_rank:
+            best_rank = rank
+            best = child
+    return best if best is not None else node.children[0]
+
+
+def lexicalize(node: ParseNode) -> int:
+    """Annotate ``node`` (in place) with head token indexes; return the root head.
+
+    Leaves head themselves; internal nodes inherit the head of the child
+    selected by :data:`HEAD_RULES`.
+    """
+    if node.is_leaf:
+        if node.index is None:
+            raise ValueError("leaf node lacks a token index")
+        node.head = node.index
+        return node.head
+    for child in node.children:
+        lexicalize(child)
+    head_child = _pick_head_child(node)
+    node.head = head_child.head
+    if node.head is None:  # pragma: no cover - defensive
+        raise RuntimeError(f"lexicalization failed at {node.label}")
+    return node.head

@@ -1,0 +1,227 @@
+"""Rule-and-lexicon POS tagger.
+
+A compact Penn-style tagset drives the PCFG and the head rules:
+
+    DT determiner        NN/NNS/NNP noun forms     PRP/PRP$ pronouns
+    VB/VBD/VBZ/VBP/VBG/VBN verb forms              MD modal
+    JJ/JJR/JJS adjectives  RB adverb   IN preposition/subordinator
+    CC coordination      CD number    TO "to"      WP/WRB wh-words
+    POS possessive 's    PUNCT punctuation
+
+The tagger combines a closed-class lexicon, a verb-form lexicon derived
+from the corpus verb inventory, morphological suffix heuristics, and a few
+contextual repair rules (e.g. "-s" after a determiner is a plural noun,
+after a proper noun it is a 3rd-person verb).
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["PosTagger", "VERB_LEXICON"]
+
+_CLOSED_CLASS: dict[str, str] = {}
+
+for _w in ("a", "an", "the", "this", "that", "these", "those", "some", "any",
+           "each", "every", "no", "another", "such"):
+    _CLOSED_CLASS[_w] = "DT"
+for _w in ("i", "you", "he", "she", "it", "we", "they", "me", "him", "her",
+           "them", "us", "himself", "herself", "itself", "themselves"):
+    _CLOSED_CLASS[_w] = "PRP"
+for _w in ("my", "your", "his", "its", "our", "their"):
+    _CLOSED_CLASS[_w] = "PRP$"
+for _w in ("of", "in", "on", "at", "by", "for", "with", "about", "against",
+           "between", "into", "through", "during", "before", "after",
+           "above", "below", "from", "up", "down", "over", "under",
+           "across", "near", "off", "onto", "upon", "within", "without",
+           "along", "around", "behind", "beside", "toward", "towards",
+           "via", "because", "although", "while", "if", "than", "since",
+           "unless", "whereas", "as", "though"):
+    _CLOSED_CLASS[_w] = "IN"
+for _w in ("and", "or", "but", "nor", "yet", "so"):
+    _CLOSED_CLASS[_w] = "CC"
+for _w in ("will", "would", "shall", "should", "can", "could", "may",
+           "might", "must"):
+    _CLOSED_CLASS[_w] = "MD"
+for _w in ("who", "whom", "what", "which", "whose"):
+    _CLOSED_CLASS[_w] = "WP"
+for _w in ("where", "when", "why", "how"):
+    _CLOSED_CLASS[_w] = "WRB"
+_CLOSED_CLASS["to"] = "TO"
+for _w in ("not", "n't", "also", "very", "too", "just", "only", "then",
+           "there", "here", "now", "never", "always", "often", "later",
+           "early", "soon", "again", "once", "twice", "almost", "nearly",
+           "approximately", "roughly", "eventually", "finally",
+           "subsequently", "initially", "originally", "formerly",
+           "currently", "primarily", "mainly", "mostly", "widely",
+           "highly", "notably", "famously"):
+    _CLOSED_CLASS[_w] = "RB"
+
+# Irregular / common verb forms: base, past, 3rd-singular, participle.
+_VERB_FORMS: dict[str, str] = {
+    "be": "VB", "am": "VBP", "is": "VBZ", "are": "VBP", "was": "VBD",
+    "were": "VBD", "been": "VBN", "being": "VBG",
+    "have": "VBP", "has": "VBZ", "had": "VBD", "having": "VBG",
+    "do": "VBP", "does": "VBZ", "did": "VBD", "done": "VBN",
+    "go": "VB", "went": "VBD", "gone": "VBN",
+    "win": "VB", "won": "VBD", "lose": "VB", "lost": "VBD",
+    "lead": "VB", "led": "VBD", "leave": "VB", "left": "VBD",
+    "make": "VB", "made": "VBD", "take": "VB", "took": "VBD",
+    "taken": "VBN", "give": "VB", "gave": "VBD", "given": "VBN",
+    "get": "VB", "got": "VBD", "find": "VB", "found": "VBD",
+    "hold": "VB", "held": "VBD", "write": "VB", "wrote": "VBD",
+    "written": "VBN", "become": "VB", "became": "VBD",
+    "begin": "VB", "began": "VBD", "begun": "VBN",
+    "know": "VB", "knew": "VBD", "known": "VBN",
+    "see": "VB", "saw": "VBD", "seen": "VBN",
+    "grow": "VB", "grew": "VBD", "grown": "VBN",
+    "rise": "VB", "rose": "VBD", "risen": "VBN",
+    "fall": "VB", "fell": "VBD", "fallen": "VBN",
+    "build": "VB", "built": "VBD", "teach": "VB", "taught": "VBD",
+    "fight": "VB", "fought": "VBD", "bring": "VB", "brought": "VBD",
+    "buy": "VB", "bought": "VBD", "think": "VB", "thought": "VBD",
+    "say": "VB", "said": "VBD", "sing": "VB", "sang": "VBD",
+    "sung": "VBN", "meet": "VB", "met": "VBD",
+    "run": "VB", "ran": "VBD", "set": "VB", "sell": "VB", "sold": "VBD",
+    "send": "VB", "sent": "VBD", "spend": "VB", "spent": "VBD",
+    "come": "VB", "came": "VBD", "overcame": "VBD", "overcome": "VB",
+    "die": "VB", "died": "VBD",
+    "bear": "VB", "bore": "VBD", "born": "VBN",
+    "raise": "VB", "raised": "VBD",
+    "choose": "VB", "chose": "VBD", "chosen": "VBN",
+    "draw": "VB", "drew": "VBD", "drawn": "VBN",
+    "speak": "VB", "spoke": "VBD", "spoken": "VBN",
+}
+
+# Base verbs whose regular inflections should also tag as verbs.
+_BASE_VERBS = {
+    "defeat", "beat", "conquer", "vanquish", "earn", "gain", "capture",
+    "claim", "secure", "represent", "perform", "play", "appear", "star",
+    "dance", "compose", "record", "release", "publish", "issue", "launch",
+    "discover", "uncover", "detect", "identify", "invent", "devise",
+    "create", "develop", "design", "establish", "institute", "form",
+    "construct", "erect", "demolish", "destroy", "command", "direct",
+    "guide", "rule", "govern", "reign", "control", "invade", "occupy",
+    "seize", "study", "research", "investigate", "examine", "propose",
+    "suggest", "advance", "introduce", "prove", "demonstrate", "show",
+    "verify", "confirm", "receive", "accept", "obtain", "grant", "award",
+    "present", "bestow", "name", "call", "dub", "designate", "locate",
+    "situate", "place", "position", "move", "relocate", "migrate",
+    "transfer", "start", "commence", "initiate", "open", "finish",
+    "conclude", "terminate", "close", "expand", "increase", "decrease",
+    "decline", "drop", "measure", "gauge", "quantify", "produce",
+    "manufacture", "generate", "serve", "work", "act", "attend", "visit",
+    "graduate", "instruct", "educate", "train", "marry", "wed", "reside",
+    "dwell", "inhabit", "live", "remain", "describe", "include", "contain",
+    "feature", "house", "border", "cover", "span", "stretch", "flow",
+    "attract", "host", "celebrate", "honor", "dedicate", "complete",
+    "debut", "tour", "travel", "explore", "observe", "calculate",
+    "predict", "explain", "describe", "help", "support", "defend",
+    "protect", "join", "sign", "retire", "return", "score", "succeed",
+    "replace", "succeed", "employ", "hire", "manage", "operate",
+}
+
+VERB_LEXICON = frozenset(_VERB_FORMS) | _BASE_VERBS
+
+_NOUN_SUFFIXES = (
+    "tion", "sion", "ment", "ness", "ity", "ship", "hood", "dom", "ism",
+    "ist", "ure", "ance", "ence", "ery", "logy", "graphy",
+)
+_ADJ_SUFFIXES = ("ous", "ful", "ive", "ic", "ical", "able", "ible", "ant",
+                 "ent", "ary", "ish", "less")
+
+_NUMBER_RE = re.compile(r"^\d+(?:[.,]\d+)*%?$")
+_ORDINAL_RE = re.compile(r"^\d+(?:st|nd|rd|th)$", re.IGNORECASE)
+
+
+class PosTagger:
+    """Tag token sequences with the compact Penn-style tagset.
+
+    The tagger is deterministic.  ``extra_nouns`` / ``extra_verbs`` allow
+    dataset generators to register domain words whose class the heuristics
+    would otherwise miss.
+    """
+
+    def __init__(
+        self,
+        extra_nouns: set[str] | None = None,
+        extra_verbs: set[str] | None = None,
+    ) -> None:
+        self.extra_nouns = {w.lower() for w in (extra_nouns or set())}
+        self.extra_verbs = {w.lower() for w in (extra_verbs or set())}
+
+    # ---------------------------------------------------------------- word
+    def _tag_word(self, word: str, position: int) -> str:
+        lower = word.lower()
+        if not any(ch.isalnum() for ch in word):
+            return "POS" if word in ("'s",) else "PUNCT"
+        if _NUMBER_RE.match(word):
+            return "CD"
+        if _ORDINAL_RE.match(word):
+            return "JJ"
+        if lower in _CLOSED_CLASS:
+            return _CLOSED_CLASS[lower]
+        if lower in self.extra_verbs:
+            return "VBD"
+        if lower in _VERB_FORMS:
+            return _VERB_FORMS[lower]
+        if lower in _BASE_VERBS:
+            return "VB"
+        # Regular inflections of known verbs.
+        if lower.endswith("ed"):
+            stem = lower[:-2]
+            if stem in _BASE_VERBS or stem + "e" in _BASE_VERBS or (
+                len(stem) > 2 and stem[-1] == stem[-2] and stem[:-1] in _BASE_VERBS
+            ):
+                return "VBD"
+        if lower.endswith("ing"):
+            stem = lower[:-3]
+            if stem in _BASE_VERBS or stem + "e" in _BASE_VERBS:
+                return "VBG"
+        if lower.endswith("s") and not lower.endswith("ss"):
+            stem = lower[:-1]
+            es_stem = lower[:-2] if lower.endswith("es") else None
+            if stem in _BASE_VERBS or (es_stem and es_stem in _BASE_VERBS):
+                return "VBZ"
+        if lower in self.extra_nouns:
+            return "NNP" if word[:1].isupper() else "NN"
+        # Capitalization mid-sentence is the strongest proper-noun cue.
+        if word[:1].isupper() and position > 0:
+            return "NNP"
+        # Morphological suffixes.
+        if lower.endswith("ly"):
+            return "RB"
+        for suffix in _ADJ_SUFFIXES:
+            if lower.endswith(suffix) and len(lower) > len(suffix) + 2:
+                return "JJ"
+        for suffix in _NOUN_SUFFIXES:
+            if lower.endswith(suffix) and len(lower) > len(suffix) + 1:
+                return "NN"
+        if lower.endswith("ing"):
+            return "VBG"
+        if lower.endswith("ed"):
+            return "VBN"
+        if word[:1].isupper():  # sentence-initial unknown capitalized word
+            return "NNP"
+        if lower.endswith("s") and not lower.endswith("ss") and len(lower) > 3:
+            return "NNS"
+        return "NN"
+
+    # ------------------------------------------------------------ sequence
+    def tag(self, tokens: list[str]) -> list[str]:
+        """Tag a token sequence, applying contextual repair rules."""
+        tags = [self._tag_word(tok, i) for i, tok in enumerate(tokens)]
+        for i in range(len(tags)):
+            prev_tag = tags[i - 1] if i > 0 else None
+            # determiner/adjective + "Xs" → plural noun, not verb
+            if tags[i] == "VBZ" and prev_tag in ("DT", "JJ", "PRP$", "CD"):
+                tags[i] = "NNS"
+            # noun + "Xed" where a later verb exists → keep; else fine
+            # "that"/"as" before a verb behaves as IN; before NP it's DT —
+            # approximate: "that" followed by a noun-ish tag is DT.
+            if tokens[i].lower() == "that":
+                nxt = tags[i + 1] if i + 1 < len(tags) else None
+                tags[i] = "DT" if nxt in ("NN", "NNS", "NNP", "JJ", "CD") else "IN"
+            # bare VB after a noun phrase start and no modal → past tense
+            # (narrative corpus style: "The duke lead ..." is rare; keep VB)
+        return tags

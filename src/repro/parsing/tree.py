@@ -1,0 +1,204 @@
+"""Tree data structures: constituency parse nodes and dependency trees.
+
+``DependencyTree`` is the central structure of the reproduction: the
+"weighted syntactic parsing tree" of Sec. III-D is a tree over *tokens*
+(each node carries the token's index in the answer-oriented sentences, as
+in Fig. 6's "31-title", "26-earn"), and Grow-and-Clip manipulates subtrees
+of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["ParseNode", "DependencyTree"]
+
+
+@dataclass
+class ParseNode:
+    """A constituency-tree node.
+
+    Leaves have ``word`` set and ``children`` empty; internal nodes carry a
+    syntactic ``label`` (NP, VP, ...).  After lexicalization, ``head``
+    holds the token index of the node's lexical head.
+    """
+
+    label: str
+    children: list["ParseNode"] = field(default_factory=list)
+    word: str | None = None
+    index: int | None = None  # token index for leaves
+    head: int | None = None  # lexical head token index (set by lexicalize)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def leaves(self) -> list["ParseNode"]:
+        """All leaf nodes, left to right."""
+        if self.is_leaf:
+            return [self]
+        result: list[ParseNode] = []
+        for child in self.children:
+            result.extend(child.leaves())
+        return result
+
+    def spans(self) -> tuple[int, int]:
+        """(first, last) token index covered by this node."""
+        leaves = self.leaves()
+        first = leaves[0].index
+        last = leaves[-1].index
+        if first is None or last is None:
+            raise ValueError("leaf without a token index")
+        return first, last
+
+    def pretty(self, depth: int = 0) -> str:
+        """Bracketed multi-line rendering for debugging."""
+        pad = "  " * depth
+        if self.is_leaf:
+            return f"{pad}({self.label} {self.word})"
+        inner = "\n".join(child.pretty(depth + 1) for child in self.children)
+        return f"{pad}({self.label}\n{inner}\n{pad})"
+
+    def __iter__(self) -> Iterator["ParseNode"]:
+        """Pre-order traversal."""
+        yield self
+        for child in self.children:
+            yield from child
+
+
+class DependencyTree:
+    """A rooted tree over token indices with weighted edges.
+
+    Nodes are integers ``0..n-1`` (token positions).  ``parent[i]`` is the
+    parent index of ``i`` or ``-1`` for the root.  ``weight[i]`` is the
+    attention weight of the edge (i, parent[i]); the root's weight is 0.
+
+    The structure is immutable after construction except for edge weights
+    (WSPTC sets them after the parse).
+    """
+
+    def __init__(self, tokens: list[str], parents: list[int]) -> None:
+        if len(tokens) != len(parents):
+            raise ValueError("tokens and parents must have equal length")
+        n = len(tokens)
+        roots = [i for i, p in enumerate(parents) if p == -1]
+        if n > 0 and len(roots) != 1:
+            raise ValueError(f"expected exactly one root, got {len(roots)}")
+        for i, p in enumerate(parents):
+            if p != -1 and not (0 <= p < n):
+                raise ValueError(f"parent of {i} out of range: {p}")
+            if p == i:
+                raise ValueError(f"node {i} is its own parent")
+        self.tokens = list(tokens)
+        self.parents = list(parents)
+        self.weights = [0.0] * n
+        self._children: list[list[int]] = [[] for _ in range(n)]
+        for i, p in enumerate(parents):
+            if p != -1:
+                self._children[p].append(i)
+        self._root = roots[0] if roots else -1
+        self._validate_acyclic()
+
+    def _validate_acyclic(self) -> None:
+        seen_global: set[int] = set()
+        for start in range(len(self.tokens)):
+            if start in seen_global:
+                continue
+            path: set[int] = set()
+            node = start
+            while node != -1 and node not in seen_global:
+                if node in path:
+                    raise ValueError(f"cycle detected through node {node}")
+                path.add(node)
+                node = self.parents[node]
+            seen_global.update(path)
+
+    # ------------------------------------------------------------ accessors
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    @property
+    def root(self) -> int:
+        """Token index of the root node."""
+        return self._root
+
+    def parent(self, node: int) -> int:
+        """Parent index of ``node`` (-1 for the root)."""
+        return self.parents[node]
+
+    def children(self, node: int) -> list[int]:
+        """Child indices of ``node`` in token order."""
+        return list(self._children[node])
+
+    def token(self, node: int) -> str:
+        return self.tokens[node]
+
+    def weight(self, node: int) -> float:
+        """Attention weight of the edge from ``node`` to its parent."""
+        return self.weights[node]
+
+    def set_weight(self, node: int, value: float) -> None:
+        self.weights[node] = float(value)
+
+    # ------------------------------------------------------------- queries
+    def subtree(self, node: int) -> set[int]:
+        """All indices in the subtree rooted at ``node`` (inclusive)."""
+        result: set[int] = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            result.add(current)
+            stack.extend(self._children[current])
+        return result
+
+    def depth(self, node: int) -> int:
+        """Distance from ``node`` to the root."""
+        d = 0
+        while self.parents[node] != -1:
+            node = self.parents[node]
+            d += 1
+        return d
+
+    def ancestors(self, node: int) -> list[int]:
+        """Ancestors of ``node`` from its parent up to the root."""
+        result = []
+        node = self.parents[node]
+        while node != -1:
+            result.append(node)
+            node = self.parents[node]
+        return result
+
+    def path_to_root(self, node: int) -> list[int]:
+        """``node`` followed by its ancestors up to the root."""
+        return [node] + self.ancestors(node)
+
+    def siblings(self, node: int) -> list[int]:
+        """Other children of ``node``'s parent."""
+        p = self.parents[node]
+        if p == -1:
+            return []
+        return [c for c in self._children[p] if c != node]
+
+    def is_ancestor(self, candidate: int, node: int) -> bool:
+        """True if ``candidate`` lies on ``node``'s path to the root."""
+        while node != -1:
+            node = self.parents[node]
+            if node == candidate:
+                return True
+        return False
+
+    def text_of(self, nodes: set[int] | list[int]) -> list[str]:
+        """Tokens of ``nodes`` ordered by index (the paper's 'rank by indexes')."""
+        return [self.tokens[i] for i in sorted(set(nodes))]
+
+    def to_dot(self) -> str:
+        """Graphviz rendering for debugging and documentation."""
+        lines = ["digraph dependency {"]
+        for i, tok in enumerate(self.tokens):
+            lines.append(f'  n{i} [label="{i}-{tok}"];')
+        for i, p in enumerate(self.parents):
+            if p != -1:
+                lines.append(f'  n{p} -> n{i} [label="{self.weights[i]:.3f}"];')
+        lines.append("}")
+        return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""QA-model substrate.
+
+Extractive span predictors stand in for the paper's fine-tuned PLMs: they
+expose the one capability every GCED module needs — ``(question, text) →
+answer span with a confidence`` — and their accuracy genuinely improves
+when distractor material is removed from the context, which is the
+mechanism behind the paper's Table VI/VII gains.
+"""
+
+from repro.qa.base import AnswerPrediction, QAModel, SpanScoringQA
+from repro.qa.answer_types import AnswerType, classify_question, candidate_spans
+from repro.qa.lexical import LexicalOverlapQA
+from repro.qa.tfidf import TfidfQA
+from repro.qa.embedding import EmbeddingQA
+from repro.qa.ensemble import EnsembleQA
+from repro.qa.sliding import SlidingWindowQA
+from repro.qa.evaluation import EvaluationResult, evaluate_model, evaluate_with_contexts
+from repro.qa.training import QATrainer, TrainedArtifacts
+from repro.qa.registry import (
+    SimulatedBaseline,
+    BaselineSpec,
+    SQUAD_BASELINES,
+    TRIVIAQA_BASELINES,
+    build_baseline,
+)
+
+__all__ = [
+    "AnswerPrediction",
+    "QAModel",
+    "SpanScoringQA",
+    "AnswerType",
+    "classify_question",
+    "candidate_spans",
+    "LexicalOverlapQA",
+    "TfidfQA",
+    "EmbeddingQA",
+    "EnsembleQA",
+    "SlidingWindowQA",
+    "EvaluationResult",
+    "evaluate_model",
+    "evaluate_with_contexts",
+    "QATrainer",
+    "TrainedArtifacts",
+    "SimulatedBaseline",
+    "BaselineSpec",
+    "SQUAD_BASELINES",
+    "TRIVIAQA_BASELINES",
+    "build_baseline",
+]

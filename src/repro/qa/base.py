@@ -1,0 +1,253 @@
+"""QA model interface and the shared span-scoring harness.
+
+Mirrors Step 1-2 of Sec. II-B1: the model receives a question and a text
+(full context, single sentences during ASE, or a candidate evidence during
+hybrid scoring) and returns the best answer span with a confidence score.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.parsing.pos import PosTagger, VERB_LEXICON
+from repro.qa.answer_types import AnswerType, candidate_spans, classify_question
+from repro.text.tokenizer import Token, tokenize
+from repro.lexicon.stopwords import is_insignificant
+
+__all__ = ["AnswerPrediction", "QAModel", "SpanScoringQA"]
+
+
+@dataclass(frozen=True)
+class AnswerPrediction:
+    """A predicted answer span.
+
+    Attributes:
+        text: surface answer string (as it appears in the context).
+        start: character offset of the span start in the context.
+        end: character offset one past the span end.
+        score: model confidence (higher is better; scale is model-specific).
+    """
+
+    text: str
+    start: int
+    end: int
+    score: float
+
+    @classmethod
+    def empty(cls) -> "AnswerPrediction":
+        """The no-answer prediction (used for unanswerable questions)."""
+        return cls(text="", start=0, end=0, score=float("-inf"))
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.text
+
+
+class QAModel(abc.ABC):
+    """Interface every answer predictor implements."""
+
+    name: str = "qa-model"
+
+    @abc.abstractmethod
+    def predict(self, question: str, context: str) -> AnswerPrediction:
+        """Predict the best answer span for ``question`` in ``context``."""
+
+    def predict_top_k(
+        self, question: str, context: str, k: int = 5
+    ) -> list[AnswerPrediction]:
+        """Best ``k`` non-overlapping predictions; default returns just one."""
+        return [self.predict(question, context)]
+
+
+class SpanScoringQA(QAModel):
+    """Shared machinery: enumerate typed candidate spans, score, argmax.
+
+    Subclasses implement :meth:`score_span`.  Scores combine with a small
+    length penalty so that, all else equal, tighter spans win — the same
+    inductive bias extractive PLM heads acquire from SQuAD training.
+    """
+
+    length_penalty: float = 0.05
+
+    def question_terms(self, question: str) -> list[str]:
+        """Significant (non-stopword) lowercased question terms."""
+        return [
+            t.lower for t in tokenize(question) if t.is_word and not is_insignificant(t.text)
+        ]
+
+    # Matched question verbs anchor the answer more strongly than matched
+    # entities ("Beyonce *performed* in X" — X is near the verb, while many
+    # irrelevant spans sit near the entity mention).
+    verb_term_boost: float = 1.6
+
+    @staticmethod
+    def term_index(
+        question_terms: list[str],
+    ) -> tuple[dict[str, str], dict[str, str], frozenset[str]]:
+        """Build (exact map, stem map, verb-term set) for fast matching.
+
+        Both maps send a surface key to the canonical question term, so the
+        caller can track *distinct* matched terms for coverage bonuses.
+        """
+        from repro.text.stem import light_stem
+
+        exact = {t: t for t in question_terms}
+        stems = {light_stem(t): t for t in question_terms}
+        verbs = frozenset(
+            t for t in question_terms
+            if t in VERB_LEXICON or light_stem(t) in VERB_LEXICON
+        )
+        return exact, stems, verbs
+
+    @staticmethod
+    def match_term(
+        token_lower: str,
+        exact: dict[str, str],
+        stems: dict[str, str],
+    ) -> str | None:
+        """The question term matched by a context token, or None."""
+        from repro.text.stem import light_stem
+
+        if token_lower in exact:
+            return exact[token_lower]
+        return stems.get(light_stem(token_lower))
+
+    @abc.abstractmethod
+    def score_span(
+        self,
+        question_terms: list[str],
+        tokens: list[Token],
+        start: int,
+        end: int,
+        bounds: tuple[int, int] | None = None,
+    ) -> float:
+        """Score the candidate span ``tokens[start..end]`` (inclusive).
+
+        ``bounds`` restricts question-term matching to the token range of
+        the span's own sentence — question words in a *neighbouring*
+        sentence are not evidence for this span.
+        """
+
+    @staticmethod
+    def sentence_bounds(tokens: list[Token]) -> list[tuple[int, int]]:
+        """Per-token (start, end-exclusive) bounds of the containing sentence."""
+        bounds: list[tuple[int, int]] = [None] * len(tokens)  # type: ignore[list-item]
+        start = 0
+        for i, tok in enumerate(tokens):
+            if tok.text in (".", "!", "?"):
+                for k in range(start, i + 1):
+                    bounds[k] = (start, i + 1)
+                start = i + 1
+        for k in range(start, len(tokens)):
+            bounds[k] = (start, len(tokens))
+        return bounds
+
+    # Prior for typed (capitalized / numeric) candidates over generic
+    # phrase spans, and bonus for spans in subject position before a verb.
+    typed_prior: float = 0.5
+    subject_bonus: float = 1.2
+    _tagger = PosTagger()
+    _NOUNISH_TAGS = frozenset({"NN", "NNS", "NNP", "CD", "VBG"})
+    _BAD_START_TAGS = frozenset({"CC", "IN", "TO", "PUNCT", "POS"})
+
+    def _is_verb(self, token: Token) -> bool:
+        lower = token.lower
+        if lower in VERB_LEXICON:
+            return True
+        return lower.endswith("ed") and len(lower) > 4
+
+    def _ranked_spans(
+        self, question: str, context: str
+    ) -> tuple[list[Token], list[tuple[float, int, int]]]:
+        tokens = tokenize(context)
+        if not tokens:
+            return tokens, []
+        answer_type = classify_question(question)
+        typed = set(candidate_spans(tokens, answer_type))
+        spans = set(typed)
+        if answer_type is AnswerType.ENTITY or not spans:
+            # "what/which" answers are frequently common-noun phrases that
+            # the capitalized-run extractor cannot produce.
+            spans |= set(candidate_spans(tokens, AnswerType.PHRASE))
+        terms = self.question_terms(question)
+        entity_like = answer_type in (
+            AnswerType.PERSON,
+            AnswerType.PLACE,
+            AnswerType.ENTITY,
+        )
+        sent_bounds = self.sentence_bounds(tokens)
+        tags = self._tagger.tag([t.text for t in tokens])
+        scored = []
+        for start, end in spans:
+            lo = sent_bounds[start][0]
+            hi = sent_bounds[min(end, len(tokens) - 1)][1]
+            raw = self.score_span(terms, tokens, start, end, bounds=(lo, hi))
+            raw -= self.length_penalty * (end - start)
+            if (start, end) in typed:
+                raw += self.typed_prior
+                if (
+                    entity_like
+                    and end + 1 < len(tokens)
+                    and self._is_verb(tokens[end + 1])
+                ):
+                    # Subject preference: "which team ...?" answers sit
+                    # before the predicate ("Denver Broncos defeated ...").
+                    raw += self.subject_bonus
+            elif entity_like:
+                # Generic phrase spans are a fallback for entity questions.
+                raw -= 0.4
+            if (start, end) not in typed:
+                # Completeness prior: answers are (close to) constituents —
+                # a span ending mid-phrase ("various", "singing and") or
+                # starting on a conjunction is rarely a full answer.
+                if tags[end] not in self._NOUNISH_TAGS:
+                    raw -= 0.6
+                if tags[start] in self._BAD_START_TAGS:
+                    raw -= 0.3
+                # Ending mid-noun-phrase ("various singing" of "various
+                # singing and dancing competitions") is also incomplete.
+                nxt = end + 1
+                if nxt < len(tokens) and tags[nxt] == "CC" and nxt + 1 < len(
+                    tokens
+                ) and tags[nxt + 1] in self._NOUNISH_TAGS:
+                    raw -= 0.5
+                elif nxt < len(tokens) and tags[nxt] in self._NOUNISH_TAGS:
+                    raw -= 0.5
+            scored.append((raw, start, end))
+        scored.sort(key=lambda item: (-item[0], item[1], item[2]))
+        return tokens, scored
+
+    def predict(self, question: str, context: str) -> AnswerPrediction:
+        tokens, scored = self._ranked_spans(question, context)
+        if not scored:
+            return AnswerPrediction.empty()
+        score, start, end = scored[0]
+        return AnswerPrediction(
+            text=context[tokens[start].start : tokens[end].end],
+            start=tokens[start].start,
+            end=tokens[end].end,
+            score=score,
+        )
+
+    def predict_top_k(
+        self, question: str, context: str, k: int = 5
+    ) -> list[AnswerPrediction]:
+        tokens, scored = self._ranked_spans(question, context)
+        results: list[AnswerPrediction] = []
+        taken: list[tuple[int, int]] = []
+        for score, start, end in scored:
+            if any(not (end < s or start > e) for s, e in taken):
+                continue
+            results.append(
+                AnswerPrediction(
+                    text=context[tokens[start].start : tokens[end].end],
+                    start=tokens[start].start,
+                    end=tokens[end].end,
+                    score=score,
+                )
+            )
+            taken.append((start, end))
+            if len(results) == k:
+                break
+        return results

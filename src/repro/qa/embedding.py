@@ -1,0 +1,68 @@
+"""Embedding-similarity QA: distributional matching beyond exact overlap.
+
+Scores a span by the cosine similarity between the question's mean
+embedding and the mean embedding of the span's surrounding window.
+Catches paraphrases exact matchers miss ("defeated" vs "beat"), standing
+in for the semantic matching a fine-tuned PLM performs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lm.embeddings import CooccurrenceEmbeddings
+from repro.qa.base import SpanScoringQA
+from repro.text.tokenizer import Token
+
+__all__ = ["EmbeddingQA"]
+
+
+class EmbeddingQA(SpanScoringQA):
+    """Mean-vector cosine matcher over a fitted embedding space.
+
+    Args:
+        embeddings: fitted :class:`CooccurrenceEmbeddings`.
+        window: window (tokens) around the span contributing context.
+    """
+
+    name = "embedding"
+
+    def __init__(self, embeddings: CooccurrenceEmbeddings, window: int = 12) -> None:
+        if not embeddings.fitted:
+            raise ValueError("embeddings must be fitted before use")
+        self.embeddings = embeddings
+        self.window = window
+        self._question_cache: dict[str, np.ndarray] = {}
+
+    def _mean_vector(self, words: list[str]) -> np.ndarray:
+        if not words:
+            return np.zeros(self.embeddings.dim)
+        return self.embeddings.matrix(words).mean(axis=0)
+
+    def _question_vector(self, terms: tuple[str, ...]) -> np.ndarray:
+        key = " ".join(terms)
+        if key not in self._question_cache:
+            self._question_cache[key] = self._mean_vector(list(terms))
+        return self._question_cache[key]
+
+    def score_span(
+        self,
+        question_terms: list[str],
+        tokens: list[Token],
+        start: int,
+        end: int,
+        bounds: tuple[int, int] | None = None,
+    ) -> float:
+        qv = self._question_vector(tuple(question_terms))
+        qn = np.linalg.norm(qv)
+        if qn == 0.0:
+            return 0.0
+        lo_limit, hi_limit = bounds if bounds is not None else (0, len(tokens))
+        lo = max(lo_limit, start - self.window)
+        hi = min(hi_limit, end + self.window + 1)
+        words = [tokens[i].lower for i in range(lo, hi) if tokens[i].is_word]
+        sv = self._mean_vector(words)
+        sn = np.linalg.norm(sv)
+        if sn == 0.0:
+            return 0.0
+        return float(qv @ sv / (qn * sn))

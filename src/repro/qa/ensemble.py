@@ -1,0 +1,47 @@
+"""Weighted ensemble of span-scoring QA models.
+
+The registry's "strong" baselines combine lexical, TF-IDF and embedding
+signals; weights are per-member multipliers applied to (roughly
+score-normalized) member outputs.
+"""
+
+from __future__ import annotations
+
+from repro.qa.base import SpanScoringQA
+from repro.text.tokenizer import Token
+
+__all__ = ["EnsembleQA"]
+
+
+class EnsembleQA(SpanScoringQA):
+    """Linear combination of member span scores.
+
+    Args:
+        members: ``(model, weight)`` pairs; every model must be a
+            :class:`SpanScoringQA` so spans are scored consistently.
+    """
+
+    name = "ensemble"
+
+    def __init__(self, members: list[tuple[SpanScoringQA, float]]) -> None:
+        if not members:
+            raise ValueError("ensemble needs at least one member")
+        for model, weight in members:
+            if not isinstance(model, SpanScoringQA):
+                raise TypeError(f"{model!r} is not a SpanScoringQA")
+            if weight < 0:
+                raise ValueError("member weights must be non-negative")
+        self.members = list(members)
+
+    def score_span(
+        self,
+        question_terms: list[str],
+        tokens: list[Token],
+        start: int,
+        end: int,
+        bounds: tuple[int, int] | None = None,
+    ) -> float:
+        return sum(
+            weight * model.score_span(question_terms, tokens, start, end, bounds)
+            for model, weight in self.members
+        )

@@ -1,0 +1,84 @@
+"""Standard QA evaluation loop: model × dataset → EM/F1 with intervals.
+
+The SQuAD-style evaluation everyone writes by hand, provided once: handles
+multiple gold answers, unanswerable questions (SQuAD-2.0 abstention), and
+reports confidence intervals alongside the means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.datasets.types import QAExample
+from repro.metrics.aggregate import MetricSummary, summarize
+from repro.metrics.overlap import best_em, best_f1
+from repro.qa.base import QAModel
+from repro.qa.registry import SimulatedBaseline
+
+__all__ = ["EvaluationResult", "evaluate_model", "evaluate_with_contexts"]
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """EM/F1 summaries plus the per-example scores behind them."""
+
+    em: MetricSummary
+    f1: MetricSummary
+    per_example_em: tuple[float, ...]
+    per_example_f1: tuple[float, ...]
+
+    def row(self) -> dict:
+        """A table row: percentages, as the paper reports them."""
+        return {
+            "EM": 100.0 * self.em.mean,
+            "F1": 100.0 * self.f1.mean,
+            "EM_ci": 100.0 * (self.em.ci_high - self.em.ci_low) / 2.0,
+            "F1_ci": 100.0 * (self.f1.ci_high - self.f1.ci_low) / 2.0,
+            "n": self.em.n,
+        }
+
+
+def evaluate_with_contexts(
+    model: QAModel,
+    examples: Sequence[QAExample],
+    context_of: Callable[[QAExample], str],
+) -> EvaluationResult:
+    """Evaluate ``model`` with a custom context per example.
+
+    ``context_of`` lets callers swap the raw context for a distilled
+    evidence (the Table VI/VII protocol).  Simulated baselines are driven
+    through their calibrated ``predict_example`` path; plain readers
+    through ``predict``.
+    """
+    if not examples:
+        raise ValueError("cannot evaluate on an empty example list")
+    ems: list[float] = []
+    f1s: list[float] = []
+    for example in examples:
+        context = context_of(example)
+        if isinstance(model, SimulatedBaseline):
+            prediction = model.predict_example(
+                example.question,
+                context,
+                example.primary_answer,
+                example.example_id,
+            )
+        else:
+            prediction = model.predict(example.question, context)
+        golds = list(example.answers)
+        ems.append(best_em(prediction.text, golds))
+        f1s.append(best_f1(prediction.text, golds))
+    return EvaluationResult(
+        em=summarize("EM", ems),
+        f1=summarize("F1", f1s),
+        per_example_em=tuple(ems),
+        per_example_f1=tuple(f1s),
+    )
+
+
+def evaluate_model(
+    model: QAModel, examples: Sequence[QAExample]
+) -> EvaluationResult:
+    """Evaluate ``model`` on the examples' own contexts."""
+    return evaluate_with_contexts(model, examples, lambda e: e.context)

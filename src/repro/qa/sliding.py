@@ -1,0 +1,96 @@
+"""Sliding-window QA for long contexts (Sec. II-B1, Step 1).
+
+The paper "divide[s] the context into several segments with a sliding
+window to keep the most informative context segment" (window 128 in their
+setup).  :class:`SlidingWindowQA` wraps any reader: long contexts are
+split into overlapping token windows, each window is read independently,
+and the best-scoring span wins — with a small position-consistency bonus
+when neighbouring windows agree on the same answer surface.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.qa.base import AnswerPrediction, QAModel
+from repro.text.normalize import normalize_answer
+from repro.text.tokenizer import tokenize
+
+__all__ = ["SlidingWindowQA"]
+
+
+class SlidingWindowQA(QAModel):
+    """Window-and-aggregate wrapper around a base reader.
+
+    Args:
+        reader: any :class:`QAModel`.
+        window_tokens: window length in tokens (paper: 128).
+        stride: window advance; overlap = window_tokens - stride.
+        agreement_bonus: score bonus per additional window agreeing on the
+            same normalized answer.
+    """
+
+    def __init__(
+        self,
+        reader: QAModel,
+        window_tokens: int = 128,
+        stride: int = 64,
+        agreement_bonus: float = 0.25,
+    ) -> None:
+        if window_tokens < 8:
+            raise ValueError("window_tokens must be at least 8")
+        if not (0 < stride <= window_tokens):
+            raise ValueError("stride must be in (0, window_tokens]")
+        self.reader = reader
+        self.window_tokens = window_tokens
+        self.stride = stride
+        self.agreement_bonus = agreement_bonus
+        self.name = f"sliding({getattr(reader, 'name', 'reader')})"
+
+    def _windows(self, context: str) -> list[tuple[int, int]]:
+        """Character ranges of the token windows covering the context."""
+        tokens = tokenize(context)
+        if len(tokens) <= self.window_tokens:
+            return [(0, len(context))]
+        ranges = []
+        start = 0
+        while start < len(tokens):
+            end = min(len(tokens), start + self.window_tokens)
+            ranges.append((tokens[start].start, tokens[end - 1].end))
+            if end == len(tokens):
+                break
+            start += self.stride
+        return ranges
+
+    def predict(self, question: str, context: str) -> AnswerPrediction:
+        ranges = self._windows(context)
+        if len(ranges) == 1:
+            return self.reader.predict(question, context)
+        candidates: list[tuple[float, AnswerPrediction]] = []
+        agreement: dict[str, int] = defaultdict(int)
+        for lo, hi in ranges:
+            segment = context[lo:hi]
+            pred = self.reader.predict(question, segment)
+            if pred.is_empty:
+                continue
+            adjusted = AnswerPrediction(
+                text=pred.text,
+                start=pred.start + lo,
+                end=pred.end + lo,
+                score=pred.score,
+            )
+            candidates.append((pred.score, adjusted))
+            agreement[normalize_answer(pred.text)] += 1
+        if not candidates:
+            return AnswerPrediction.empty()
+        best_score = float("-inf")
+        best: AnswerPrediction | None = None
+        for score, pred in candidates:
+            bonus = self.agreement_bonus * (
+                agreement[normalize_answer(pred.text)] - 1
+            )
+            if score + bonus > best_score:
+                best_score = score + bonus
+                best = pred
+        assert best is not None
+        return AnswerPrediction(best.text, best.start, best.end, best_score)

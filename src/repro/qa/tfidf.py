@@ -1,0 +1,102 @@
+"""TF-IDF weighted span scorer.
+
+Like :class:`repro.qa.lexical.LexicalOverlapQA` but each matched question
+term is weighted by its corpus inverse document frequency, so rare,
+discriminative terms ("Hastings") dominate frequent ones ("battle").
+Fitting the IDF table on the training split is this model's "fine-tuning".
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable
+
+from repro.qa.base import SpanScoringQA
+from repro.text.tokenizer import Token, word_tokens
+
+__all__ = ["TfidfQA"]
+
+
+class TfidfQA(SpanScoringQA):
+    """IDF-weighted proximity matcher.
+
+    Args:
+        decay: per-token distance decay (as in the lexical model).
+        window: maximum matching distance in tokens.
+    """
+
+    name = "tfidf"
+
+    def __init__(self, decay: float = 0.85, window: int = 25) -> None:
+        self.decay = decay
+        self.window = window
+        self._idf: dict[str, float] = {}
+        self._default_idf = 1.0
+        self._fitted = False
+
+    def fit(self, documents: Iterable[str]) -> "TfidfQA":
+        """Compute IDF weights from an iterable of raw document strings."""
+        doc_freq: Counter[str] = Counter()
+        n_docs = 0
+        for doc in documents:
+            n_docs += 1
+            doc_freq.update(set(word_tokens(doc)))
+        if n_docs == 0:
+            raise ValueError("cannot fit TF-IDF on an empty corpus")
+        self._idf = {
+            term: math.log((1 + n_docs) / (1 + freq)) + 1.0
+            for term, freq in doc_freq.items()
+        }
+        # Unseen terms are maximally discriminative.
+        self._default_idf = math.log(1 + n_docs) + 1.0
+        self._fitted = True
+        return self
+
+    def idf(self, term: str) -> float:
+        """IDF weight of ``term`` (default weight before fitting is 1.0)."""
+        if not self._fitted:
+            return 1.0
+        return self._idf.get(term, self._default_idf)
+
+    def score_span(
+        self,
+        question_terms: list[str],
+        tokens: list[Token],
+        start: int,
+        end: int,
+        bounds: tuple[int, int] | None = None,
+    ) -> float:
+        if not question_terms:
+            return 0.0
+        exact, stems, verbs = self.term_index(question_terms)
+        lo_limit, hi_limit = bounds if bounds is not None else (0, len(tokens))
+        lo = max(lo_limit, start - self.window)
+        hi = min(hi_limit, end + self.window + 1)
+        score = 0.0
+        matched: set[str] = set()
+        for idx in range(lo, hi):
+            token = tokens[idx]
+            if not token.is_word:
+                continue
+            term = self.match_term(token.lower, exact, stems)
+            if term is None:
+                continue
+            weight = self.idf(token.lower)
+            if start <= idx <= end:
+                # Question-term echo inside the candidate span: penalize
+                # (see LexicalOverlapQA.score_span).
+                score -= 0.4 * weight
+                continue
+            distance = start - idx if idx < start else idx - end
+            decayed = self.decay ** distance
+            if term in verbs:
+                # Verb matches anchor the answer position: full decay.
+                score += self.verb_term_boost * weight * decayed
+            else:
+                # Noun/entity matches locate the clause; distance within
+                # the sentence is a weak signal (see LexicalOverlapQA).
+                score += weight * (0.75 + 0.25 * decayed)
+            matched.add(term)
+        score += 0.5 * sum(self.idf(t) for t in matched) / max(1, len(question_terms))
+        return score

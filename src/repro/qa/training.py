@@ -1,0 +1,110 @@
+"""QA "fine-tuning": fitting corpus statistics on a training split.
+
+Step 1 of Sec. II-B1 trains a QA model on the dataset.  For the heuristic
+substrate, training means fitting the statistics the scorers consume:
+
+* TF-IDF document frequencies (for :class:`TfidfQA`),
+* PPMI-SVD co-occurrence embeddings (for :class:`EmbeddingQA` and the
+  attention weights of WSPTC),
+* the trigram language model (for the readability metric).
+
+``QATrainer.train`` bundles all three into :class:`TrainedArtifacts`,
+which the pipeline and experiment harness share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.attention.multihead import MultiHeadAttention
+from repro.lm.embeddings import CooccurrenceEmbeddings
+from repro.lm.ngram import NGramLanguageModel
+from repro.qa.embedding import EmbeddingQA
+from repro.qa.ensemble import EnsembleQA
+from repro.qa.lexical import LexicalOverlapQA
+from repro.qa.tfidf import TfidfQA
+from repro.text.sentences import split_sentences
+from repro.text.tokenizer import word_tokens
+
+__all__ = ["QATrainer", "TrainedArtifacts"]
+
+
+@dataclass
+class TrainedArtifacts:
+    """Everything fitted on a training corpus.
+
+    Attributes:
+        tfidf: IDF-weighted span scorer.
+        embeddings: co-occurrence embeddings.
+        language_model: trigram LM (readability / perplexity).
+        attention: multi-head attention over the embeddings.
+        reader: the default ensemble QA model (lexical + tfidf + embedding).
+    """
+
+    tfidf: TfidfQA
+    embeddings: CooccurrenceEmbeddings
+    language_model: NGramLanguageModel
+    attention: MultiHeadAttention
+    reader: EnsembleQA
+
+
+class QATrainer:
+    """Fit the statistical artifacts a GCED deployment needs.
+
+    Args:
+        embedding_dim: dimensionality of the co-occurrence embeddings.
+        attention_heads: number of attention heads (paper: 16).
+        attention_dk: per-head dimension (paper: 64).
+        seed: master seed for the deterministic components.
+    """
+
+    def __init__(
+        self,
+        embedding_dim: int = 64,
+        attention_heads: int = 16,
+        attention_dk: int = 64,
+        seed: int = 0,
+    ) -> None:
+        self.embedding_dim = embedding_dim
+        self.attention_heads = attention_heads
+        self.attention_dk = attention_dk
+        self.seed = seed
+
+    def train(self, contexts: Iterable[str]) -> TrainedArtifacts:
+        """Fit all artifacts on an iterable of raw context strings."""
+        contexts = list(contexts)
+        if not contexts:
+            raise ValueError("training corpus is empty")
+        sentence_tokens = [
+            word_tokens(sentence.text)
+            for context in contexts
+            for sentence in split_sentences(context)
+        ]
+        sentence_tokens = [s for s in sentence_tokens if s]
+
+        tfidf = TfidfQA().fit(contexts)
+        embeddings = CooccurrenceEmbeddings(
+            dim=self.embedding_dim, seed=self.seed
+        ).fit(sentence_tokens)
+        language_model = NGramLanguageModel().fit(sentence_tokens)
+        attention = MultiHeadAttention(
+            embeddings,
+            heads=self.attention_heads,
+            d_k=self.attention_dk,
+            seed=self.seed,
+        )
+        reader = EnsembleQA(
+            [
+                (LexicalOverlapQA(), 1.0),
+                (tfidf, 0.6),
+                (EmbeddingQA(embeddings), 0.8),
+            ]
+        )
+        return TrainedArtifacts(
+            tfidf=tfidf,
+            embeddings=embeddings,
+            language_model=language_model,
+            attention=attention,
+            reader=reader,
+        )

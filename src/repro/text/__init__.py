@@ -1,0 +1,22 @@
+"""Text foundation: tokenization, sentence splitting, vocabulary, normalization."""
+
+from repro.text.tokenizer import Token, tokenize, detokenize, word_tokens
+from repro.text.sentences import Sentence, split_sentences
+from repro.text.vocab import Vocabulary, PAD, UNK, SEP, CLS
+from repro.text.normalize import normalize_answer, normalize_token
+
+__all__ = [
+    "Token",
+    "tokenize",
+    "detokenize",
+    "word_tokens",
+    "Sentence",
+    "split_sentences",
+    "Vocabulary",
+    "PAD",
+    "UNK",
+    "SEP",
+    "CLS",
+    "normalize_answer",
+    "normalize_token",
+]

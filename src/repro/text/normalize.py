@@ -1,0 +1,33 @@
+"""SQuAD-style answer normalization for EM/F1 scoring.
+
+The paper's Eq. 1 and its EM/F1 metrics follow Rajpurkar et al. (2016):
+lowercase, strip punctuation, drop English articles, collapse whitespace.
+"""
+
+from __future__ import annotations
+
+import re
+import string
+
+__all__ = ["normalize_answer", "normalize_token"]
+
+_ARTICLES_RE = re.compile(r"\b(a|an|the)\b")
+_PUNCT_TABLE = str.maketrans("", "", string.punctuation)
+_WS_RE = re.compile(r"\s+")
+
+
+def normalize_answer(text: str) -> str:
+    """Normalize an answer string for exact-match / F1 comparison.
+
+    >>> normalize_answer("The Denver Broncos!")
+    'denver broncos'
+    """
+    text = text.lower()
+    text = text.translate(_PUNCT_TABLE)
+    text = _ARTICLES_RE.sub(" ", text)
+    return _WS_RE.sub(" ", text).strip()
+
+
+def normalize_token(token: str) -> str:
+    """Normalize a single token (lowercase, strip punctuation)."""
+    return token.lower().translate(_PUNCT_TABLE)

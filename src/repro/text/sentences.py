@@ -1,0 +1,83 @@
+"""Rule-based sentence splitter with character spans.
+
+ASE feeds sentences one at a time into the QA model, so each sentence keeps
+its offsets in the original context; evidence spans can then be mapped back
+to the document.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.text.tokenizer import Token, tokenize
+
+__all__ = ["Sentence", "split_sentences"]
+
+# Abbreviations that end with a period but do not end a sentence.
+_ABBREVIATIONS = {
+    "mr", "mrs", "ms", "dr", "prof", "st", "jr", "sr", "vs", "etc",
+    "e.g", "i.e", "inc", "ltd", "co", "corp", "no", "vol", "fig", "al",
+    "u.s", "u.k",
+}
+
+_BOUNDARY_RE = re.compile(r"([.!?])(\s+|$)")
+
+
+@dataclass(frozen=True)
+class Sentence:
+    """A sentence with character offsets into its source document."""
+
+    text: str
+    start: int
+    end: int
+    index: int
+
+    def tokens(self) -> list[Token]:
+        """Tokenize the sentence (token offsets are sentence-local)."""
+        return tokenize(self.text)
+
+    def __len__(self) -> int:
+        return len(self.text)
+
+
+def _is_abbreviation(text: str, period_pos: int) -> bool:
+    """Check whether the period at ``period_pos`` terminates an abbreviation."""
+    head = text[:period_pos]
+    match = re.search(r"([A-Za-z][A-Za-z.]*)$", head)
+    if match is None:
+        return False
+    word = match.group(1).lower().rstrip(".")
+    if word in _ABBREVIATIONS:
+        return True
+    # Single capital letter ("T. S. Eliot") is an initial, not a boundary.
+    return len(word) == 1 and match.group(1)[0].isupper()
+
+
+def split_sentences(text: str) -> list[Sentence]:
+    """Split ``text`` into sentences, keeping character offsets.
+
+    >>> [s.text for s in split_sentences("It rained. Dr. Smith left!")]
+    ['It rained.', 'Dr. Smith left!']
+    """
+    sentences: list[Sentence] = []
+    start = 0
+    for match in _BOUNDARY_RE.finditer(text):
+        period_pos = match.start(1)
+        if match.group(1) == "." and _is_abbreviation(text, period_pos):
+            continue
+        end = match.end(1)
+        chunk = text[start:end].strip()
+        if chunk:
+            chunk_start = text.index(chunk, start, end + 1)
+            sentences.append(
+                Sentence(chunk, chunk_start, chunk_start + len(chunk), len(sentences))
+            )
+        start = match.end()
+    tail = text[start:].strip()
+    if tail:
+        tail_start = text.index(tail, start)
+        sentences.append(
+            Sentence(tail, tail_start, tail_start + len(tail), len(sentences))
+        )
+    return sentences

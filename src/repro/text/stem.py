@@ -1,0 +1,64 @@
+"""A light suffix-stripping stemmer shared by QWS and the QA scorers.
+
+Aligns inflected surface forms with question words ("performed" →
+"perform", "competitions" → "competition") without a full Porter stemmer;
+over-stemming is safer than under-stemming here because matches are used
+as soft evidence, never as hard identity.
+"""
+
+from __future__ import annotations
+
+__all__ = ["light_stem", "lemma"]
+
+# Irregular verb forms -> base lemma (the lexicon stores base forms).
+_IRREGULAR = {
+    "won": "win", "led": "lead", "fought": "fight", "wrote": "write",
+    "written": "write", "made": "make", "took": "take", "taken": "take",
+    "gave": "give", "given": "give", "found": "find", "held": "hold",
+    "became": "become", "began": "begin", "begun": "begin", "knew": "know",
+    "known": "know", "saw": "see", "seen": "see", "grew": "grow",
+    "grown": "grow", "rose": "rise", "risen": "rise", "fell": "fall",
+    "fallen": "fall", "built": "build", "taught": "teach",
+    "brought": "bring", "bought": "buy", "thought": "think", "said": "say",
+    "sang": "sing", "sung": "sing", "met": "meet", "ran": "run",
+    "sold": "sell", "sent": "send", "spent": "spend", "came": "come",
+    "went": "go", "gone": "go", "got": "get", "lost": "lose",
+    "bore": "bear", "born": "bear", "chose": "choose", "chosen": "choose",
+    "drew": "draw", "drawn": "draw", "spoke": "speak", "spoken": "speak",
+    "was": "be", "were": "be", "is": "be", "are": "be", "been": "be",
+    "has": "have", "had": "have", "did": "do", "done": "do",
+}
+
+
+def light_stem(word: str) -> str:
+    """Strip common inflectional suffixes; lowercases the input.
+
+    >>> light_stem("performed")
+    'perform'
+    >>> light_stem("competitions")
+    'competition'
+    >>> light_stem("planned")
+    'plan'
+    """
+    word = word.lower()
+    for suffix in ("ing", "ed", "es", "s", "ly"):
+        if word.endswith(suffix) and len(word) - len(suffix) >= 3:
+            stripped = word[: -len(suffix)]
+            if len(stripped) > 2 and stripped[-1] == stripped[-2]:
+                stripped = stripped[:-1]  # undo consonant doubling
+            return stripped
+    return word
+
+
+def lemma(word: str) -> str:
+    """Base lemma: irregular-verb lookup first, then suffix stripping.
+
+    >>> lemma("won")
+    'win'
+    >>> lemma("performed")
+    'perform'
+    """
+    lowered = word.lower()
+    if lowered in _IRREGULAR:
+        return _IRREGULAR[lowered]
+    return light_stem(lowered)

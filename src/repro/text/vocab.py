@@ -1,0 +1,100 @@
+"""Vocabulary with special tokens, used by the LM and attention substrates."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator
+
+__all__ = ["Vocabulary", "PAD", "UNK", "SEP", "CLS"]
+
+PAD = "[PAD]"
+UNK = "[UNK]"
+SEP = "[SEP]"
+CLS = "[CLS]"
+
+_SPECIALS = (PAD, UNK, SEP, CLS)
+
+
+class Vocabulary:
+    """Bidirectional token/id mapping with frequency-based construction.
+
+    Ids 0..3 are reserved for ``[PAD]``, ``[UNK]``, ``[SEP]``, ``[CLS]`` in
+    that order, mirroring the special tokens the paper's PLM input uses.
+    """
+
+    def __init__(self) -> None:
+        self._token_to_id: dict[str, int] = {}
+        self._id_to_token: list[str] = []
+        self.counts: Counter[str] = Counter()
+        for special in _SPECIALS:
+            self._add(special)
+
+    @classmethod
+    def build(
+        cls,
+        documents: Iterable[Iterable[str]],
+        min_count: int = 1,
+        max_size: int | None = None,
+    ) -> "Vocabulary":
+        """Build a vocabulary from an iterable of token sequences.
+
+        Tokens below ``min_count`` map to ``[UNK]``; if ``max_size`` is
+        given, only the most frequent tokens (after specials) are kept.
+        """
+        vocab = cls()
+        for doc in documents:
+            vocab.counts.update(doc)
+        items = [(tok, n) for tok, n in vocab.counts.items() if n >= min_count]
+        items.sort(key=lambda kv: (-kv[1], kv[0]))
+        if max_size is not None:
+            items = items[: max(0, max_size - len(_SPECIALS))]
+        for tok, _count in items:
+            vocab._add(tok)
+        return vocab
+
+    def _add(self, token: str) -> int:
+        if token in self._token_to_id:
+            return self._token_to_id[token]
+        idx = len(self._id_to_token)
+        self._token_to_id[token] = idx
+        self._id_to_token.append(token)
+        return idx
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_token)
+
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[PAD]
+
+    @property
+    def unk_id(self) -> int:
+        return self._token_to_id[UNK]
+
+    def id_of(self, token: str) -> int:
+        """Return the id of ``token``, or the ``[UNK]`` id if unknown."""
+        return self._token_to_id.get(token, self.unk_id)
+
+    def token_of(self, idx: int) -> str:
+        """Return the token string of ``idx`` (raises IndexError if invalid)."""
+        return self._id_to_token[idx]
+
+    def encode(self, tokens: Iterable[str]) -> list[int]:
+        """Map a token sequence to ids (unknowns become ``[UNK]``)."""
+        return [self.id_of(t) for t in tokens]
+
+    def decode(self, ids: Iterable[int]) -> list[str]:
+        """Map ids back to token strings."""
+        return [self.token_of(i) for i in ids]
+
+    def pad_to(self, ids: list[int], length: int) -> list[int]:
+        """Right-pad (or truncate) an id sequence to exactly ``length``."""
+        if len(ids) >= length:
+            return ids[:length]
+        return ids + [self.pad_id] * (length - len(ids))

@@ -1,0 +1,7 @@
+"""Shared utilities: deterministic RNG, caching, timing."""
+
+from repro.utils.rng import derive_seed, rng_from
+from repro.utils.cache import LRUCache, memoize_method
+from repro.utils.timing import Timer
+
+__all__ = ["derive_seed", "rng_from", "LRUCache", "memoize_method", "Timer"]

@@ -1,0 +1,92 @@
+"""Small caching helpers used by the QA models and parsers.
+
+Parsing and attention are the most expensive stages of the GCED pipeline
+and are frequently re-invoked on the same sentence (e.g. once by ASE, once
+by WSPTC, once per clip candidate when re-scoring).  A bounded LRU cache
+keyed on the raw text keeps the pipeline near-linear in practice.
+"""
+
+from __future__ import annotations
+
+import functools
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+__all__ = ["LRUCache", "memoize_method"]
+
+
+class LRUCache:
+    """A minimal least-recently-used cache with a fixed capacity.
+
+    >>> cache = LRUCache(capacity=2)
+    >>> cache.put("a", 1); cache.put("b", 2); cache.put("c", 3)
+    >>> cache.get("a") is None
+    True
+    >>> cache.get("c")
+    3
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value, refreshing its recency, or ``default``."""
+        if key not in self._data:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._data.move_to_end(key)
+        return self._data[key]
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert ``value``, evicting the least-recently-used entry if full."""
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+def memoize_method(maxsize: int = 1024) -> Callable:
+    """Decorator memoizing an instance method on hashable arguments.
+
+    Unlike ``functools.lru_cache`` applied to a method, the cache lives on
+    the *instance* (stored under ``_memo_<name>``), so instances can be
+    garbage-collected and do not share entries.
+    """
+
+    def decorator(func: Callable) -> Callable:
+        attr = f"_memo_{func.__name__}"
+
+        @functools.wraps(func)
+        def wrapper(self, *args):
+            cache: LRUCache | None = getattr(self, attr, None)
+            if cache is None:
+                cache = LRUCache(capacity=maxsize)
+                setattr(self, attr, cache)
+            sentinel = object()
+            value = cache.get(args, sentinel)
+            if value is sentinel:
+                value = func(self, *args)
+                cache.put(args, value)
+            return value
+
+        return wrapper
+
+    return decorator

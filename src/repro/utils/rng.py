@@ -1,0 +1,42 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component in the library (attention projections, dataset
+generation, simulated rater noise, calibrated model errors) derives its
+randomness from an explicit integer seed.  ``derive_seed`` produces stable
+sub-seeds from a parent seed and a string label, so independent components
+never share streams and experiments are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["derive_seed", "rng_from"]
+
+_MASK_32 = 0xFFFFFFFF
+
+
+def derive_seed(parent_seed: int, label: str) -> int:
+    """Derive a stable 32-bit sub-seed from ``parent_seed`` and ``label``.
+
+    The derivation is a SHA-256 hash, so distinct labels give statistically
+    independent streams and the mapping is identical across platforms and
+    Python versions (unlike the built-in ``hash``).
+
+    >>> derive_seed(42, "attention") == derive_seed(42, "attention")
+    True
+    >>> derive_seed(42, "attention") != derive_seed(42, "raters")
+    True
+    """
+    payload = f"{parent_seed}:{label}".encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:4], "big") & _MASK_32
+
+
+def rng_from(seed: int, label: str | None = None) -> np.random.Generator:
+    """Build a :class:`numpy.random.Generator` from a seed and optional label."""
+    if label is not None:
+        seed = derive_seed(seed, label)
+    return np.random.default_rng(seed)

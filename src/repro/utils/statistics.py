@@ -1,0 +1,43 @@
+"""Shared statistical helpers (dependency-free of the eval package)."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+__all__ = ["paired_pvalue", "mean_confidence_interval"]
+
+
+def paired_pvalue(sample_a: list[float], sample_b: list[float]) -> float:
+    """Two-sided paired t-test p-value; 1.0 for degenerate inputs.
+
+    Pairs are truncated to the shorter sample (panel discards may drop
+    items from one condition only).
+    """
+    n = min(len(sample_a), len(sample_b))
+    if n < 2:
+        return 1.0
+    a = np.asarray(sample_a[:n], dtype=float)
+    b = np.asarray(sample_b[:n], dtype=float)
+    diff = a - b
+    if np.allclose(diff, 0.0):
+        return 1.0
+    result = scipy_stats.ttest_rel(a, b)
+    return float(result.pvalue)
+
+
+def mean_confidence_interval(
+    values: list[float], confidence: float = 0.95
+) -> tuple[float, float, float]:
+    """(mean, lower, upper) of a Student-t confidence interval."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("empty sample")
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return mean, mean, mean
+    sem = scipy_stats.sem(arr)
+    if sem == 0.0:
+        return mean, mean, mean
+    half = sem * scipy_stats.t.ppf((1 + confidence) / 2.0, arr.size - 1)
+    return mean, mean - float(half), mean + float(half)

@@ -1,0 +1,55 @@
+"""Lightweight wall-clock timing for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Context-manager stopwatch accumulating named durations.
+
+    >>> timer = Timer()
+    >>> with timer.measure("parse"):
+    ...     pass
+    >>> "parse" in timer.totals
+    True
+    """
+
+    def __init__(self) -> None:
+        self.totals: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+        self._label: str | None = None
+        self._start = 0.0
+
+    def measure(self, label: str) -> "Timer":
+        self._label = label
+        return self
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        elapsed = time.perf_counter() - self._start
+        label = self._label or "unlabeled"
+        self.totals[label] = self.totals.get(label, 0.0) + elapsed
+        self.counts[label] = self.counts.get(label, 0) + 1
+        self._label = None
+
+    def mean(self, label: str) -> float:
+        """Mean duration of a label, or 0.0 if it was never measured."""
+        if self.counts.get(label, 0) == 0:
+            return 0.0
+        return self.totals[label] / self.counts[label]
+
+    def report(self) -> str:
+        """Human-readable summary, slowest stages first."""
+        lines = ["stage                 total(s)   calls    mean(ms)"]
+        for label in sorted(self.totals, key=self.totals.get, reverse=True):
+            lines.append(
+                f"{label:<20} {self.totals[label]:>9.3f} {self.counts[label]:>7d} "
+                f"{1000.0 * self.mean(label):>11.3f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Visualization of distillation results: ASCII trees and HTML highlights.
+
+Renders the weighted syntactic parsing tree with kept / clipped / protected
+nodes marked (the paper's Fig. 6 as text), and an HTML view of the context
+with the evidence highlighted — what an explainable-QA frontend would show.
+"""
+
+from __future__ import annotations
+
+import html
+
+from repro.core.pipeline import DistillationResult
+from repro.parsing.tree import DependencyTree
+
+__all__ = ["render_tree", "render_distillation", "evidence_html"]
+
+
+def render_tree(
+    tree: DependencyTree,
+    kept: set[int] | frozenset[int] | None = None,
+    protected: set[int] | frozenset[int] | None = None,
+) -> str:
+    """ASCII rendering of a dependency tree with status markers.
+
+    Markers: ``*`` protected (clue/answer material), ``+`` kept, ``-``
+    clipped/excluded.  Weights are the attention edge weights.
+    """
+    kept = set(kept or range(len(tree)))
+    protected = set(protected or ())
+    lines: list[str] = []
+
+    def marker(node: int) -> str:
+        if node in protected:
+            return "*"
+        return "+" if node in kept else "-"
+
+    def visit(node: int, depth: int) -> None:
+        pad = "  " * depth
+        weight = f" (w={tree.weight(node):.3f})" if tree.parent(node) != -1 else ""
+        lines.append(f"{pad}{marker(node)} {node}-{tree.token(node)}{weight}")
+        for child in tree.children(node):
+            visit(child, depth + 1)
+
+    if len(tree) > 0:
+        visit(tree.root, 0)
+    return "\n".join(lines)
+
+
+def render_distillation(result: DistillationResult) -> str:
+    """Multi-section text report: sentences, clue words, tree, evidence."""
+    sections = [
+        "=== Answer-oriented sentences ===",
+        result.ase.text or "(none)",
+        "",
+        "=== Question-relevant clue words ===",
+        ", ".join(result.qws.clue_words) or "(none)",
+        "",
+        "=== Evidence ===",
+        result.evidence or "(none)",
+        "",
+        "=== Scores ===",
+        (
+            f"I={result.scores.informativeness:.3f}  "
+            f"C={result.scores.conciseness:.3f}  "
+            f"R={result.scores.readability:.3f}  "
+            f"H={result.scores.hybrid:.3f}  "
+            f"reduction={100 * result.reduction:.1f}%"
+        ),
+    ]
+    return "\n".join(sections)
+
+
+def evidence_html(
+    question: str,
+    answer: str,
+    context: str,
+    result: DistillationResult,
+) -> str:
+    """Standalone HTML snippet: context with evidence tokens highlighted.
+
+    Evidence words are wrapped in ``<mark>``; the answer string (when
+    present in the evidence) gets a stronger style.  Matching is by word
+    identity within the answer-oriented sentences — good enough for a
+    review UI, with no JavaScript required.
+    """
+    evidence_words = {w.lower() for w in result.evidence.split()}
+    answer_words = {w.lower() for w in answer.split()}
+    rendered: list[str] = []
+    for raw_word in context.split():
+        stripped = raw_word.strip(".,;:!?()[]").lower()
+        escaped = html.escape(raw_word)
+        if stripped and stripped in answer_words:
+            rendered.append(f'<mark class="answer">{escaped}</mark>')
+        elif stripped and stripped in evidence_words:
+            rendered.append(f"<mark>{escaped}</mark>")
+        else:
+            rendered.append(escaped)
+    body = " ".join(rendered)
+    return (
+        "<div class=\"gced-evidence\">\n"
+        f"  <p class=\"question\"><b>Q:</b> {html.escape(question)}</p>\n"
+        f"  <p class=\"answer-line\"><b>A:</b> {html.escape(answer)}</p>\n"
+        f"  <p class=\"context\">{body}</p>\n"
+        f"  <p class=\"evidence\"><b>Evidence:</b> "
+        f"{html.escape(result.evidence)}</p>\n"
+        "</div>"
+    )

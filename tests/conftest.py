@@ -1,0 +1,62 @@
+"""Shared fixtures: a small corpus and trained artifacts (session-scoped)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GCED, QATrainer
+from repro.datasets import load_dataset
+
+CORPUS = [
+    "The American Football Conference champion Denver Broncos defeated the "
+    "National Football Conference champion Carolina Panthers to earn the "
+    "Super Bowl title. The game was played at a stadium in Santa Clara. "
+    "Many fans attended the ceremony before the game.",
+    "Beyonce Giselle Knowles-Carter was born and raised in Houston, Texas. "
+    "She performed in various singing and dancing competitions as a child. "
+    "Her mother designed costumes for the group.",
+    "William the Conqueror led the Norman conquest of England and won the "
+    "Battle of Hastings in 1066. He was a duke from Normandy. The battle "
+    "changed English history.",
+    "Marie Delacroix discovered the twin comet in 1889 after a long "
+    "expedition. She studied at the University of Ashford. Her rival "
+    "Pierre Fontaine moved to Silverton in 1890.",
+]
+
+QA_CASES = [
+    ("Which NFL team won the Super Bowl title?", "Denver Broncos", CORPUS[0]),
+    (
+        "What did Beyonce perform in as a child?",
+        "singing and dancing competitions",
+        CORPUS[1],
+    ),
+    ("Who led the Norman conquest of England?", "William the Conqueror", CORPUS[2]),
+    ("When was the Battle of Hastings?", "1066", CORPUS[2]),
+    ("Where was Beyonce born?", "Houston, Texas", CORPUS[1]),
+    ("What did Marie Delacroix discover?", "the twin comet", CORPUS[3]),
+]
+
+
+@pytest.fixture(scope="session")
+def artifacts():
+    return QATrainer(seed=0).train(CORPUS)
+
+
+@pytest.fixture(scope="session")
+def gced(artifacts):
+    return GCED(qa_model=artifacts.reader, artifacts=artifacts)
+
+
+@pytest.fixture(scope="session")
+def squad_dataset():
+    return load_dataset("squad11", seed=1, n_train=40, n_dev=20)
+
+
+@pytest.fixture(scope="session")
+def squad20_dataset():
+    return load_dataset("squad20", seed=1, n_train=40, n_dev=20)
+
+
+@pytest.fixture(scope="session")
+def trivia_dataset():
+    return load_dataset("triviaqa-web", seed=1, n_train=30, n_dev=15)

@@ -1,0 +1,72 @@
+"""Unit tests for the multi-head attention substrate."""
+
+import numpy as np
+import pytest
+
+from repro.attention import MultiHeadAttention
+from repro.lm import CooccurrenceEmbeddings
+
+SENTS = [
+    ["denver", "broncos", "won", "the", "title"],
+    ["the", "broncos", "defeated", "the", "panthers"],
+    ["denver", "celebrated", "the", "title"],
+] * 5
+
+
+@pytest.fixture(scope="module")
+def attention():
+    emb = CooccurrenceEmbeddings(dim=16, seed=1).fit(SENTS)
+    return MultiHeadAttention(emb, heads=4, d_k=8, seed=2)
+
+
+class TestMultiHeadAttention:
+    def test_rows_sum_to_one(self, attention):
+        matrix = attention.attention_matrix(["denver", "broncos", "won"])
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_shape(self, attention):
+        tokens = ["a", "b", "c", "d"]
+        assert attention.attention_matrix(tokens).shape == (4, 4)
+        assert attention.head_attention(tokens).shape == (4, 4, 4)
+
+    def test_empty_tokens(self, attention):
+        assert attention.attention_matrix([]).shape == (0, 0)
+
+    def test_edge_weights_symmetric(self, attention):
+        weights = attention.edge_weights(["denver", "broncos", "won", "title"])
+        assert np.allclose(weights, weights.T)
+
+    def test_weights_nonnegative(self, attention):
+        weights = attention.edge_weights(["denver", "broncos", "won"])
+        assert (weights >= 0).all()
+
+    def test_deterministic_given_seed(self):
+        emb = CooccurrenceEmbeddings(dim=16, seed=1).fit(SENTS)
+        a1 = MultiHeadAttention(emb, heads=4, d_k=8, seed=7)
+        a2 = MultiHeadAttention(emb, heads=4, d_k=8, seed=7)
+        tokens = ["denver", "broncos", "won"]
+        assert np.allclose(a1.attention_matrix(tokens), a2.attention_matrix(tokens))
+
+    def test_different_seeds_differ(self):
+        emb = CooccurrenceEmbeddings(dim=16, seed=1).fit(SENTS)
+        a1 = MultiHeadAttention(emb, heads=4, d_k=8, seed=7)
+        a2 = MultiHeadAttention(emb, heads=4, d_k=8, seed=8)
+        tokens = ["denver", "broncos", "won"]
+        assert not np.allclose(
+            a1.attention_matrix(tokens), a2.attention_matrix(tokens)
+        )
+
+    def test_encode_shape(self, attention):
+        out = attention.encode(["denver", "broncos"])
+        assert out.shape == (2, attention.embeddings.dim)
+
+    def test_invalid_heads(self):
+        emb = CooccurrenceEmbeddings(dim=8, seed=0).fit(SENTS)
+        with pytest.raises(ValueError):
+            MultiHeadAttention(emb, heads=0)
+
+    def test_related_tokens_attend_more(self, attention):
+        # "denver" and "broncos" co-occur; "denver" and an unknown word
+        # share no signal beyond the unk mean vector.
+        matrix = attention.attention_matrix(["denver", "broncos", "qqqq"])
+        assert matrix[0, 1] > matrix[0, 2] * 0.5  # weak but directional

@@ -1,0 +1,84 @@
+"""Unit tests for the evidence-extraction baselines."""
+
+import pytest
+
+from repro.baselines import (
+    FullContextBaseline,
+    RandomSpanBaseline,
+    SentenceSelectorBaseline,
+    WindowBaseline,
+)
+from repro.text.tokenizer import word_tokens
+from tests.conftest import CORPUS, QA_CASES
+
+
+class TestFullContext:
+    def test_identity(self):
+        baseline = FullContextBaseline()
+        assert baseline.extract("q", "a", CORPUS[0]) == CORPUS[0]
+
+
+class TestWindow:
+    def test_window_contains_answer(self):
+        baseline = WindowBaseline(window=5)
+        question, answer, context = QA_CASES[3]
+        evidence = baseline.extract(question, answer, context)
+        assert answer in evidence
+
+    def test_window_shorter_than_context(self):
+        baseline = WindowBaseline(window=4)
+        question, answer, context = QA_CASES[0]
+        evidence = baseline.extract(question, answer, context)
+        assert len(word_tokens(evidence)) < len(word_tokens(context))
+
+    def test_missing_answer_falls_back_to_center(self):
+        baseline = WindowBaseline(window=3)
+        evidence = baseline.extract("q", "zzz", "one two three four five six seven.")
+        assert evidence
+
+    def test_empty_context(self):
+        assert WindowBaseline().extract("q", "a", "") == ""
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            WindowBaseline(window=0)
+
+
+class TestRandomSpan:
+    def test_returns_a_sentence(self):
+        baseline = RandomSpanBaseline(seed=1)
+        evidence = baseline.extract("q", "a", CORPUS[0])
+        assert evidence in CORPUS[0]
+
+    def test_deterministic(self):
+        b1 = RandomSpanBaseline(seed=5)
+        b2 = RandomSpanBaseline(seed=5)
+        assert b1.extract("q", "a", CORPUS[1]) == b2.extract("q", "a", CORPUS[1])
+
+
+class TestSentenceSelector:
+    def test_selects_supporting_sentence(self, artifacts):
+        baseline = SentenceSelectorBaseline(artifacts.reader)
+        question, answer, context = QA_CASES[2]
+        evidence = baseline.extract(question, answer, context)
+        assert "Norman conquest" in evidence
+
+    def test_whole_sentences_only(self, artifacts):
+        baseline = SentenceSelectorBaseline(artifacts.reader)
+        question, answer, context = QA_CASES[0]
+        evidence = baseline.extract(question, answer, context)
+        from repro.text.sentences import split_sentences
+
+        context_sentences = {s.text for s in split_sentences(context)}
+        for sentence in split_sentences(evidence):
+            assert sentence.text in context_sentences
+
+    def test_gced_more_concise_than_sentence_selector(self, artifacts, gced):
+        baseline = SentenceSelectorBaseline(artifacts.reader)
+        shorter = 0
+        for question, answer, context in QA_CASES:
+            sentence_ev = baseline.extract(question, answer, context)
+            gced_ev = gced.distill(question, answer, context).evidence
+            if len(word_tokens(gced_ev)) <= len(word_tokens(sentence_ev)):
+                shorter += 1
+        assert shorter >= len(QA_CASES) - 1

@@ -1,0 +1,24 @@
+"""CLI report-command test (small sizes; exercises the full suite path)."""
+
+from repro.cli import main
+
+
+class TestReportCommand:
+    def test_report_written(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        code = main(
+            [
+                "report",
+                "--dataset", "squad11",
+                "--out", str(out),
+                "--n-train", "24",
+                "--n-dev", "14",
+                "--n-examples", "6",
+            ]
+        )
+        assert code == 0
+        text = out.read_text()
+        assert text.startswith("# GCED evaluation report — squad11")
+        for section in ("Rater agreement", "QA augmentation", "Error triage"):
+            assert section in text
+        assert "report written" in capsys.readouterr().out

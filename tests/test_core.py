@@ -1,0 +1,327 @@
+"""Unit tests for the five GCED core modules and the pipeline."""
+
+import pytest
+
+from repro import GCED, GCEDConfig
+from repro.core import (
+    AnswerOrientedSentenceExtractor,
+    EvidenceForestConstructor,
+    QuestionRelevantWordsSelector,
+    WeightedTreeConstructor,
+)
+from repro.core.oec import OptimalEvidenceDistiller
+from repro.metrics.hybrid import HybridScorer, HybridWeights
+from repro.metrics.informativeness import InformativenessScorer
+from repro.metrics.readability import ReadabilityScorer
+from repro.parsing import SyntacticParser
+from repro.text.tokenizer import tokenize
+from tests.conftest import CORPUS, QA_CASES
+
+
+class TestASE:
+    @pytest.fixture(scope="class")
+    def ase(self, artifacts):
+        return AnswerOrientedSentenceExtractor(artifacts.reader)
+
+    def test_selects_answer_sentence(self, ase):
+        result = ase.extract(
+            "Who led the Norman conquest of England?",
+            "William the Conqueror",
+            CORPUS[2],
+        )
+        assert "Norman conquest" in result.text
+        assert result.sentences_tried >= 1
+
+    def test_sentences_in_document_order(self, ase):
+        result = ase.extract(
+            "Where was Beyonce born?", "Houston, Texas", CORPUS[1]
+        )
+        indices = [s.index for s in result.sentences]
+        assert indices == sorted(indices)
+
+    def test_recovered_flag(self, ase):
+        result = ase.extract(
+            "When was the Battle of Hastings?", "1066", CORPUS[2]
+        )
+        assert result.recovered
+        assert result.overlap == 1.0
+
+    def test_empty_context(self, ase):
+        result = ase.extract("Who?", "x", "")
+        assert result.text == ""
+        assert result.sentences == ()
+
+    def test_passthrough_keeps_everything(self, ase):
+        result = ase.passthrough(CORPUS[0])
+        assert len(result.sentences) == 3
+
+    def test_max_sentences_cap(self, artifacts):
+        ase = AnswerOrientedSentenceExtractor(artifacts.reader, max_sentences=1)
+        result = ase.extract(
+            "Who led the Norman conquest of England?",
+            "William the Conqueror",
+            CORPUS[2],
+        )
+        assert len(result.sentences) == 1
+
+    def test_invalid_max(self, artifacts):
+        with pytest.raises(ValueError):
+            AnswerOrientedSentenceExtractor(artifacts.reader, max_sentences=0)
+
+
+class TestQWS:
+    @pytest.fixture(scope="class")
+    def qws(self):
+        return QuestionRelevantWordsSelector()
+
+    def test_significant_words_filtered(self, qws):
+        words = qws.significant_question_words(
+            "Which NFL team represented the AFC at Super Bowl 50?"
+        )
+        assert "Which" not in words and "the" not in words
+        assert "NFL" in words and "team" in words
+
+    def test_direct_match(self, qws):
+        tokens = tokenize("The team earned the Super Bowl title.")
+        result = qws.select("Which team won the Super Bowl title?", tokens)
+        assert "team" in {w.lower() for w in result.clue_words}
+
+    def test_synonym_match(self, qws):
+        tokens = tokenize("The Broncos earned the trophy.")
+        result = qws.select("Who won the game?", tokens)
+        # "won" -> synonym "earn(ed)"
+        assert any(w.lower().startswith("earn") for w in result.clue_words)
+
+    def test_sibling_match(self, qws):
+        tokens = tokenize("The Conference champion celebrated.")
+        result = qws.select("Which team was it?", tokens)
+        # "team" and "conference" share the organization hypernym.
+        assert "Conference" in result.clue_words
+
+    def test_inflection_match(self, qws):
+        tokens = tokenize("She performed in competitions.")
+        result = qws.select("What did she perform in?", tokens)
+        assert "performed" in result.clue_words
+
+    def test_no_matches(self, qws):
+        tokens = tokenize("Completely unrelated words here.")
+        result = qws.select("Which team won the title?", tokens)
+        assert result.clue_indices == frozenset()
+
+    def test_empty_ablation(self, qws):
+        assert qws.empty().clue_indices == frozenset()
+
+    def test_matches_trace(self, qws):
+        tokens = tokenize("The team played football.")
+        result = qws.select("Which team played?", tokens)
+        assert "team" in result.matches
+
+
+class TestWSPTCAndEFC:
+    @pytest.fixture(scope="class")
+    def tree(self, artifacts):
+        wsptc = WeightedTreeConstructor(SyntacticParser(), artifacts.attention)
+        tokens = tokenize(
+            "William the Conqueror led the Norman conquest of England. "
+            "He was a duke from Normandy."
+        )
+        return wsptc.build(tokens)
+
+    def test_single_connected_tree(self, tree):
+        roots = [i for i in range(len(tree)) if tree.parent(i) == -1]
+        assert len(roots) == 1
+
+    def test_edge_weights_positive(self, tree):
+        weighted = [tree.weight(i) for i in range(len(tree)) if tree.parent(i) != -1]
+        assert all(w > 0 for w in weighted)
+
+    def test_empty_rejected(self, artifacts):
+        wsptc = WeightedTreeConstructor(SyntacticParser(), artifacts.attention)
+        with pytest.raises(ValueError):
+            wsptc.build([])
+
+    def test_forest_components_connected(self, tree):
+        efc = EvidenceForestConstructor()
+        forest = efc.build(tree, frozenset({1, 5}), frozenset({8}))
+        for comp, root in zip(forest.components, forest.roots):
+            assert root in comp
+            for node in comp:
+                if node != root:
+                    assert tree.parent(node) in comp
+
+    def test_forest_protects_marked_nodes(self, tree):
+        efc = EvidenceForestConstructor()
+        forest = efc.build(tree, frozenset({1}), frozenset({8}))
+        assert {1, 8} <= set(forest.protected)
+
+    def test_answer_components_flagged(self, tree):
+        efc = EvidenceForestConstructor()
+        forest = efc.build(tree, frozenset({1}), frozenset({8}))
+        flagged = set()
+        for idx in forest.answer_components:
+            flagged |= set(forest.components[idx])
+        assert 8 in flagged
+
+    def test_find_answer_indices_contiguous(self, tree):
+        efc = EvidenceForestConstructor()
+        tokens = tokenize("William the Conqueror led the conquest")
+        indices = efc.find_answer_indices(tokens, "William the Conqueror")
+        assert indices == frozenset({0, 1, 2})
+
+    def test_find_answer_indices_loose(self):
+        efc = EvidenceForestConstructor()
+        tokens = tokenize("Conqueror William led the army")
+        indices = efc.find_answer_indices(tokens, "William the Conqueror")
+        assert {0, 1} <= set(indices)
+
+    def test_find_answer_empty(self):
+        efc = EvidenceForestConstructor()
+        assert efc.find_answer_indices(tokenize("a b"), "") == frozenset()
+
+
+class TestOEC:
+    @pytest.fixture(scope="class")
+    def setup(self, artifacts):
+        wsptc = WeightedTreeConstructor(SyntacticParser(), artifacts.attention)
+        tokens = tokenize(CORPUS[2].split(". ")[0] + ".")
+        tree = wsptc.build(tokens)
+        efc = EvidenceForestConstructor()
+        qws = QuestionRelevantWordsSelector()
+        question = "Who led the Norman conquest of England?"
+        answer = "William the Conqueror"
+        clues = qws.select(question, tokenize(tree_text(tree))).clue_indices
+        answer_idx = efc.find_answer_indices(tokenize(tree_text(tree)), answer)
+        forest = efc.build(tree, clues, answer_idx)
+        scorer = HybridScorer(
+            informativeness=InformativenessScorer(artifacts.reader),
+            readability=ReadabilityScorer(artifacts.language_model),
+        )
+        oec = OptimalEvidenceDistiller(scorer, clip_times=2)
+        return oec, forest, question, answer
+
+    def test_grow_yields_single_tree(self, setup):
+        oec, forest, _q, _a = setup
+        nodes, root, trace = oec.grow(forest)
+        assert root in nodes
+        # Grown evidence is a full subtree of the underlying tree.
+        assert nodes == forest.tree.subtree(root)
+
+    def test_clip_never_removes_protected(self, setup):
+        oec, forest, question, answer = setup
+        nodes, root, _trace = oec.grow(forest)
+        clipped, trace = oec.clip(
+            forest.tree, nodes, root, forest.protected, question, answer
+        )
+        assert set(forest.protected) <= clipped
+
+    def test_clip_respects_budget(self, setup):
+        oec, forest, question, answer = setup
+        nodes, root, _ = oec.grow(forest)
+        _clipped, trace = oec.clip(
+            forest.tree, nodes, root, forest.protected, question, answer
+        )
+        assert len(trace) <= oec.clip_times
+
+    def test_distill_renders_in_order(self, setup):
+        oec, forest, question, answer = setup
+        text, nodes, _g, _c = oec.distill(forest, question, answer)
+        rendered = forest.tree.text_of(nodes)
+        for a, b in zip(rendered, rendered[1:]):
+            pass  # order validated by construction of text_of
+        assert text
+
+    def test_without_grow_keeps_fragments(self, setup):
+        oec, forest, question, answer = setup
+        text, nodes, grow_trace, _c = oec.distill(
+            forest, question, answer, use_grow=False
+        )
+        assert grow_trace == []
+        assert nodes == set().union(*forest.components)
+
+    def test_invalid_clip_times(self, setup):
+        oec, *_ = setup
+        with pytest.raises(ValueError):
+            OptimalEvidenceDistiller(oec.scorer, clip_times=-1)
+
+
+def tree_text(tree):
+    return " ".join(tree.tokens)
+
+
+class TestPipeline:
+    def test_all_cases_produce_valid_evidence(self, gced):
+        from repro.text.normalize import normalize_answer
+
+        for question, answer, context in QA_CASES:
+            result = gced.distill(question, answer, context)
+            assert result.evidence, question
+            assert result.scores.is_valid
+            first_word = normalize_answer(answer).split()[0]
+            assert first_word in normalize_answer(result.evidence)
+
+    def test_reduction_positive(self, gced):
+        question, answer, context = QA_CASES[0]
+        result = gced.distill(question, answer, context)
+        assert 0 < result.reduction < 1
+
+    def test_empty_answer_gives_empty_result(self, gced):
+        result = gced.distill("Who?", "  ", CORPUS[0])
+        assert result.evidence == ""
+        assert not result.scores.is_valid
+
+    def test_empty_context_rejected(self, gced):
+        with pytest.raises(ValueError):
+            gced.distill("Who?", "x", "   ")
+
+    def test_explain_contains_trace(self, gced):
+        question, answer, context = QA_CASES[3]
+        result = gced.distill(question, answer, context)
+        report = result.explain()
+        assert "clue words" in report
+        assert "evidence:" in report
+
+    def test_evidence_tokens_subset_of_aos(self, gced):
+        question, answer, context = QA_CASES[2]
+        result = gced.distill(question, answer, context)
+        aos_words = {t.text for t in result.aos_tokens}
+        from repro.text.tokenizer import tokenize as tok
+
+        for token in tok(result.evidence):
+            assert token.text in aos_words
+
+
+class TestConfig:
+    def test_ablate_returns_copy(self):
+        config = GCEDConfig()
+        ablated = config.ablate("ase")
+        assert not ablated.use_ase and config.use_ase
+
+    def test_ablate_unknown(self):
+        with pytest.raises(KeyError):
+            GCEDConfig().ablate("xyz")
+
+    def test_effective_weights_renormalize(self):
+        config = GCEDConfig().ablate("i")
+        weights = config.effective_weights()
+        assert weights.alpha == 0.0
+        assert weights.beta + weights.gamma == pytest.approx(1.0)
+
+    def test_all_criteria_disabled_rejected(self):
+        with pytest.raises(ValueError):
+            GCEDConfig(
+                use_informativeness=False,
+                use_conciseness=False,
+                use_readability=False,
+            )
+
+    def test_invalid_clip_times(self):
+        with pytest.raises(ValueError):
+            GCEDConfig(clip_times=-1)
+
+    def test_ablations_change_output(self, artifacts):
+        question, answer, context = QA_CASES[0]
+        full = GCED(artifacts.reader, artifacts).distill(question, answer, context)
+        no_clip = GCED(
+            artifacts.reader, artifacts, config=GCEDConfig().ablate("clip")
+        ).distill(question, answer, context)
+        assert len(no_clip.evidence) >= len(full.evidence)

@@ -1,0 +1,183 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import pytest
+
+from repro.datasets import (
+    DATASET_KEYS,
+    KnowledgeBase,
+    QAExample,
+    SquadGenerator,
+    TriviaQAGenerator,
+    load_dataset,
+)
+from repro.text.tokenizer import word_tokens
+
+
+class TestKnowledgeBase:
+    @pytest.fixture(scope="class")
+    def kb(self):
+        return KnowledgeBase(seed=5)
+
+    def test_pools_nonempty(self, kb):
+        assert len(kb.people) >= 100
+        assert len(kb.teams) >= 20
+        assert len(kb.cities) >= 25
+        assert len(kb.battles) >= 5
+
+    def test_people_unique_names(self, kb):
+        names = [p.name for p in kb.people]
+        assert len(names) == len(set(names))
+
+    def test_deterministic(self):
+        kb1 = KnowledgeBase(seed=9)
+        kb2 = KnowledgeBase(seed=9)
+        assert [p.name for p in kb1.people] == [p.name for p in kb2.people]
+        assert kb1.people[0].attributes == kb2.people[0].attributes
+
+    def test_different_seeds_differ(self):
+        kb1 = KnowledgeBase(seed=1)
+        kb2 = KnowledgeBase(seed=2)
+        assert [p.name for p in kb1.people] != [p.name for p in kb2.people]
+
+    def test_person_facts_complete(self, kb):
+        facts = kb.facts_about(kb.people[0])
+        relations = {f.relation for f in facts}
+        assert {"born_in", "profession", "created_work", "award"} <= relations
+
+    def test_team_facts(self, kb):
+        facts = kb.facts_about_team(kb.teams[0], kb.teams[1])
+        championship = next(f for f in facts if f.relation == "won_championship")
+        assert championship.answer_of["winner"] == kb.teams[0].name
+
+    def test_band_facts(self, kb):
+        assert len(kb.bands) >= 15
+        facts = kb.facts_about_band(kb.bands[0])
+        relations = {f.relation for f in facts}
+        assert relations == {"band_formed", "band_album", "band_singer"}
+        singer_fact = next(f for f in facts if f.relation == "band_singer")
+        assert any(
+            p.name == singer_fact.answer_of["singer"] for p in kb.people
+        )
+
+    def test_country_facts(self, kb):
+        facts = kb.facts_about_country(kb.countries[0])
+        capital = next(f for f in facts if f.relation == "capital_of")
+        assert capital.answer_of["capital"]
+
+    def test_death_after_birth(self, kb):
+        for person in kb.people[:20]:
+            assert person.attributes["death_year"] > person.attributes["birth_year"]
+
+
+class TestQAExample:
+    def test_answer_start_validated(self):
+        with pytest.raises(ValueError):
+            QAExample("x", "Q?", "some context", ("missing",), answer_start=0)
+
+    def test_answerable_requires_answers(self):
+        with pytest.raises(ValueError):
+            QAExample("x", "Q?", "ctx", ())
+
+    def test_impossible_allows_empty(self):
+        example = QAExample("x", "Q?", "ctx", (), is_impossible=True)
+        assert example.primary_answer == ""
+
+
+class TestSquadGenerator:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return SquadGenerator("1.1", seed=3).generate(n_train=40, n_dev=20)
+
+    def test_split_sizes(self, dataset):
+        assert len(dataset.train) >= 40
+        assert len(dataset.dev) >= 20
+
+    def test_answers_located_in_context(self, dataset):
+        for example in dataset.train + dataset.dev:
+            if example.is_impossible:
+                continue
+            gold = example.answers[0]
+            span = example.context[
+                example.answer_start : example.answer_start + len(gold)
+            ]
+            assert span == gold
+
+    def test_v11_has_no_impossible(self, dataset):
+        assert all(not e.is_impossible for e in dataset.train + dataset.dev)
+
+    def test_v20_has_impossible(self):
+        ds = SquadGenerator("2.0", seed=3).generate(n_train=60, n_dev=20)
+        assert any(e.is_impossible for e in ds.train + ds.dev)
+
+    def test_deterministic(self):
+        d1 = SquadGenerator("1.1", seed=4).generate(20, 10)
+        d2 = SquadGenerator("1.1", seed=4).generate(20, 10)
+        assert [e.question for e in d1.dev] == [e.question for e in d2.dev]
+
+    def test_invalid_version(self):
+        with pytest.raises(ValueError):
+            SquadGenerator("3.0")
+
+    def test_contexts_multisentence(self, dataset):
+        from repro.text.sentences import split_sentences
+
+        lengths = [len(split_sentences(e.context)) for e in dataset.dev[:10]]
+        assert min(lengths) >= 3
+
+    def test_example_ids_unique(self, dataset):
+        ids = [e.example_id for e in dataset.train + dataset.dev]
+        assert len(ids) == len(set(ids))
+
+
+class TestTriviaQAGenerator:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return TriviaQAGenerator("web", seed=3).generate(n_train=20, n_dev=10)
+
+    def test_contexts_longer_than_squad(self, dataset):
+        squad = SquadGenerator("1.1", seed=3).generate(20, 10)
+        trivia_len = sum(len(word_tokens(e.context)) for e in dataset.dev) / len(
+            dataset.dev
+        )
+        squad_len = sum(len(word_tokens(e.context)) for e in squad.dev) / len(
+            squad.dev
+        )
+        assert trivia_len > 1.5 * squad_len
+
+    def test_answers_located(self, dataset):
+        for example in dataset.train + dataset.dev:
+            gold = example.answers[0]
+            found = example.context[
+                example.answer_start : example.answer_start + len(gold)
+            ]
+            assert found == gold
+
+    def test_web_variant_has_boilerplate(self, dataset):
+        corpus = " ".join(e.context for e in dataset.train)
+        assert "newsletter" in corpus or "comments" in corpus or "editorial" in corpus
+
+    def test_invalid_variant(self):
+        with pytest.raises(ValueError):
+            TriviaQAGenerator("news")
+
+
+class TestLoader:
+    def test_all_keys_load(self):
+        for key in DATASET_KEYS:
+            ds = load_dataset(key, seed=2, n_train=6, n_dev=3)
+            assert ds.key == key
+            assert len(ds.train) >= 6
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError):
+            load_dataset("nq")
+
+    def test_contexts_deduplicated(self, squad_dataset):
+        contexts = list(squad_dataset.contexts())
+        assert len(contexts) == len(set(contexts))
+
+    def test_calibration_triples(self, squad_dataset):
+        triples = squad_dataset.calibration_triples(limit=5)
+        assert len(triples) == 5
+        for question, context, gold in triples:
+            assert gold and gold in context

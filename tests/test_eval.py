@@ -1,0 +1,186 @@
+"""Unit tests for the evaluation harness: agreement, raters, experiments."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    ExperimentContext,
+    RaterPanel,
+    RatingRecord,
+    format_table,
+    krippendorff_alpha,
+)
+from repro.eval.stats import mean_confidence_interval, paired_pvalue
+
+
+class TestKrippendorff:
+    def test_perfect_agreement(self):
+        ratings = np.array([[1.0, 2, 3, 4], [1, 2, 3, 4], [1, 2, 3, 4]])
+        assert krippendorff_alpha(ratings) == pytest.approx(1.0)
+
+    def test_random_near_zero(self):
+        rng = np.random.default_rng(0)
+        ratings = rng.integers(1, 6, size=(3, 200)).astype(float)
+        assert abs(krippendorff_alpha(ratings)) < 0.15
+
+    def test_missing_values_handled(self):
+        ratings = np.array([[1.0, 2, np.nan], [1, 2, 3], [1, np.nan, 3]])
+        assert krippendorff_alpha(ratings) == pytest.approx(1.0)
+
+    def test_items_with_single_rating_ignored(self):
+        ratings = np.array([[1.0, np.nan], [1.0, 5.0]])
+        # Second item has one rating only and is dropped.
+        assert krippendorff_alpha(ratings) == pytest.approx(1.0)
+
+    def test_all_single_ratings_rejected(self):
+        ratings = np.array([[1.0, np.nan], [np.nan, 2.0]])
+        with pytest.raises(ValueError):
+            krippendorff_alpha(ratings)
+
+    def test_nominal_level(self):
+        ratings = np.array([[1.0, 2, 1], [1, 2, 1]])
+        assert krippendorff_alpha(ratings, level="nominal") == pytest.approx(1.0)
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            krippendorff_alpha(np.ones((2, 2)), level="ratio")
+
+    def test_noise_reduces_alpha(self):
+        rng = np.random.default_rng(1)
+        true = rng.uniform(1, 5, size=100)
+        tight = np.vstack([true + rng.normal(0, 0.1, 100) for _ in range(3)])
+        loose = np.vstack([true + rng.normal(0, 1.5, 100) for _ in range(3)])
+        assert krippendorff_alpha(tight) > krippendorff_alpha(loose)
+
+
+class TestRatingRecord:
+    def test_perfect_evidence_scores_high(self):
+        record = RatingRecord(1.0, 1.0, 0.7, question_coverage=1.0)
+        scores = record.true_scores()
+        assert scores["informativeness"] > 4.0
+        assert scores["conciseness"] > 4.0
+        assert scores["readability"] > 4.0
+
+    def test_verbose_evidence_scores_low_conciseness(self):
+        record = RatingRecord(1.0, 3.5, 0.7)
+        assert record.true_scores()["conciseness"] < 2.0
+
+    def test_uninformative_scores_low(self):
+        record = RatingRecord(0.0, 1.0, 0.7)
+        assert record.true_scores()["informativeness"] < 2.0
+
+    def test_coverage_lowers_informativeness(self):
+        high = RatingRecord(1.0, 1.0, 0.7, question_coverage=1.0)
+        low = RatingRecord(1.0, 1.0, 0.7, question_coverage=0.0)
+        assert (
+            low.true_scores()["informativeness"]
+            < high.true_scores()["informativeness"]
+        )
+
+
+class TestRaterPanel:
+    def test_scores_in_unit_interval(self):
+        panel = RaterPanel(seed=1)
+        records = [RatingRecord(0.9, 1.2, 0.6) for _ in range(12)]
+        result = panel.rate(records)
+        for value in result.scores.values():
+            assert 0.0 < value <= 1.0
+
+    def test_alpha_in_plausible_band(self):
+        panel = RaterPanel(seed=1)
+        rng = np.random.default_rng(2)
+        records = [
+            RatingRecord(rng.uniform(0.5, 1), rng.uniform(0.8, 2.5), rng.uniform(0.2, 0.7))
+            for _ in range(40)
+        ]
+        result = panel.rate(records, label="band")
+        alphas = list(result.alpha.values())
+        assert all(0.4 < a <= 1.0 for a in alphas)
+
+    def test_deterministic(self):
+        records = [RatingRecord(0.8, 1.4, 0.5) for _ in range(8)]
+        r1 = RaterPanel(seed=3).rate(records, label="x")
+        r2 = RaterPanel(seed=3).rate(records, label="x")
+        assert r1.scores == r2.scores
+
+    def test_hybrid_is_mean(self):
+        panel = RaterPanel(seed=1)
+        result = panel.rate([RatingRecord(0.9, 1.2, 0.6)] * 6)
+        expected = sum(result.scores.values()) / 3
+        assert result.hybrid == pytest.approx(expected)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RaterPanel().rate([])
+
+    def test_invalid_panel(self):
+        with pytest.raises(ValueError):
+            RaterPanel(raters_per_group=1)
+
+    def test_better_records_score_higher(self):
+        panel = RaterPanel(seed=5)
+        good = panel.rate([RatingRecord(1.0, 1.0, 0.7)] * 20, label="g")
+        bad = panel.rate([RatingRecord(0.2, 3.0, 0.1)] * 20, label="b")
+        assert good.hybrid > bad.hybrid + 0.2
+
+
+class TestStats:
+    def test_identical_samples_pvalue_one(self):
+        assert paired_pvalue([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_different_samples_small_pvalue(self):
+        a = [1.0] * 20
+        b = [2.0 + 0.01 * i for i in range(20)]
+        assert paired_pvalue(a, b) < 0.01
+
+    def test_short_samples(self):
+        assert paired_pvalue([1.0], [2.0]) == 1.0
+
+    def test_confidence_interval_contains_mean(self):
+        mean, lo, hi = mean_confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert lo <= mean <= hi
+
+    def test_ci_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+
+class TestFormatTable:
+    def test_renders_columns(self):
+        text = format_table([{"a": 1, "b": 2.5}], title="T")
+        assert "T" in text and "a" in text and "2.50" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([])
+
+    def test_column_subset(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+
+@pytest.fixture(scope="module")
+def small_ctx():
+    return ExperimentContext.build("squad11", seed=0, n_train=30, n_dev=16)
+
+
+class TestExperimentContext:
+    def test_baselines_built(self, small_ctx):
+        assert len(small_ctx.baselines) == 9
+
+    def test_gold_evidence_cached(self, small_ctx):
+        example = small_ctx.dataset.answerable_dev()[0]
+        r1 = small_ctx.gold_evidence(example)
+        r2 = small_ctx.gold_evidence(example)
+        assert r1 is r2
+
+    def test_question_coverage_bounds(self, small_ctx):
+        example = small_ctx.dataset.answerable_dev()[0]
+        result = small_ctx.gold_evidence(example)
+        coverage = small_ctx.question_coverage(example.question, result.evidence)
+        assert 0.0 <= coverage <= 1.0
+
+    def test_expected_length_reasonable(self, small_ctx):
+        expected = small_ctx.expected_evidence_length(
+            "Where was Adrian born?", "Ashford"
+        )
+        assert 4 <= expected <= 15

@@ -1,0 +1,56 @@
+"""Unit tests for the standard QA evaluation loop."""
+
+import pytest
+
+from repro.qa import evaluate_model, evaluate_with_contexts
+from repro.qa.registry import build_baseline
+
+
+class TestEvaluateModel:
+    def test_reader_on_dataset(self, artifacts, squad_dataset):
+        examples = squad_dataset.answerable_dev()[:12]
+        result = evaluate_model(artifacts.reader, examples)
+        assert 0.0 <= result.em.mean <= 1.0
+        assert result.f1.mean >= result.em.mean  # F1 dominates EM
+        assert result.em.n == 12
+
+    def test_row_format(self, artifacts, squad_dataset):
+        examples = squad_dataset.answerable_dev()[:6]
+        row = evaluate_model(artifacts.reader, examples).row()
+        assert set(row) == {"EM", "F1", "EM_ci", "F1_ci", "n"}
+        assert 0 <= row["EM"] <= 100
+
+    def test_empty_examples_rejected(self, artifacts):
+        with pytest.raises(ValueError):
+            evaluate_model(artifacts.reader, [])
+
+    def test_simulated_baseline_path(self, artifacts, squad_dataset):
+        triples = squad_dataset.calibration_triples(limit=20)
+        model = build_baseline("BERT-large", "squad11", artifacts.reader, triples)
+        examples = squad_dataset.answerable_dev()[:12]
+        result = evaluate_model(model, examples)
+        # Calibrated around 84 EM; wide tolerance for a 12-example sample.
+        assert 0.4 <= result.em.mean <= 1.0
+
+    def test_custom_contexts_shift_scores(self, artifacts, gced, squad_dataset):
+        examples = squad_dataset.answerable_dev()[:8]
+        evidences = {
+            e.example_id: gced.distill(
+                e.question, e.primary_answer, e.context
+            ).evidence
+            or e.context
+            for e in examples
+        }
+        raw = evaluate_model(artifacts.reader, examples)
+        distilled = evaluate_with_contexts(
+            artifacts.reader, examples, lambda e: evidences[e.example_id]
+        )
+        assert distilled.f1.mean >= raw.f1.mean - 0.05
+
+    def test_per_example_lengths(self, artifacts, squad_dataset):
+        examples = squad_dataset.answerable_dev()[:5]
+        result = evaluate_model(artifacts.reader, examples)
+        assert len(result.per_example_em) == 5
+        assert len(result.per_example_f1) == 5
+        for em, f1 in zip(result.per_example_em, result.per_example_f1):
+            assert f1 >= em

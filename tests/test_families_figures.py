@@ -1,0 +1,84 @@
+"""Unit tests for the family-relations generator and ASCII figures."""
+
+import pytest
+
+from repro.datasets.families import FamilyGenerator
+from repro.eval.figures import ascii_chart, degradation_chart
+
+
+class TestFamilyGenerator:
+    @pytest.fixture(scope="class")
+    def generated(self):
+        return FamilyGenerator(seed=3).generate(n_examples=10)
+
+    def test_sizes(self, generated):
+        dataset, graph, families = generated
+        assert len(dataset.dev) == 10
+        assert len(families) == 10
+        assert len(graph) > 0
+
+    def test_answers_located(self, generated):
+        dataset, _graph, _families = generated
+        for example in dataset.dev:
+            gold = example.answers[0]
+            found = example.context[
+                example.answer_start : example.answer_start + len(gold)
+            ]
+            assert found == gold
+
+    def test_mother_reachable_through_graph(self, generated):
+        _dataset, graph, families = generated
+        for family in families:
+            path = graph.relation_path(family["child"], family["mother"])
+            assert path is not None
+            assert len(path) == 2  # child -> father -> mother
+
+    def test_names_unique_within_run(self, generated):
+        _dataset, _graph, families = generated
+        names = [f[k] for f in families for k in ("child", "father", "mother")]
+        assert len(names) == len(set(names))
+
+    def test_deterministic(self):
+        a = FamilyGenerator(seed=7).generate(4)
+        b = FamilyGenerator(seed=7).generate(4)
+        assert [e.context for e in a[0].dev] == [e.context for e in b[0].dev]
+
+    def test_question_names_child(self, generated):
+        dataset, _graph, families = generated
+        for example, family in zip(dataset.dev, families):
+            assert family["child"] in example.question
+
+
+class TestAsciiChart:
+    def test_renders_series(self):
+        chart = ascii_chart(
+            {"model-a": [(0, 90), (1, 80)], "model-b": [(0, 95), (1, 93)]},
+            title="demo",
+        )
+        assert "demo" in chart
+        assert "a=model-a" in chart and "b=model-b" in chart
+        assert "a" in chart
+
+    def test_empty_series(self):
+        assert "(no data)" in ascii_chart({}, title="t")
+
+    def test_degenerate_ranges(self):
+        chart = ascii_chart({"flat": [(0, 5), (1, 5)]})
+        assert "flat" in chart
+
+    def test_degradation_chart_from_rows(self):
+        rows = [
+            {"model": "m", "delta": 0.0, "EM": 95.0},
+            {"model": "m", "delta": 1.0, "EM": 90.0},
+        ]
+        chart = degradation_chart(rows, metric="EM")
+        assert "EM vs delta" in chart
+        assert "m" in chart
+
+    def test_overlapping_points_marked(self):
+        chart = ascii_chart(
+            {"x": [(0.0, 1.0)], "y": [(0.0, 1.0)]},
+            width=10,
+            height=4,
+        )
+        assert "*" in chart

@@ -1,0 +1,119 @@
+"""Pipeline-level invariants, checked across a generated dataset.
+
+These are the contracts a downstream consumer relies on, verified over
+dozens of real distillations rather than hand-picked cases:
+
+1. evidence tokens are a subset of the answer-oriented sentences' tokens,
+   in original order;
+2. protected forest material (clue + answer words) is never clipped;
+3. reduction is in [0, 1) and consistent with the actual word counts;
+4. scores lie in their documented ranges;
+5. distillation is deterministic.
+"""
+
+import pytest
+
+from repro import GCED, QATrainer
+from repro.datasets import load_dataset
+from repro.text.normalize import normalize_answer
+from repro.text.tokenizer import tokenize, word_tokens
+
+
+@pytest.fixture(scope="module")
+def setup():
+    dataset = load_dataset("squad11", seed=5, n_train=40, n_dev=30)
+    artifacts = QATrainer(seed=0).train(dataset.contexts())
+    gced = GCED(qa_model=artifacts.reader, artifacts=artifacts)
+    examples = dataset.answerable_dev()[:25]
+    results = [
+        gced.distill(e.question, e.primary_answer, e.context) for e in examples
+    ]
+    return gced, examples, results
+
+
+class TestEvidenceTokenInvariants:
+    def test_evidence_is_ordered_subsequence_of_aos(self, setup):
+        _gced, _examples, results = setup
+        for result in results:
+            if not result.evidence or not result.evidence_nodes:
+                continue
+            aos_words = [t.text for t in result.aos_tokens]
+            kept = [aos_words[i] for i in sorted(result.evidence_nodes)]
+            evidence_tokens = [t.text for t in tokenize(result.evidence)]
+            assert evidence_tokens == kept
+
+    def test_protected_nodes_survive(self, setup):
+        gced, examples, results = setup
+        for example, result in zip(examples, results):
+            if not result.evidence_nodes:
+                continue
+            answer_indices = gced.efc.find_answer_indices(
+                result.aos_tokens, example.primary_answer
+            )
+            clue_indices = result.qws.clue_indices
+            protected = set(answer_indices) | set(clue_indices)
+            # All protected indices that entered the forest stay kept.
+            assert protected <= result.evidence_nodes
+
+    def test_answer_present_in_evidence(self, setup):
+        _gced, examples, results = setup
+        present = 0
+        for example, result in zip(examples, results):
+            if not result.evidence:
+                continue
+            first = normalize_answer(example.primary_answer).split()[0]
+            if first in normalize_answer(result.evidence):
+                present += 1
+        assert present >= 0.9 * len(results)
+
+
+class TestScoreInvariants:
+    def test_reduction_consistent(self, setup):
+        _gced, examples, results = setup
+        for example, result in zip(examples, results):
+            if not result.evidence:
+                continue
+            n_ctx = len(word_tokens(example.context))
+            n_ev = len(word_tokens(result.evidence))
+            expected = 1.0 - n_ev / n_ctx
+            assert result.reduction == pytest.approx(expected)
+            assert 0.0 <= result.reduction < 1.0
+
+    def test_score_ranges(self, setup):
+        _gced, _examples, results = setup
+        for result in results:
+            scores = result.scores
+            if not scores.is_valid:
+                continue
+            assert 0.0 <= scores.informativeness <= 1.0
+            assert 0.0 < scores.conciseness <= 1.0
+            assert 0.0 <= scores.readability <= 1.0
+            assert 0.0 <= scores.hybrid <= 1.0
+
+    def test_clip_trace_bounded_by_config(self, setup):
+        gced, _examples, results = setup
+        for result in results:
+            assert len(result.clip_trace) <= gced.config.clip_times
+
+
+class TestDeterminism:
+    def test_distill_deterministic(self, setup):
+        gced, examples, results = setup
+        for example, result in zip(examples[:5], results[:5]):
+            again = gced.distill(
+                example.question, example.primary_answer, example.context
+            )
+            assert again.evidence == result.evidence
+            assert again.scores == result.scores
+
+    def test_fresh_pipeline_same_output(self, setup):
+        gced, examples, results = setup
+        artifacts = QATrainer(seed=0).train(
+            load_dataset("squad11", seed=5, n_train=40, n_dev=30).contexts()
+        )
+        fresh = GCED(qa_model=artifacts.reader, artifacts=artifacts)
+        for example, result in zip(examples[:5], results[:5]):
+            again = fresh.distill(
+                example.question, example.primary_answer, example.context
+            )
+            assert again.evidence == result.evidence

@@ -1,0 +1,149 @@
+"""Integration tests: full pipeline over generated datasets, experiment runners."""
+
+import pytest
+
+from repro import GCED, GCEDConfig, QATrainer
+from repro.eval import (
+    ExperimentContext,
+    ablation_table,
+    agreement_table,
+    degradation_curves,
+    human_evaluation_table,
+    qa_augmentation_table,
+    reduction_statistics,
+)
+from repro.metrics import f1_score
+from repro.text.tokenizer import word_tokens
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext.build("squad11", seed=0, n_train=40, n_dev=24)
+
+
+class TestEndToEndDistillation:
+    def test_distill_over_generated_dataset(self, squad_dataset):
+        artifacts = QATrainer(seed=0).train(squad_dataset.contexts())
+        gced = GCED(qa_model=artifacts.reader, artifacts=artifacts)
+        informative = 0
+        examples = squad_dataset.answerable_dev()[:10]
+        for example in examples:
+            result = gced.distill(
+                example.question, example.primary_answer, example.context
+            )
+            assert result.evidence
+            assert result.scores.is_valid
+            assert 0.0 <= result.reduction <= 1.0
+            if result.scores.informativeness >= 0.5:
+                informative += 1
+        assert informative >= 7
+
+    def test_distill_reduces_words_substantially(self, squad_dataset):
+        artifacts = QATrainer(seed=0).train(squad_dataset.contexts())
+        gced = GCED(qa_model=artifacts.reader, artifacts=artifacts)
+        reductions = []
+        for example in squad_dataset.answerable_dev()[:10]:
+            result = gced.distill(
+                example.question, example.primary_answer, example.context
+            )
+            reductions.append(result.reduction)
+        assert sum(reductions) / len(reductions) > 0.5
+
+    def test_evidence_supports_answer_via_reader(self, squad_dataset):
+        artifacts = QATrainer(seed=0).train(squad_dataset.contexts())
+        gced = GCED(qa_model=artifacts.reader, artifacts=artifacts)
+        supported = 0
+        examples = squad_dataset.answerable_dev()[:10]
+        for example in examples:
+            result = gced.distill(
+                example.question, example.primary_answer, example.context
+            )
+            pred = artifacts.reader.predict(example.question, result.evidence)
+            if f1_score(pred.text, example.primary_answer) > 0.5:
+                supported += 1
+        assert supported >= 7
+
+    def test_unanswerable_handled(self, squad20_dataset):
+        artifacts = QATrainer(seed=0).train(squad20_dataset.contexts())
+        gced = GCED(qa_model=artifacts.reader, artifacts=artifacts)
+        impossible = [e for e in squad20_dataset.dev if e.is_impossible]
+        if not impossible:
+            impossible = [e for e in squad20_dataset.train if e.is_impossible]
+        result = gced.distill(impossible[0].question, "", impossible[0].context)
+        assert result.evidence == ""
+
+
+class TestExperimentRunners:
+    def test_qa_augmentation_improves(self, ctx):
+        rows = qa_augmentation_table(ctx, n_examples=16)
+        assert len(rows) == 9
+        improved = sum(1 for r in rows if r["EM+GCED"] >= r["EM"])
+        assert improved >= 8
+
+    def test_human_eval_rows_in_band(self, ctx):
+        rows = human_evaluation_table(ctx, n_examples=8)
+        assert len(rows) == 10  # 9 models + ground truth
+        for row in rows:
+            for key in ("I", "C", "R", "H"):
+                assert 0.4 < row[key] <= 1.0, row
+
+    def test_agreement_alphas_positive(self, ctx):
+        rows = agreement_table(ctx, n_examples=12)
+        assert {r["criterion"] for r in rows} == {
+            "informativeness", "conciseness", "readability", "hybrid",
+        }
+        for row in rows:
+            for g in ("group1", "group2", "group3"):
+                assert row[g] > 0.2
+
+    def test_ablation_full_config_best_hybrid(self, ctx):
+        rows = ablation_table(ctx, n_examples=8)
+        by_source = {r["source"]: r for r in rows}
+        full = by_source["full"]
+        assert full["H"] >= max(
+            r["H"] for r in rows if r["source"] != "full"
+        ) - 0.08  # full config is at or near the top
+
+    def test_ablation_targets_matching_criterion(self, ctx):
+        rows = ablation_table(ctx, n_examples=8)
+        by_source = {r["source"]: r for r in rows}
+        # Removing ASE or Clip hurts conciseness.
+        assert by_source["w/o ASE"]["C"] < by_source["full"]["C"]
+        assert by_source["w/o CLIP"]["C"] <= by_source["full"]["C"] + 0.02
+        # Removing QWS hurts informativeness.
+        assert by_source["w/o QWS"]["I"] < by_source["full"]["I"]
+        # Removing Grow hurts readability.
+        assert by_source["w/o GROW"]["R"] < by_source["full"]["R"]
+
+    def test_degradation_monotone_overall(self, ctx):
+        rows = degradation_curves(
+            ctx, deltas=(0.0, 0.5, 1.0), n_examples=16,
+            model_names=("BERT-large",),
+        )
+        ems = [r["EM"] for r in rows]
+        assert ems[0] >= ems[-1]  # full substitution never beats none
+
+    def test_reduction_statistics(self, ctx):
+        stats = reduction_statistics(ctx, n_examples=12)
+        assert 0.4 < stats["mean_reduction"] < 1.0
+        assert stats["mean_evidence_words"] < stats["mean_context_words"]
+
+
+class TestCrossDatasetShape:
+    def test_triviaqa_gains_larger_than_squad(self, ctx):
+        trivia_ctx = ExperimentContext.build(
+            "triviaqa-web", seed=0, n_train=30, n_dev=20
+        )
+        squad_rows = qa_augmentation_table(ctx, n_examples=16)
+        trivia_rows = qa_augmentation_table(trivia_ctx, n_examples=16)
+        squad_gain = sum(r["EM+GCED"] - r["EM"] for r in squad_rows) / 9
+        trivia_gain = sum(r["EM+GCED"] - r["EM"] for r in trivia_rows) / 9
+        assert trivia_gain > squad_gain
+
+    def test_triviaqa_reduction_larger(self, ctx):
+        trivia_ctx = ExperimentContext.build(
+            "triviaqa-web", seed=0, n_train=30, n_dev=20
+        )
+        squad_stats = reduction_statistics(ctx, n_examples=10)
+        trivia_stats = reduction_statistics(trivia_ctx, n_examples=10)
+        assert trivia_stats["mean_reduction"] > squad_stats["mean_reduction"]

@@ -1,0 +1,219 @@
+"""Deeper coverage of internal behaviours: grammar reachability, CKY unary
+closure, OEC tie-breaking and budgets, calibration saturation, rater
+discards."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import GCEDConfig
+from repro.core.pipeline import GCED
+from repro.eval.human import RaterPanel, RatingRecord
+from repro.parsing.cky import CKYParser
+from repro.parsing.grammar import Grammar, Rule
+from repro.qa.registry import SimulatedBaseline, SQUAD_BASELINES
+from tests.conftest import CORPUS, QA_CASES
+
+
+class TestGrammarInternals:
+    def test_unreachable_nonterminal_reported(self):
+        grammar = Grammar(
+            [
+                Rule("TOP", ("S",), 1.0),
+                Rule("S", ("NN",), 1.0),
+                Rule("ORPHAN", ("VB",), 1.0),
+            ]
+        )
+        issues = grammar.validate()
+        assert any("unreachable" in issue for issue in issues)
+
+    def test_non_normalized_reported(self):
+        grammar = Grammar(
+            [Rule("TOP", ("S",), 0.4), Rule("S", ("NN",), 1.0)]
+        )
+        issues = grammar.validate()
+        assert any("sum" in issue for issue in issues)
+
+    def test_logprob_negative(self):
+        rule = Rule("A", ("B",), 0.5)
+        assert rule.logprob < 0
+
+    def test_probability_one_logprob_zero(self):
+        assert Rule("A", ("B",), 1.0).logprob == 0.0
+
+
+class TestCKYInternals:
+    def test_unary_chain_resolution(self):
+        # NN -> NOM -> NML -> NP -> TOP requires a closure of depth 4.
+        grammar = Grammar(
+            [
+                Rule("TOP", ("NP",), 1.0),
+                Rule("NP", ("NML",), 1.0),
+                Rule("NML", ("NOM",), 1.0),
+                Rule("NOM", ("NN",), 1.0),
+            ]
+        )
+        tree = CKYParser(grammar).parse_tags(["NN"], words=["cat"])
+        assert tree.label == "TOP"
+        labels = [node.label for node in tree]
+        assert labels == ["TOP", "NP", "NML", "NOM", "NN"]
+
+    def test_viterbi_prefers_likelier_rule(self):
+        grammar = Grammar(
+            [
+                Rule("TOP", ("A",), 0.9),
+                Rule("TOP", ("B",), 0.1),
+                Rule("A", ("NN", "NN"), 1.0),
+                Rule("B", ("NN", "NN"), 1.0),
+            ]
+        )
+        tree = CKYParser(grammar).parse_tags(["NN", "NN"])
+        assert tree.children[0].label == "A"
+
+    def test_glue_fallback_label(self):
+        # Grammar that can never span two tokens.
+        grammar = Grammar([Rule("TOP", ("NN",), 1.0)])
+        tree = CKYParser(grammar).parse_tags(["NN", "NN"], words=["a", "b"])
+        assert len(tree.leaves()) == 2
+
+
+class TestOECInternals:
+    @pytest.fixture(scope="class")
+    def machinery(self, gced):
+        from repro.core.efc import EvidenceForestConstructor
+        from repro.text.tokenizer import tokenize
+
+        tokens = tokenize(CORPUS[0].split(". ")[0] + ".")
+        tree = gced.wsptc.build(tokens)
+        efc = EvidenceForestConstructor()
+        question, answer = QA_CASES[0][0], QA_CASES[0][1]
+        clues = gced.qws.select(question, tokens).clue_indices
+        answers = efc.find_answer_indices(tokens, answer)
+        forest = efc.build(tree, clues, answers)
+        return gced.oec, forest, question, answer
+
+    def test_candidate_budget_respected(self, machinery):
+        oec, forest, question, answer = machinery
+        oec_small = type(oec)(oec.scorer, clip_times=1, max_clip_candidates=2)
+        nodes, root, _ = oec_small.grow(forest)
+        clipped, trace = oec_small.clip(
+            forest.tree, nodes, root, forest.protected, question, answer
+        )
+        assert len(trace) <= 1
+
+    def test_zero_clip_times_is_noop(self, machinery):
+        oec, forest, question, answer = machinery
+        oec_zero = type(oec)(oec.scorer, clip_times=0)
+        nodes, root, _ = oec_zero.grow(forest)
+        clipped, trace = oec_zero.clip(
+            forest.tree, nodes, root, forest.protected, question, answer
+        )
+        assert clipped == nodes
+        assert trace == []
+
+    def test_render_orders_by_index(self, machinery):
+        oec, forest, *_ = machinery
+        text = oec.render(forest.tree, {5, 1, 3})
+        words = text.split()
+        tokens = [forest.tree.token(i) for i in (1, 3, 5)]
+        assert words == [w for w in tokens]
+
+    def test_empty_forest_distill(self, machinery, gced):
+        oec = machinery[0]
+        from repro.core.efc import EvidenceForest
+
+        empty = EvidenceForest(
+            tree=machinery[1].tree,
+            components=[],
+            roots=[],
+            protected=frozenset(),
+            answer_components=frozenset(),
+        )
+        text, nodes, grow, clip = oec.distill(empty, "q?", "a")
+        assert text == "" and nodes == set()
+
+
+class TestCalibrationInternals:
+    def test_saturates_at_max_skill(self, artifacts):
+        model = SimulatedBaseline(SQUAD_BASELINES[0], artifacts.reader)
+        # Target 100% with nonzero difficulty floor: unreachable, must
+        # saturate instead of looping.
+        triples = [(q, c, a) for q, a, c in QA_CASES[:3]]
+        skill = model.calibrate(triples, target_em=100.0)
+        assert skill == pytest.approx(1e5)
+
+    def test_low_target_low_skill(self, artifacts):
+        model = SimulatedBaseline(SQUAD_BASELINES[0], artifacts.reader)
+        triples = [(q, c, a) for q, a, c in QA_CASES[:4]]
+        low = model.calibrate(triples, target_em=20.0)
+        high = SimulatedBaseline(SQUAD_BASELINES[0], artifacts.reader).calibrate(
+            triples, target_em=90.0
+        )
+        assert low < high
+
+
+class TestRaterPanelInternals:
+    def test_noise_increases_discards(self):
+        records = [RatingRecord(0.9, 1.2, 0.5)] * 40
+        quiet = RaterPanel(seed=0, noise_sd=0.05, item_jitter_sd=0.3)
+        loud = RaterPanel(seed=0, noise_sd=1.5, item_jitter_sd=0.3)
+        assert (
+            loud.rate(records, label="x").n_discarded
+            >= quiet.rate(records, label="x").n_discarded
+        )
+
+    def test_per_item_scores_unit_interval(self):
+        panel = RaterPanel(seed=2)
+        outcome = panel.rate([RatingRecord(0.8, 1.3, 0.5)] * 10, label="y")
+        for item in outcome.per_item:
+            for value in item.values():
+                assert 0.0 < value <= 1.0
+
+
+class TestPipelineAblationPaths:
+    def test_without_grow_runs(self, artifacts):
+        gced = GCED(
+            artifacts.reader, artifacts, config=GCEDConfig().ablate("grow")
+        )
+        question, answer, context = QA_CASES[2]
+        result = gced.distill(question, answer, context)
+        assert result.grow_trace == []
+        assert result.evidence
+
+    def test_without_ase_uses_whole_context(self, artifacts):
+        gced = GCED(
+            artifacts.reader, artifacts, config=GCEDConfig().ablate("ase")
+        )
+        question, answer, context = QA_CASES[2]
+        result = gced.distill(question, answer, context)
+        assert len(result.ase.sentences) == 3  # all context sentences
+
+    def test_without_qws_no_clues(self, artifacts):
+        gced = GCED(
+            artifacts.reader, artifacts, config=GCEDConfig().ablate("qws")
+        )
+        question, answer, context = QA_CASES[2]
+        result = gced.distill(question, answer, context)
+        assert result.qws.clue_words == ()
+        assert result.evidence  # answer tree alone still yields evidence
+
+    def test_criterion_ablation_changes_weights(self, artifacts):
+        config = GCEDConfig().ablate("r")
+        gced = GCED(artifacts.reader, artifacts, config=config)
+        assert gced.scorer.weights.beta == 0.0
+
+
+class TestDifficultyProperties:
+    def test_difficulty_monotone_under_extension(self, artifacts):
+        """Appending a distractor sentence never lowers difficulty."""
+        model = SimulatedBaseline(SQUAD_BASELINES[0], artifacts.reader)
+        question, answer, context = QA_CASES[0]
+        extended = context + " The Seattle Seahawks lost to the Green Bay Packers."
+        assert model.difficulty(question, extended, answer) >= model.difficulty(
+            question, context, answer
+        )
+
+    def test_p_correct_in_unit_interval(self, artifacts):
+        model = SimulatedBaseline(SQUAD_BASELINES[0], artifacts.reader, skill=3.0)
+        for question, answer, context in QA_CASES:
+            p = model.p_correct(question, context, answer)
+            assert 0.0 < p < 1.0

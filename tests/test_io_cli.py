@@ -1,0 +1,203 @@
+"""Unit tests for dataset IO, CLI, and error analysis."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets import load_dataset
+from repro.datasets.io import (
+    from_squad_json,
+    load_dataset_json,
+    save_dataset,
+    to_squad_json,
+)
+
+
+class TestDatasetIO:
+    def test_roundtrip(self, squad_dataset, tmp_path):
+        path = tmp_path / "ds.json"
+        save_dataset(squad_dataset, path)
+        loaded = load_dataset_json(path, key=squad_dataset.key)
+        assert len(loaded.train) == len(squad_dataset.train)
+        assert len(loaded.dev) == len(squad_dataset.dev)
+        original = {e.example_id: e for e in squad_dataset.train}
+        for example in loaded.train:
+            source = original[example.example_id]
+            assert example.question == source.question
+            assert example.answers == source.answers
+            assert example.answer_start == source.answer_start
+
+    def test_impossible_roundtrip(self, squad20_dataset, tmp_path):
+        path = tmp_path / "ds20.json"
+        save_dataset(squad20_dataset, path)
+        loaded = load_dataset_json(path)
+        impossible_in = sum(
+            e.is_impossible for e in squad20_dataset.train + squad20_dataset.dev
+        )
+        impossible_out = sum(
+            e.is_impossible for e in loaded.train + loaded.dev
+        )
+        assert impossible_in == impossible_out
+
+    def test_squad_schema_shape(self, squad_dataset):
+        payload = to_squad_json(squad_dataset)
+        assert payload["version"] == squad_dataset.key
+        titles = {a["title"] for a in payload["data"]}
+        assert titles == {"train", "dev"}
+        paragraph = payload["data"][0]["paragraphs"][0]
+        assert "context" in paragraph and "qas" in paragraph
+
+    def test_real_squad_format_parses(self):
+        # Genuine SQuAD files use article titles; they land in `train`.
+        payload = {
+            "version": "1.1",
+            "data": [
+                {
+                    "title": "Some_Article",
+                    "paragraphs": [
+                        {
+                            "context": "Paris is the capital of France.",
+                            "qas": [
+                                {
+                                    "id": "q1",
+                                    "question": "What is the capital of France?",
+                                    "answers": [
+                                        {"text": "Paris", "answer_start": 0}
+                                    ],
+                                }
+                            ],
+                        }
+                    ],
+                }
+            ],
+        }
+        dataset = from_squad_json(payload)
+        assert len(dataset.train) == 1
+        assert dataset.train[0].primary_answer == "Paris"
+
+
+class TestCLI:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_dataset_command(self, tmp_path, capsys):
+        out = tmp_path / "generated.json"
+        code = main(
+            ["dataset", "squad11", "--out", str(out), "--n-train", "8", "--n-dev", "4"]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["version"] == "squad11"
+
+    def test_distill_command(self, capsys):
+        code = main(
+            [
+                "distill",
+                "--question", "Who led the Norman conquest of England?",
+                "--answer", "William the Conqueror",
+                "--context",
+                "William the Conqueror led the Norman conquest of England "
+                "and won the Battle of Hastings in 1066. He was a duke.",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "William the Conqueror" in output
+
+    def test_distill_with_trace(self, capsys):
+        code = main(
+            [
+                "distill",
+                "--question", "When was the Battle of Hastings?",
+                "--answer", "1066",
+                "--context",
+                "The Battle of Hastings happened in 1066. It changed history.",
+                "--trace",
+            ]
+        )
+        assert code == 0
+        assert "clue words" in capsys.readouterr().out
+
+    def test_distill_missing_inputs(self, capsys):
+        code = main(["distill", "--question", "q?", "--answer", "a"])
+        assert code == 2
+
+    def test_distill_from_corpus_file(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus.txt"
+        corpus.write_text(
+            "The Battle of Hastings happened in 1066. It changed history.\n"
+            "Another paragraph about other things entirely.\n"
+        )
+        code = main(
+            [
+                "distill",
+                "--question", "When was the Battle of Hastings?",
+                "--answer", "1066",
+                "--corpus", str(corpus),
+            ]
+        )
+        assert code == 0
+        assert "1066" in capsys.readouterr().out
+
+    def test_experiment_reduction(self, capsys):
+        code = main(
+            [
+                "experiment", "reduction",
+                "--n-train", "20", "--n-dev", "10", "--n-examples", "6",
+            ]
+        )
+        assert code == 0
+        assert "% words" in capsys.readouterr().out
+
+
+class TestErrorAnalysis:
+    def test_analyze_errors_covers_all_examples(self):
+        from repro.eval import ExperimentContext
+        from repro.eval.error_analysis import analyze_errors
+
+        ctx = ExperimentContext.build("squad11", seed=0, n_train=20, n_dev=12)
+        diagnoses = analyze_errors(ctx, n_examples=8)
+        assert len(diagnoses) == 8
+        for diagnosis in diagnoses:
+            assert diagnosis.category in {
+                "ok", "low-readability", "low-informativeness",
+                "verbose", "long-complex-context",
+            }
+
+    def test_mostly_ok_on_squad(self):
+        from repro.eval import ExperimentContext
+        from repro.eval.error_analysis import analyze_errors
+
+        ctx = ExperimentContext.build("squad11", seed=0, n_train=20, n_dev=12)
+        diagnoses = analyze_errors(ctx, n_examples=8)
+        ok = sum(1 for d in diagnoses if d.category == "ok")
+        assert ok >= 5
+
+    def test_sorted_worst_first(self):
+        from repro.eval import ExperimentContext
+        from repro.eval.error_analysis import analyze_errors
+
+        ctx = ExperimentContext.build("squad11", seed=0, n_train=20, n_dev=12)
+        diagnoses = analyze_errors(ctx, n_examples=8)
+        severities = [d.category == "ok" for d in diagnoses]
+        # Once "ok" starts it never goes back to a problem category.
+        if True in severities:
+            first_ok = severities.index(True)
+            assert all(severities[first_ok:])
+
+
+class TestUniformAttention:
+    def test_interface_matches(self):
+        import numpy as np
+
+        from repro.attention import UniformAttention
+
+        attention = UniformAttention(dim=8)
+        tokens = ["a", "b", "c"]
+        matrix = attention.attention_matrix(tokens)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+        assert attention.edge_weights(tokens).shape == (3, 3)
+        assert attention.encode(tokens).shape == (3, 8)
+        assert attention.attention_matrix([]).shape == (0, 0)

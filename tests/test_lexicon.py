@@ -1,0 +1,88 @@
+"""Unit tests for the mini-WordNet and stopword lists."""
+
+from repro.lexicon import (
+    MiniWordNet,
+    default_wordnet,
+    is_insignificant,
+    QUESTION_WORDS,
+)
+
+
+class TestStopwords:
+    def test_question_words(self):
+        assert is_insignificant("Who")
+        assert is_insignificant("which")
+
+    def test_auxiliaries(self):
+        assert is_insignificant("did")
+        assert is_insignificant("was")
+
+    def test_function_words(self):
+        assert is_insignificant("the")
+        assert is_insignificant("of")
+
+    def test_punctuation(self):
+        assert is_insignificant("?")
+        assert is_insignificant("...")
+
+    def test_content_words_kept(self):
+        for word in ("NFL", "team", "Battle", "born", "champion"):
+            assert not is_insignificant(word)
+
+    def test_question_words_frozen(self):
+        assert "who" in QUESTION_WORDS
+
+
+class TestMiniWordNet:
+    def test_synonyms(self):
+        wn = default_wordnet()
+        assert "winner" in wn.synonyms("champion")
+        assert "champion" not in wn.synonyms("champion")
+
+    def test_synonyms_unknown_word(self):
+        assert default_wordnet().synonyms("zzzzz") == set()
+
+    def test_antonyms_expand_synsets(self):
+        wn = default_wordnet()
+        antonyms = wn.antonyms("winner")
+        assert "loser" in antonyms
+
+    def test_siblings_share_hypernym(self):
+        wn = default_wordnet()
+        siblings = wn.siblings("team")
+        # "league"/"conference" share the "organization" hypernym.
+        assert "conference" in siblings
+        assert "team" not in siblings
+
+    def test_siblings_exclude_synonyms(self):
+        wn = default_wordnet()
+        assert wn.siblings("champion").isdisjoint(wn.synonyms("champion"))
+
+    def test_related_is_union(self):
+        wn = default_wordnet()
+        related = wn.related("win")
+        assert wn.synonyms("win") <= related
+
+    def test_case_insensitive(self):
+        wn = default_wordnet()
+        assert wn.synonyms("Champion") == wn.synonyms("champion")
+
+    def test_contains(self):
+        wn = default_wordnet()
+        assert "battle" in wn
+        assert "qqqq" not in wn
+
+    def test_custom_synsets(self):
+        wn = MiniWordNet([(("foo", "bar"), "thing", ("baz",))])
+        assert wn.synonyms("foo") == {"bar"}
+        assert "baz" in wn.antonyms("foo")
+
+    def test_empty_lemmas_rejected(self):
+        import pytest
+
+        wn = MiniWordNet([])
+        with pytest.raises(ValueError):
+            wn.add_synset((), "thing")
+
+    def test_vocabulary_nonempty(self):
+        assert len(default_wordnet().vocabulary) > 300

@@ -1,0 +1,111 @@
+"""Unit tests for the n-gram LM and co-occurrence embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.lm import CooccurrenceEmbeddings, NGramLanguageModel
+
+SENTS = [
+    ["the", "broncos", "defeated", "the", "panthers"],
+    ["the", "panthers", "lost", "the", "game"],
+    ["denver", "broncos", "won", "the", "super", "bowl", "title"],
+    ["the", "super", "bowl", "title", "went", "to", "denver"],
+] * 4
+
+
+class TestNGramLM:
+    @pytest.fixture(scope="class")
+    def lm(self):
+        return NGramLanguageModel().fit(SENTS)
+
+    def test_probability_positive(self, lm):
+        assert lm.probability("broncos", "the") > 0
+
+    def test_probabilities_not_above_one(self, lm):
+        assert lm.probability("the") <= 1.0
+
+    def test_fluent_beats_shuffled(self, lm):
+        fluent = ["the", "broncos", "defeated", "the", "panthers"]
+        shuffled = ["panthers", "the", "the", "defeated", "broncos"]
+        assert lm.perplexity(fluent) < lm.perplexity(shuffled)
+
+    def test_in_domain_beats_unknown(self, lm):
+        assert lm.perplexity(["the", "game"]) < lm.perplexity(["zz", "qq"])
+
+    def test_empty_sequence_convention(self, lm):
+        assert lm.perplexity([]) == float(lm.vocab_size)
+
+    def test_unknown_words_finite(self, lm):
+        assert np.isfinite(lm.perplexity(["totally", "unknown", "words"]))
+
+    def test_case_insensitive(self, lm):
+        assert lm.perplexity(["THE", "GAME"]) == lm.perplexity(["the", "game"])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            NGramLanguageModel().probability("x")
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            NGramLanguageModel(order=4)
+
+    def test_invalid_lambdas(self):
+        with pytest.raises(ValueError):
+            NGramLanguageModel(lambdas=(0.5, 0.5, 0.5))
+
+    def test_bigram_order_supported(self):
+        lm2 = NGramLanguageModel(order=2).fit(SENTS)
+        assert np.isfinite(lm2.perplexity(["the", "game"]))
+
+
+class TestEmbeddings:
+    @pytest.fixture(scope="class")
+    def emb(self):
+        return CooccurrenceEmbeddings(dim=16, seed=1).fit(SENTS)
+
+    def test_vector_shape(self, emb):
+        assert emb.vector("broncos").shape == (16,)
+
+    def test_unknown_gets_mean_vector(self, emb):
+        unknown = emb.vector("qqqq")
+        assert unknown.shape == (16,)
+
+    def test_matrix_stacking(self, emb):
+        matrix = emb.matrix(["the", "broncos"])
+        assert matrix.shape == (2, 16)
+
+    def test_empty_matrix(self, emb):
+        assert emb.matrix([]).shape == (0, 16)
+
+    def test_similarity_bounds(self, emb):
+        sim = emb.similarity("broncos", "panthers")
+        assert -1.0001 <= sim <= 1.0001
+
+    def test_self_similarity_is_one(self, emb):
+        assert emb.similarity("broncos", "broncos") == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        e1 = CooccurrenceEmbeddings(dim=8, seed=3).fit(SENTS)
+        e2 = CooccurrenceEmbeddings(dim=8, seed=3).fit(SENTS)
+        assert np.allclose(e1.vector("denver"), e2.vector("denver"))
+
+    def test_most_similar_excludes_self(self, emb):
+        names = [w for w, _s in emb.most_similar("broncos", top_k=5)]
+        assert "broncos" not in names
+        assert len(names) == 5
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            CooccurrenceEmbeddings().vector("x")
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            CooccurrenceEmbeddings().fit([])
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            CooccurrenceEmbeddings(dim=1)
+
+    def test_contains(self, emb):
+        assert "broncos" in emb
+        assert "qqqq" not in emb

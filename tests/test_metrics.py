@@ -1,0 +1,166 @@
+"""Unit tests for the evidence-quality metrics (Eq. 1-5)."""
+
+import pytest
+
+from repro.lm import NGramLanguageModel
+from repro.metrics import (
+    HybridScorer,
+    HybridWeights,
+    InformativenessScorer,
+    conciseness_score,
+    exact_match,
+    f1_score,
+    precision_recall_f1,
+)
+from repro.metrics.overlap import best_em, best_f1
+from repro.metrics.readability import ReadabilityScorer
+
+
+class TestOverlap:
+    def test_exact_match_normalized(self):
+        assert exact_match("The Broncos", "broncos") == 1.0
+        assert exact_match("Panthers", "Broncos") == 0.0
+
+    def test_f1_perfect(self):
+        assert f1_score("Denver Broncos", "Denver Broncos") == 1.0
+
+    def test_f1_partial(self):
+        p, r, f1 = precision_recall_f1("Denver Broncos win", "Denver Broncos")
+        assert r == 1.0
+        assert p == pytest.approx(2 / 3)
+        assert 0 < f1 < 1
+
+    def test_f1_no_overlap(self):
+        assert f1_score("apple", "orange") == 0.0
+
+    def test_both_empty_is_match(self):
+        assert precision_recall_f1("", "") == (1.0, 1.0, 1.0)
+        assert exact_match("", "") == 1.0
+
+    def test_one_empty_is_zero(self):
+        assert f1_score("", "answer") == 0.0
+        assert f1_score("answer", "") == 0.0
+
+    def test_multiplicity_counted(self):
+        p, r, f1 = precision_recall_f1("x x y", "x y y")
+        assert p == pytest.approx(2 / 3)
+        assert r == pytest.approx(2 / 3)
+
+    def test_best_over_multiple_golds(self):
+        assert best_em("Broncos", ["Panthers", "Broncos"]) == 1.0
+        assert best_f1("Denver", ["Denver Broncos", "Panthers"]) > 0.0
+
+    def test_best_with_no_golds(self):
+        assert best_em("x", []) == 0.0
+        assert best_em("", []) == 1.0
+
+
+class TestConciseness:
+    def test_valid_evidence(self):
+        assert conciseness_score("a b c d e", "a b") == pytest.approx(1 / 5)
+
+    def test_too_short_discarded(self):
+        assert conciseness_score("Denver Broncos", "Denver Broncos") == float("-inf")
+        assert conciseness_score("a", "a b c") == float("-inf")
+
+    def test_punctuation_not_counted(self):
+        assert conciseness_score("a, b, c!", "x") == pytest.approx(1 / 3)
+
+
+class TestReadability:
+    @pytest.fixture(scope="class")
+    def scorer(self):
+        lm = NGramLanguageModel().fit(
+            [["the", "duke", "led", "the", "conquest"]] * 5
+        )
+        return ReadabilityScorer(lm)
+
+    def test_score_in_unit_interval(self, scorer):
+        score = scorer.score("the duke led the conquest")
+        assert 0 < score <= 1
+
+    def test_fluent_beats_shuffled(self, scorer):
+        fluent = scorer.score("the duke led the conquest")
+        shuffled = scorer.score("conquest the led duke the")
+        assert fluent > shuffled
+
+    def test_empty_is_zero(self, scorer):
+        assert scorer.score("") == 0.0
+
+    def test_invalid_gamma(self):
+        lm = NGramLanguageModel().fit([["a"]])
+        with pytest.raises(ValueError):
+            ReadabilityScorer(lm, gamma=0)
+
+
+class TestHybridWeights:
+    def test_defaults_sum_to_one(self):
+        w = HybridWeights()
+        assert w.alpha + w.beta + w.gamma == pytest.approx(1.0)
+
+    def test_invalid_sum_rejected(self):
+        with pytest.raises(ValueError):
+            HybridWeights(0.5, 0.5, 0.5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            HybridWeights(-0.2, 0.6, 0.6)
+
+
+class TestHybridScorer:
+    @pytest.fixture(scope="class")
+    def scorer(self, artifacts):
+        return HybridScorer(
+            informativeness=InformativenessScorer(artifacts.reader),
+            readability=ReadabilityScorer(artifacts.language_model),
+        )
+
+    def test_scores_components(self, scorer):
+        scores = scorer.score(
+            "Who led the Norman conquest of England?",
+            "William the Conqueror",
+            "William the Conqueror led the Norman conquest of England",
+        )
+        assert scores.is_valid
+        assert scores.informativeness > 0.5
+        assert 0 < scores.hybrid <= 1
+
+    def test_too_short_evidence_invalid(self, scorer):
+        scores = scorer.score("Who?", "William the Conqueror", "William the")
+        assert not scores.is_valid
+        assert scores.hybrid == float("-inf")
+
+    def test_hybrid_is_weighted_sum(self, scorer):
+        scores = scorer.score(
+            "When was the Battle of Hastings?",
+            "1066",
+            "won the Battle of Hastings in 1066",
+        )
+        w = scorer.weights
+        expected = (
+            w.alpha * scores.informativeness
+            + w.beta * scores.readability
+            + w.gamma * scores.conciseness
+        )
+        assert scores.hybrid == pytest.approx(expected)
+
+    def test_normalized_conciseness_bounds(self, scorer):
+        c = scorer.normalized_conciseness("a b c d e f g", "a")
+        assert 0 < c <= 1
+
+
+class TestInformativeness:
+    def test_empty_evidence_zero(self, artifacts):
+        scorer = InformativenessScorer(artifacts.reader)
+        assert scorer.score("Who?", "x", "  ") == 0.0
+
+    def test_caching(self, artifacts):
+        scorer = InformativenessScorer(artifacts.reader)
+        args = (
+            "Who led the Norman conquest of England?",
+            "William the Conqueror",
+            "William the Conqueror led the Norman conquest of England",
+        )
+        first = scorer.score(*args)
+        assert scorer.score(*args) == first
+        assert scorer._cache.hits >= 1

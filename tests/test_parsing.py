@@ -1,0 +1,206 @@
+"""Unit tests for the parsing substrate: POS, grammar, CKY, heads, deps."""
+
+import pytest
+
+from repro.parsing import (
+    CKYParser,
+    DependencyTree,
+    PosTagger,
+    SyntacticParser,
+    default_grammar,
+)
+from repro.parsing.grammar import Rule
+from repro.parsing.heads import lexicalize
+from repro.text.tokenizer import tokenize
+
+
+def toks(text):
+    return [t.text for t in tokenize(text)]
+
+
+class TestPosTagger:
+    @pytest.fixture(scope="class")
+    def tagger(self):
+        return PosTagger()
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("The cat", ["DT", "NN"]),
+            ("Denver Broncos", ["NNP", "NNP"]),
+            ("quickly ran", ["RB", "VBD"]),
+            ("in 1066", ["IN", "CD"]),
+            ("she sang", ["PRP", "VBD"]),
+        ],
+    )
+    def test_basic_tags(self, tagger, text, expected):
+        assert tagger.tag(toks(text)) == expected
+
+    def test_punctuation(self, tagger):
+        assert tagger.tag(["."]) == ["PUNCT"]
+
+    def test_plural_noun_after_determiner(self, tagger):
+        tags = tagger.tag(toks("the records"))
+        assert tags == ["DT", "NNS"]
+
+    def test_verb_inflection(self, tagger):
+        assert tagger.tag(["defeated"]) == ["VBD"]
+        assert tagger.tag(["performing"]) == ["VBG"]
+
+    def test_suffix_heuristics(self, tagger):
+        assert tagger.tag(["information"]) == ["NN"]
+        assert tagger.tag(["beautiful"]) == ["JJ"]
+
+    def test_extra_verbs(self):
+        tagger = PosTagger(extra_verbs={"zorple"})
+        assert tagger.tag(["zorple"]) == ["VBD"]
+
+    def test_that_disambiguation(self, tagger):
+        assert tagger.tag(toks("that battle"))[0] == "DT"
+        assert tagger.tag(toks("said that she sang"))[1] == "IN"
+
+
+class TestGrammar:
+    def test_default_grammar_normalized(self):
+        issues = default_grammar().validate()
+        assert issues == [], issues
+
+    def test_rule_validation(self):
+        with pytest.raises(ValueError):
+            Rule("A", ("B", "C", "D"), 0.5)
+        with pytest.raises(ValueError):
+            Rule("A", ("B",), 0.0)
+
+    def test_terminals_are_tags(self):
+        grammar = default_grammar()
+        assert "NN" in grammar.terminals
+        assert "NP" not in grammar.terminals
+
+
+class TestCKY:
+    @pytest.fixture(scope="class")
+    def parser(self):
+        return CKYParser()
+
+    def test_simple_sentence_parses_to_top(self, parser):
+        tree = parser.parse_tags(["DT", "NN", "VBD", "DT", "NN", "PUNCT"])
+        assert tree.label == "TOP"
+
+    def test_leaves_preserve_order(self, parser):
+        words = ["The", "duke", "led", "the", "conquest", "."]
+        tags = ["DT", "NN", "VBD", "DT", "NN", "PUNCT"]
+        tree = parser.parse_tags(tags, words=words)
+        assert [leaf.word for leaf in tree.leaves()] == words
+
+    def test_every_input_gets_a_tree(self, parser):
+        # A tag soup that the linguistic grammar cannot fully cover.
+        tags = ["CC", "CC", "PUNCT", "CC"]
+        tree = parser.parse_tags(tags)
+        assert len(tree.leaves()) == 4
+
+    def test_empty_rejected(self, parser):
+        with pytest.raises(ValueError):
+            parser.parse_tags([])
+
+    def test_mismatched_words_rejected(self, parser):
+        with pytest.raises(ValueError):
+            parser.parse_tags(["NN"], words=["a", "b"])
+
+    def test_single_token(self, parser):
+        tree = parser.parse_tags(["NN"], words=["cat"])
+        assert [l.word for l in tree.leaves()] == ["cat"]
+
+
+class TestLexicalize:
+    def test_head_assignment(self):
+        parser = CKYParser()
+        words = ["The", "duke", "led", "the", "conquest"]
+        tree = parser.parse_tags(["DT", "NN", "VBD", "DT", "NN"], words=words)
+        head = lexicalize(tree)
+        assert words[head] == "led"  # VP heads S
+
+    def test_all_nodes_have_heads(self):
+        parser = CKYParser()
+        tree = parser.parse_tags(["DT", "NN", "VBD", "NNP"], words=["the", "duke", "saw", "France"])
+        lexicalize(tree)
+        for node in tree:
+            assert node.head is not None
+
+
+class TestDependencyTree:
+    def test_construction_and_queries(self):
+        tree = DependencyTree(["a", "b", "c"], [1, -1, 1])
+        assert tree.root == 1
+        assert tree.children(1) == [0, 2]
+        assert tree.parent(0) == 1
+        assert tree.siblings(0) == [2]
+
+    def test_subtree(self):
+        tree = DependencyTree(["a", "b", "c", "d"], [1, -1, 1, 2])
+        assert tree.subtree(2) == {2, 3}
+        assert tree.subtree(1) == {0, 1, 2, 3}
+
+    def test_depth_and_ancestors(self):
+        tree = DependencyTree(["a", "b", "c"], [-1, 0, 1])
+        assert tree.depth(2) == 2
+        assert tree.ancestors(2) == [1, 0]
+
+    def test_is_ancestor(self):
+        tree = DependencyTree(["a", "b", "c"], [-1, 0, 1])
+        assert tree.is_ancestor(0, 2)
+        assert not tree.is_ancestor(2, 0)
+
+    def test_text_of_sorted(self):
+        tree = DependencyTree(["x", "y", "z"], [-1, 0, 0])
+        assert tree.text_of({2, 0}) == ["x", "z"]
+
+    def test_two_roots_rejected(self):
+        with pytest.raises(ValueError):
+            DependencyTree(["a", "b"], [-1, -1])
+
+    def test_self_parent_rejected(self):
+        with pytest.raises(ValueError):
+            DependencyTree(["a", "b"], [-1, 1])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            DependencyTree(["a", "b", "c"], [1, 2, 1])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DependencyTree(["a"], [-1, 0])
+
+    def test_weights_settable(self):
+        tree = DependencyTree(["a", "b"], [-1, 0])
+        tree.set_weight(1, 0.7)
+        assert tree.weight(1) == pytest.approx(0.7)
+
+    def test_to_dot_contains_nodes(self):
+        tree = DependencyTree(["a", "b"], [-1, 0])
+        dot = tree.to_dot()
+        assert "0-a" in dot and "1-b" in dot
+
+
+class TestSyntacticParser:
+    @pytest.fixture(scope="class")
+    def parser(self):
+        return SyntacticParser()
+
+    def test_parse_produces_valid_tree(self, parser):
+        tree = parser.parse(toks("The duke led the conquest of England."))
+        assert len(tree) == 8
+        assert tree.token(tree.root) == "led"
+
+    def test_compound_right_headed(self, parser):
+        tree = parser.parse(toks("Denver Broncos won the title."))
+        broncos = 1
+        assert tree.parent(0) == broncos  # Denver -> Broncos
+
+    def test_caching_returns_same_object(self, parser):
+        t1 = parser.parse(["The", "cat", "sat"])
+        t2 = parser.parse(["The", "cat", "sat"])
+        assert t1 is t2
+
+    def test_empty_rejected(self, parser):
+        with pytest.raises(ValueError):
+            parser.parse([])

@@ -1,0 +1,184 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.overlap import exact_match, f1_score, precision_recall_f1
+from repro.metrics.conciseness import conciseness_score
+from repro.parsing.tree import DependencyTree
+from repro.text.normalize import normalize_answer
+from repro.text.stem import lemma, light_stem
+from repro.text.tokenizer import detokenize, tokenize
+from repro.text.sentences import split_sentences
+from repro.text.vocab import Vocabulary
+from repro.utils.rng import derive_seed
+
+# The library targets English text; ASCII alphabets keep the properties
+# meaningful (Unicode casefolding can change string length, e.g. 'İ').
+words = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ",
+    min_size=1,
+    max_size=12,
+)
+texts = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 .,!?'-()",
+    max_size=200,
+)
+
+
+class TestTokenizerProperties:
+    @given(texts)
+    @settings(max_examples=150)
+    def test_offsets_always_roundtrip(self, text):
+        for token in tokenize(text):
+            assert text[token.start : token.end] == token.text
+
+    @given(texts)
+    @settings(max_examples=100)
+    def test_indices_strictly_increasing(self, text):
+        tokens = tokenize(text)
+        assert [t.index for t in tokens] == list(range(len(tokens)))
+
+    @given(texts)
+    @settings(max_examples=100)
+    def test_spans_never_overlap(self, text):
+        tokens = tokenize(text)
+        for a, b in zip(tokens, tokens[1:]):
+            assert a.end <= b.start
+
+    @given(st.lists(words, max_size=12))
+    @settings(max_examples=100)
+    def test_detokenize_preserves_word_tokens(self, token_list):
+        rebuilt = detokenize(token_list)
+        assert [t.text for t in tokenize(rebuilt)] == [
+            t.text for w in token_list for t in tokenize(w)
+        ]
+
+
+class TestSentenceProperties:
+    @given(texts)
+    @settings(max_examples=100)
+    def test_sentence_offsets_roundtrip(self, text):
+        for sent in split_sentences(text):
+            assert text[sent.start : sent.end] == sent.text
+
+    @given(texts)
+    @settings(max_examples=100)
+    def test_sentences_ordered_and_disjoint(self, text):
+        sents = split_sentences(text)
+        for a, b in zip(sents, sents[1:]):
+            assert a.end <= b.start
+
+
+class TestOverlapProperties:
+    @given(texts, texts)
+    @settings(max_examples=150)
+    def test_f1_symmetric(self, a, b):
+        assert f1_score(a, b) == f1_score(b, a)
+
+    @given(texts, texts)
+    @settings(max_examples=150)
+    def test_f1_bounded(self, a, b):
+        assert 0.0 <= f1_score(a, b) <= 1.0
+
+    @given(texts)
+    @settings(max_examples=100)
+    def test_self_match_perfect(self, a):
+        assert f1_score(a, a) == 1.0
+        assert exact_match(a, a) == 1.0
+
+    @given(texts, texts)
+    @settings(max_examples=100)
+    def test_em_implies_f1(self, a, b):
+        if exact_match(a, b) == 1.0:
+            assert f1_score(a, b) == 1.0
+
+    @given(texts, texts)
+    @settings(max_examples=100)
+    def test_precision_recall_bounded(self, a, b):
+        p, r, f1 = precision_recall_f1(a, b)
+        assert 0 <= p <= 1 and 0 <= r <= 1
+        if p > 0 and r > 0:
+            assert f1 <= max(p, r) + 1e-9
+
+
+class TestNormalizeProperties:
+    @given(texts)
+    @settings(max_examples=100)
+    def test_idempotent(self, text):
+        once = normalize_answer(text)
+        assert normalize_answer(once) == once
+
+    @given(words)
+    @settings(max_examples=100)
+    def test_stem_never_longer(self, word):
+        assert len(light_stem(word)) <= len(word)
+
+    @given(words)
+    @settings(max_examples=100)
+    def test_lemma_lowercase(self, word):
+        assert lemma(word) == lemma(word.upper())
+
+
+class TestConcisenessProperties:
+    @given(st.lists(words, min_size=1, max_size=20), st.lists(words, min_size=1, max_size=5))
+    @settings(max_examples=100)
+    def test_monotone_in_length(self, evidence_words, answer_words):
+        evidence = " ".join(evidence_words)
+        longer = evidence + " extra trailing words here"
+        answer = " ".join(answer_words)
+        short_score = conciseness_score(evidence, answer)
+        long_score = conciseness_score(longer, answer)
+        if short_score != float("-inf") and long_score != float("-inf"):
+            assert long_score <= short_score
+
+
+class TestTreeProperties:
+    @given(st.integers(min_value=1, max_value=30), st.randoms())
+    @settings(max_examples=100)
+    def test_random_tree_invariants(self, n, rnd):
+        # Build a random valid parent array: node i attaches to some j < i.
+        parents = [-1] + [rnd.randrange(0, i) for i in range(1, n)]
+        tree = DependencyTree([f"w{i}" for i in range(n)], parents)
+        assert tree.root == 0
+        # Subtree sizes sum correctly: root subtree covers all nodes.
+        assert tree.subtree(0) == set(range(n))
+        # Every non-root is in its parent's subtree.
+        for i in range(1, n):
+            assert i in tree.subtree(tree.parent(i))
+        # Depth is consistent with ancestors.
+        for i in range(n):
+            assert tree.depth(i) == len(tree.ancestors(i))
+
+    @given(st.integers(min_value=2, max_value=25), st.randoms())
+    @settings(max_examples=60)
+    def test_subtree_partition(self, n, rnd):
+        parents = [-1] + [rnd.randrange(0, i) for i in range(1, n)]
+        tree = DependencyTree([f"w{i}" for i in range(n)], parents)
+        children = tree.children(0)
+        covered = {0}
+        for child in children:
+            sub = tree.subtree(child)
+            assert covered.isdisjoint(sub)
+            covered |= sub
+        assert covered == set(range(n))
+
+
+class TestVocabularyProperties:
+    @given(st.lists(st.lists(words, max_size=8), max_size=8))
+    @settings(max_examples=60)
+    def test_encode_decode_known_tokens(self, docs):
+        vocab = Vocabulary.build(docs)
+        for doc in docs:
+            decoded = vocab.decode(vocab.encode(doc))
+            assert decoded == list(doc)
+
+
+class TestSeedProperties:
+    @given(st.integers(min_value=0, max_value=2**31), words)
+    @settings(max_examples=100)
+    def test_derive_seed_stable_and_bounded(self, seed, label):
+        a = derive_seed(seed, label)
+        assert a == derive_seed(seed, label)
+        assert 0 <= a < 2**32

@@ -1,0 +1,213 @@
+"""Unit tests for the QA substrate: typing, scorers, ensemble, registry."""
+
+import pytest
+
+from repro.qa import (
+    AnswerType,
+    EnsembleQA,
+    LexicalOverlapQA,
+    TfidfQA,
+    classify_question,
+    candidate_spans,
+)
+from repro.qa.base import AnswerPrediction
+from repro.qa.registry import (
+    SQUAD_BASELINES,
+    TRIVIAQA_BASELINES,
+    SimulatedBaseline,
+    build_baseline,
+)
+from repro.text.tokenizer import tokenize
+from tests.conftest import CORPUS, QA_CASES
+
+
+class TestClassifyQuestion:
+    @pytest.mark.parametrize(
+        "question,expected",
+        [
+            ("Who led the conquest?", AnswerType.PERSON),
+            ("Where was she born?", AnswerType.PLACE),
+            ("When was the battle?", AnswerType.NUMBER),
+            ("How many people attended?", AnswerType.NUMBER),
+            ("Which team won the title?", AnswerType.ENTITY),
+            ("Name the thing.", AnswerType.PHRASE),
+        ],
+    )
+    def test_types(self, question, expected):
+        assert classify_question(question) == expected
+
+
+class TestCandidateSpans:
+    def test_number_spans(self):
+        tokens = tokenize("The battle was fought in 1066 with 7,000 men.")
+        spans = candidate_spans(tokens, AnswerType.NUMBER)
+        surfaces = {" ".join(t.text for t in tokens[s : e + 1]) for s, e in spans}
+        assert "1066" in surfaces
+        assert "7,000" in surfaces
+
+    def test_entity_runs(self):
+        tokens = tokenize("champion Denver Broncos defeated Carolina Panthers")
+        spans = candidate_spans(tokens, AnswerType.PERSON)
+        surfaces = {" ".join(t.text for t in tokens[s : e + 1]) for s, e in spans}
+        assert "Denver Broncos" in surfaces
+        assert "Carolina Panthers" in surfaces
+
+    def test_of_bridge(self):
+        tokens = tokenize("He won the Battle of Hastings easily.")
+        spans = candidate_spans(tokens, AnswerType.ENTITY)
+        surfaces = {" ".join(t.text for t in tokens[s : e + 1]) for s, e in spans}
+        assert "Battle of Hastings" in surfaces
+
+    def test_pronoun_excluded(self):
+        tokens = tokenize("She performed in competitions.")
+        spans = candidate_spans(tokens, AnswerType.PERSON)
+        surfaces = {" ".join(t.text for t in tokens[s : e + 1]) for s, e in spans}
+        assert "She" not in surfaces
+
+    def test_phrase_anchored_on_content(self):
+        tokens = tokenize("the battle of the river")
+        spans = candidate_spans(tokens, AnswerType.PHRASE)
+        for s, e in spans:
+            assert tokens[s].lower not in ("the", "of")
+            assert tokens[e].lower not in ("the", "of")
+
+    def test_empty_tokens(self):
+        assert candidate_spans([], AnswerType.PHRASE) == []
+
+
+class TestReaders:
+    def test_lexical_predicts_case(self, artifacts):
+        qa = LexicalOverlapQA()
+        pred = qa.predict(
+            "Who led the Norman conquest of England?", CORPUS[2]
+        )
+        assert "William" in pred.text
+
+    def test_ensemble_predicts_all_cases(self, artifacts):
+        correct = 0
+        for question, answer, context in QA_CASES:
+            pred = artifacts.reader.predict(question, context)
+            from repro.metrics import f1_score
+
+            if f1_score(pred.text, answer) > 0.6:
+                correct += 1
+        assert correct >= len(QA_CASES) - 1
+
+    def test_empty_context(self, artifacts):
+        pred = artifacts.reader.predict("Who?", "")
+        assert pred.is_empty
+
+    def test_top_k_non_overlapping(self, artifacts):
+        preds = artifacts.reader.predict_top_k(
+            "Which NFL team won the Super Bowl title?", CORPUS[0], k=3
+        )
+        assert len(preds) >= 2
+        for i, a in enumerate(preds):
+            for b in preds[i + 1 :]:
+                assert a.end <= b.start or b.end <= a.start
+
+    def test_invalid_decay(self):
+        with pytest.raises(ValueError):
+            LexicalOverlapQA(decay=1.5)
+
+    def test_tfidf_unfitted_default(self):
+        qa = TfidfQA()
+        assert qa.idf("anything") == 1.0
+
+    def test_tfidf_fit_rare_beats_common(self):
+        qa = TfidfQA().fit(["the cat sat", "the dog ran", "the bird Hastings"])
+        assert qa.idf("hastings") > qa.idf("the")
+
+    def test_tfidf_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            TfidfQA().fit([])
+
+    def test_ensemble_validation(self):
+        with pytest.raises(ValueError):
+            EnsembleQA([])
+        with pytest.raises(ValueError):
+            EnsembleQA([(LexicalOverlapQA(), -1.0)])
+
+
+class TestSimulatedBaseline:
+    @pytest.fixture(scope="class")
+    def model(self, artifacts):
+        triples = [(q, c, a) for q, a, c in QA_CASES]
+        return build_baseline("BERT-large", "squad11", artifacts.reader, triples)
+
+    def test_known_specs(self):
+        assert len(SQUAD_BASELINES) == 9
+        assert len(TRIVIAQA_BASELINES) == 9
+
+    def test_unknown_name_rejected(self, artifacts):
+        with pytest.raises(KeyError):
+            build_baseline("GPT-9", "squad11", artifacts.reader, [])
+
+    def test_difficulty_drops_on_evidence(self, model):
+        question, answer, context = QA_CASES[0]
+        evidence = "The Denver Broncos defeated the Panthers to earn the Super Bowl title."
+        assert model.difficulty(question, evidence, answer) <= model.difficulty(
+            question, context, answer
+        )
+
+    def test_p_correct_monotone_in_skill(self, model):
+        question, answer, context = QA_CASES[0]
+        low = SimulatedBaseline(model.spec, model.reader, skill=0.5)
+        high = SimulatedBaseline(model.spec, model.reader, skill=50.0)
+        assert low.p_correct(question, context, answer) < high.p_correct(
+            question, context, answer
+        )
+
+    def test_predict_example_deterministic(self, model):
+        question, answer, context = QA_CASES[0]
+        p1 = model.predict_example(question, context, answer, "ex1")
+        p2 = model.predict_example(question, context, answer, "ex1")
+        assert p1 == p2
+
+    def test_gold_missing_falls_back_to_reader(self, model):
+        pred = model.predict_example(
+            "Who led the conquest?", "A sentence without the answer.", "Zorp", "ex2"
+        )
+        assert pred.text != "Zorp"
+
+    def test_unanswerable_usually_abstains(self, model):
+        abstained = 0
+        for i in range(20):
+            pred = model.predict_example(
+                "Which award did he receive?", CORPUS[2], "", f"imp{i}"
+            )
+            if pred.is_empty:
+                abstained += 1
+        assert abstained >= 10
+
+    def test_calibration_reaches_target(self, artifacts, squad_dataset):
+        triples = squad_dataset.calibration_triples(limit=40)
+        model = build_baseline("T5", "squad11", artifacts.reader, triples)
+        import numpy as np
+
+        mean_p = np.mean([model.p_correct(q, c, g) for q, c, g in triples])
+        assert abs(100 * mean_p - 90.1) < 3.0
+
+    def test_calibration_empty_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.calibrate([], 80.0)
+
+    def test_error_prediction_is_wrong(self, model):
+        # Force errors with zero skill; predictions must not equal gold.
+        from repro.metrics import exact_match
+
+        weak = SimulatedBaseline(model.spec, model.reader, skill=1e-6, seed=3)
+        question, answer, context = QA_CASES[2]
+        wrong = 0
+        for i in range(10):
+            pred = weak.predict_example(question, context, answer, f"e{i}")
+            if not exact_match(pred.text, answer):
+                wrong += 1
+        assert wrong >= 8
+
+
+class TestAnswerPrediction:
+    def test_empty_factory(self):
+        pred = AnswerPrediction.empty()
+        assert pred.is_empty
+        assert pred.score == float("-inf")

@@ -1,0 +1,109 @@
+"""Robustness / failure-injection tests: the pipeline never crashes on
+degenerate or adversarial inputs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.text.tokenizer import tokenize
+from tests.conftest import CORPUS
+
+printable = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz ABCDEFGHIJKLMNOPQRSTUVWXYZ.,!?0123456789'-",
+    min_size=1,
+    max_size=120,
+)
+
+
+class TestPipelineRobustness:
+    def test_single_word_context(self, gced):
+        result = gced.distill("Who won?", "Broncos", "Broncos won easily today.")
+        assert isinstance(result.evidence, str)
+
+    def test_answer_not_in_context(self, gced):
+        result = gced.distill("Who won?", "Zorps", CORPUS[0])
+        assert isinstance(result.evidence, str)  # no crash; may be weak
+
+    def test_punctuation_heavy_context(self, gced):
+        context = "Wait... what?! The Broncos -- yes, them -- won (again). Amazing!!!"
+        result = gced.distill("Who won?", "Broncos", context)
+        assert isinstance(result.evidence, str)
+
+    def test_numeric_answer_and_context(self, gced):
+        context = "In 1994, 2,500 people saw 3 games in 2 days. It rained."
+        result = gced.distill("How many people attended?", "2,500", context)
+        assert isinstance(result.evidence, str)
+
+    def test_very_long_context(self, gced):
+        context = " ".join(CORPUS) + " " + " ".join(CORPUS)
+        result = gced.distill(
+            "Who led the Norman conquest of England?",
+            "William the Conqueror",
+            context,
+        )
+        assert result.evidence
+        assert result.reduction > 0.5
+
+    def test_answer_equals_context(self, gced):
+        result = gced.distill("What?", "Broncos won", "Broncos won.")
+        # Evidence must be longer than answer (Eq. 2) or invalid — either
+        # way the call must not raise.
+        assert isinstance(result.scores.hybrid, float)
+
+    def test_question_all_stopwords(self, gced):
+        result = gced.distill("Who did what?", "Broncos", CORPUS[0])
+        assert isinstance(result.evidence, str)
+
+    def test_repeated_answer_occurrences(self, gced):
+        context = (
+            "Broncos beat Panthers. Broncos celebrated. Broncos returned home."
+        )
+        result = gced.distill("Who beat the Panthers?", "Broncos", context)
+        assert "Broncos" in result.evidence
+
+    @given(printable)
+    @settings(max_examples=40, deadline=None)
+    def test_fuzzed_contexts_never_crash(self, gced, text):
+        if not text.strip():
+            return
+        tokens = tokenize(text)
+        if not tokens:
+            return
+        answer = tokens[0].text
+        result = gced.distill("What is mentioned?", answer, text + ".")
+        assert isinstance(result.evidence, str)
+
+    @given(printable)
+    @settings(max_examples=30, deadline=None)
+    def test_fuzzed_questions_never_crash(self, gced, question):
+        result = gced.distill(
+            question + "?", "Denver Broncos", CORPUS[0]
+        )
+        assert isinstance(result.evidence, str)
+
+
+class TestReaderRobustness:
+    def test_whitespace_context(self, artifacts):
+        assert artifacts.reader.predict("Who?", "   ").is_empty
+
+    def test_punctuation_only_context(self, artifacts):
+        pred = artifacts.reader.predict("Who?", "... !!! ???")
+        assert isinstance(pred.text, str)
+
+    @given(printable)
+    @settings(max_examples=40, deadline=None)
+    def test_fuzzed_predict_never_crashes(self, artifacts, text):
+        pred = artifacts.reader.predict("What is mentioned here?", text)
+        assert isinstance(pred.text, str)
+
+
+class TestParserRobustness:
+    @given(st.lists(st.sampled_from(
+        ["the", "cat", "ran", "quickly", "to", "Paris", "in", "1999", ",", "."]
+    ), min_size=1, max_size=15))
+    @settings(max_examples=60, deadline=None)
+    def test_any_token_sequence_parses(self, words):
+        from repro.parsing import SyntacticParser
+
+        tree = SyntacticParser().parse(list(words))
+        assert len(tree) == len(words)
+        assert tree.subtree(tree.root) == set(range(len(words)))

@@ -1,0 +1,116 @@
+"""Unit tests for sliding-window QA, metric aggregation, and the report."""
+
+import pytest
+
+from repro.metrics import bootstrap_diff, summarize
+from repro.qa import SlidingWindowQA
+from tests.conftest import CORPUS
+
+
+class TestSlidingWindowQA:
+    def test_short_context_delegates(self, artifacts):
+        sliding = SlidingWindowQA(artifacts.reader, window_tokens=128)
+        question = "Who led the Norman conquest of England?"
+        direct = artifacts.reader.predict(question, CORPUS[2])
+        wrapped = sliding.predict(question, CORPUS[2])
+        assert wrapped.text == direct.text
+
+    def test_long_context_finds_answer(self, artifacts):
+        sliding = SlidingWindowQA(artifacts.reader, window_tokens=24, stride=12)
+        # Bury the supporting sentence in a long assembled context.
+        long_context = " ".join([CORPUS[0], CORPUS[1], CORPUS[2], CORPUS[3]])
+        pred = sliding.predict(
+            "Who led the Norman conquest of England?", long_context
+        )
+        assert "William" in pred.text
+
+    def test_offsets_are_global(self, artifacts):
+        sliding = SlidingWindowQA(artifacts.reader, window_tokens=24, stride=12)
+        long_context = " ".join([CORPUS[0], CORPUS[2]])
+        pred = sliding.predict(
+            "When was the Battle of Hastings?", long_context
+        )
+        assert long_context[pred.start : pred.end] == pred.text
+
+    def test_windows_cover_context(self, artifacts):
+        sliding = SlidingWindowQA(artifacts.reader, window_tokens=10, stride=5)
+        context = " ".join(f"word{i}" for i in range(40)) + "."
+        ranges = sliding._windows(context)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] >= context.rindex("word39")
+        for (a_lo, _a_hi), (b_lo, _b_hi) in zip(ranges, ranges[1:]):
+            assert b_lo > a_lo  # strictly advancing
+
+    def test_invalid_params(self, artifacts):
+        with pytest.raises(ValueError):
+            SlidingWindowQA(artifacts.reader, window_tokens=4)
+        with pytest.raises(ValueError):
+            SlidingWindowQA(artifacts.reader, window_tokens=16, stride=0)
+
+    def test_empty_context(self, artifacts):
+        sliding = SlidingWindowQA(artifacts.reader)
+        assert sliding.predict("Who?", "").is_empty
+
+
+class TestAggregate:
+    def test_summarize(self):
+        summary = summarize("f1", [0.8, 0.9, 1.0, 0.7])
+        assert summary.ci_low <= summary.mean <= summary.ci_high
+        assert summary.n == 4
+        assert "f1" in str(summary)
+
+    def test_summarize_single_value(self):
+        summary = summarize("x", [0.5])
+        assert summary.mean == summary.ci_low == summary.ci_high == 0.5
+
+    def test_bootstrap_detects_difference(self):
+        a = [1.0] * 30
+        b = [0.0] * 30
+        diff, p_worse = bootstrap_diff(a, b, n_resamples=200)
+        assert diff == pytest.approx(1.0)
+        assert p_worse == 0.0
+
+    def test_bootstrap_no_difference(self):
+        a = [0.5, 0.6, 0.4] * 10
+        diff, p_worse = bootstrap_diff(a, a, n_resamples=200)
+        assert diff == pytest.approx(0.0)
+        assert p_worse == 1.0  # ties count as <=
+
+    def test_bootstrap_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_diff([], [])
+
+    def test_bootstrap_deterministic(self):
+        a, b = [1.0, 0.8, 0.9] * 5, [0.7, 0.75, 0.8] * 5
+        r1 = bootstrap_diff(a, b, seed=3)
+        r2 = bootstrap_diff(a, b, seed=3)
+        assert r1 == r2
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def ctx(self):
+        from repro.eval import ExperimentContext
+
+        return ExperimentContext.build("squad11", seed=0, n_train=30, n_dev=16)
+
+    def test_report_sections(self, ctx):
+        from repro.eval.report import build_report
+
+        report = build_report(ctx, n_examples=8)
+        for section in (
+            "Rater agreement",
+            "Human evaluation",
+            "QA augmentation",
+            "Degradation",
+            "Word reduction",
+            "Error triage",
+        ):
+            assert section in report
+
+    def test_write_report(self, ctx, tmp_path):
+        from repro.eval.report import write_report
+
+        path = write_report(ctx, tmp_path / "report.md", n_examples=8)
+        assert path.exists()
+        assert path.read_text().startswith("# GCED evaluation report")

@@ -1,0 +1,59 @@
+"""Unit tests for the configuration sweep utility."""
+
+import pytest
+
+from repro.core.config import GCEDConfig
+from repro.eval.sweeps import config_grid, sweep_configs
+
+
+class TestConfigGrid:
+    def test_cartesian_product(self):
+        grid = config_grid(clip_times=[1, 2, 3], max_answer_sentences=[2, 3])
+        assert len(grid) == 6
+        assert {c.clip_times for c in grid} == {1, 2, 3}
+
+    def test_no_axes_returns_base(self):
+        base = GCEDConfig(clip_times=5)
+        grid = config_grid(base)
+        assert grid == [base]
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(KeyError):
+            config_grid(nonexistent=[1])
+
+    def test_base_fields_preserved(self):
+        base = GCEDConfig(max_answer_sentences=2)
+        grid = config_grid(base, clip_times=[1, 4])
+        assert all(c.max_answer_sentences == 2 for c in grid)
+
+
+class TestSweepConfigs:
+    def test_sweep_rows(self, artifacts, squad_dataset):
+        examples = squad_dataset.answerable_dev()[:6]
+        configs = config_grid(clip_times=[0, 4])
+        rows = sweep_configs(artifacts, examples, configs)
+        assert len(rows) == 2
+        for row in rows:
+            assert row["n"] >= 5
+            assert 0 <= row["H"] <= 1
+
+    def test_more_clips_never_longer(self, artifacts, squad_dataset):
+        examples = squad_dataset.answerable_dev()[:6]
+        configs = config_grid(clip_times=[0, 6])
+        rows = sweep_configs(artifacts, examples, configs)
+        assert rows[1]["mean_words"] <= rows[0]["mean_words"]
+
+    def test_labels_reflect_fields(self, artifacts, squad_dataset):
+        examples = squad_dataset.answerable_dev()[:3]
+        rows = sweep_configs(
+            artifacts,
+            examples,
+            config_grid(clip_times=[2]),
+            label_fields=("clip_times", "max_answer_sentences"),
+        )
+        assert "clip_times=2" in rows[0]["config"]
+        assert "max_answer_sentences" in rows[0]["config"]
+
+    def test_empty_examples_rejected(self, artifacts):
+        with pytest.raises(ValueError):
+            sweep_configs(artifacts, [], [GCEDConfig()])

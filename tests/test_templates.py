@@ -1,0 +1,84 @@
+"""Consistency tests for the statement/question templates.
+
+These guard the generator's core contract: every statement realization
+embeds the answer slots verbatim, and every question template's slots are
+available on the fact it is asked about.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.kb import KnowledgeBase
+from repro.datasets.templates import (
+    question_slots,
+    realize_question,
+    realize_statement,
+)
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return KnowledgeBase(seed=11, n_people=20, n_teams=6, n_cities=8)
+
+
+def _all_facts(kb):
+    facts = []
+    for person in kb.people[:8]:
+        facts.extend(kb.facts_about(person))
+    facts.extend(kb.facts_about_team(kb.teams[0], kb.teams[1]))
+    for city in kb.cities[:3]:
+        facts.extend(kb.facts_about_city(city))
+    facts.extend(kb.facts_about_battle(kb.battles[0]))
+    for band in kb.bands[:3]:
+        facts.extend(kb.facts_about_band(band))
+    for country in kb.countries[:3]:
+        facts.extend(kb.facts_about_country(country))
+    return facts
+
+
+class TestTemplateConsistency:
+    def test_statements_contain_answer_slots(self, kb):
+        rng = np.random.default_rng(0)
+        for fact in _all_facts(kb):
+            for _ in range(4):  # cover template and embellishment variants
+                sentence = realize_statement(fact, rng, embellish=0.8)
+                for slot in question_slots(fact.relation):
+                    answer = str(fact.answer_of[slot])
+                    assert answer.lower() in sentence.lower(), (
+                        fact.relation, slot, sentence
+                    )
+
+    def test_question_slots_exist_on_facts(self, kb):
+        for fact in _all_facts(kb):
+            for slot in question_slots(fact.relation):
+                assert slot in fact.answer_of, (fact.relation, slot)
+
+    def test_questions_render_for_every_slot(self, kb):
+        rng = np.random.default_rng(1)
+        for fact in _all_facts(kb):
+            for slot in question_slots(fact.relation):
+                question, answer = realize_question(fact, slot, rng)
+                assert question.endswith("?")
+                assert answer
+                assert "{" not in question  # no unfilled placeholders
+
+    def test_statements_end_with_period(self, kb):
+        rng = np.random.default_rng(2)
+        for fact in _all_facts(kb):
+            sentence = realize_statement(fact, rng, embellish=0.9)
+            assert sentence.endswith(".")
+            assert "{" not in sentence
+
+    def test_every_relation_is_askable(self, kb):
+        for fact in _all_facts(kb):
+            assert question_slots(fact.relation), fact.relation
+
+    def test_embellishment_zero_is_plain(self, kb):
+        rng = np.random.default_rng(3)
+        fact = kb.facts_about(kb.people[0])[0]
+        sentences = {realize_statement(fact, rng, embellish=0.0) for _ in range(6)}
+        # Only the base template variants appear, no leading adverbials.
+        for sentence in sentences:
+            assert not sentence.startswith(
+                ("In the early years", "According to", "As the records")
+            )

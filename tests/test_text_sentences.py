@@ -1,0 +1,45 @@
+"""Unit tests for the sentence splitter."""
+
+from repro.text.sentences import split_sentences
+
+
+class TestSplitSentences:
+    def test_two_sentences(self):
+        sents = split_sentences("It rained. The ground was wet.")
+        assert [s.text for s in sents] == ["It rained.", "The ground was wet."]
+
+    def test_offsets_roundtrip(self):
+        text = "First one here. Second one there! Third?"
+        for sent in split_sentences(text):
+            assert text[sent.start : sent.end] == sent.text
+
+    def test_abbreviation_not_split(self):
+        sents = split_sentences("Dr. Smith arrived. He sat down.")
+        assert len(sents) == 2
+        assert sents[0].text == "Dr. Smith arrived."
+
+    def test_initials_not_split(self):
+        sents = split_sentences("T. S. Eliot wrote poems. They are famous.")
+        assert len(sents) == 2
+
+    def test_exclamation_and_question(self):
+        sents = split_sentences("Stop! Why? Go.")
+        assert [s.text for s in sents] == ["Stop!", "Why?", "Go."]
+
+    def test_no_terminal_punctuation(self):
+        sents = split_sentences("a trailing fragment without a period")
+        assert len(sents) == 1
+        assert sents[0].text == "a trailing fragment without a period"
+
+    def test_empty_string(self):
+        assert split_sentences("") == []
+
+    def test_indices_sequential(self):
+        sents = split_sentences("One. Two. Three.")
+        assert [s.index for s in sents] == [0, 1, 2]
+
+    def test_sentence_tokens_are_local(self):
+        sents = split_sentences("First here. Second there.")
+        tokens = sents[1].tokens()
+        assert tokens[0].text == "Second"
+        assert tokens[0].start == 0  # sentence-local offset

@@ -1,0 +1,86 @@
+"""Unit tests for Vocabulary, normalization and stemming."""
+
+import pytest
+
+from repro.text.normalize import normalize_answer, normalize_token
+from repro.text.stem import light_stem
+from repro.text.vocab import CLS, PAD, SEP, UNK, Vocabulary
+
+
+class TestVocabulary:
+    def test_specials_reserved(self):
+        vocab = Vocabulary()
+        assert vocab.id_of(PAD) == 0
+        assert vocab.id_of(UNK) == 1
+        assert vocab.id_of(SEP) == 2
+        assert vocab.id_of(CLS) == 3
+
+    def test_build_and_encode(self):
+        vocab = Vocabulary.build([["a", "b", "a"], ["a", "c"]])
+        assert "a" in vocab
+        ids = vocab.encode(["a", "zzz"])
+        assert ids[1] == vocab.unk_id
+
+    def test_decode_roundtrip(self):
+        vocab = Vocabulary.build([["alpha", "beta"]])
+        assert vocab.decode(vocab.encode(["alpha", "beta"])) == ["alpha", "beta"]
+
+    def test_min_count_filters(self):
+        vocab = Vocabulary.build([["rare", "common", "common"]], min_count=2)
+        assert "common" in vocab
+        assert "rare" not in vocab
+
+    def test_max_size(self):
+        vocab = Vocabulary.build([["a", "a", "b", "c"]], max_size=5)
+        assert len(vocab) == 5  # 4 specials + 1 token
+        assert "a" in vocab
+
+    def test_pad_to(self):
+        vocab = Vocabulary.build([["x"]])
+        padded = vocab.pad_to([7, 8], 4)
+        assert padded == [7, 8, vocab.pad_id, vocab.pad_id]
+        assert vocab.pad_to([1, 2, 3], 2) == [1, 2]
+
+    def test_frequency_ordering(self):
+        vocab = Vocabulary.build([["rare"], ["freq", "freq", "freq"]])
+        assert vocab.id_of("freq") < vocab.id_of("rare")
+
+
+class TestNormalizeAnswer:
+    def test_lowercase_and_articles(self):
+        assert normalize_answer("The Denver Broncos") == "denver broncos"
+
+    def test_punctuation_removed(self):
+        assert normalize_answer("Houston, Texas!") == "houston texas"
+
+    def test_whitespace_collapsed(self):
+        assert normalize_answer("  a   b  ") == "b"  # 'a' is an article
+
+    def test_empty(self):
+        assert normalize_answer("") == ""
+
+    def test_number_preserved(self):
+        assert normalize_answer("1,066") == "1066"
+
+    def test_token_normalize(self):
+        assert normalize_token("Broncos,") == "broncos"
+
+
+class TestLightStem:
+    @pytest.mark.parametrize(
+        "word,stem",
+        [
+            ("performed", "perform"),
+            ("competitions", "competition"),
+            ("planned", "plan"),
+            ("singing", "sing"),
+            ("quickly", "quick"),
+            ("cat", "cat"),
+            ("is", "is"),  # too short to strip
+        ],
+    )
+    def test_stems(self, word, stem):
+        assert light_stem(word) == stem
+
+    def test_lowercases(self):
+        assert light_stem("Performed") == "perform"

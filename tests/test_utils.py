@@ -1,0 +1,96 @@
+"""Unit tests for utilities: rng, cache, timing."""
+
+import time
+
+import pytest
+
+from repro.utils import LRUCache, Timer, derive_seed, memoize_method, rng_from
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a") == derive_seed(42, "a")
+
+    def test_label_separates_streams(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_parent_separates_streams(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_32bit_range(self):
+        seed = derive_seed(123456789, "long-label" * 10)
+        assert 0 <= seed < 2**32
+
+    def test_rng_from_reproducible(self):
+        assert rng_from(7, "x").random() == rng_from(7, "x").random()
+
+
+class TestLRUCache:
+    def test_put_get(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+
+    def test_eviction_order(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a
+        cache.put("c", 3)  # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+
+    def test_hit_miss_counters(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("zz")
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_update_refreshes(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        cache.put("c", 3)
+        assert "a" in cache and "b" not in cache
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(capacity=0)
+
+    def test_clear(self):
+        cache = LRUCache()
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestMemoizeMethod:
+    def test_caches_per_instance(self):
+        calls = []
+
+        class Thing:
+            @memoize_method()
+            def compute(self, x):
+                calls.append(x)
+                return x * 2
+
+        t1, t2 = Thing(), Thing()
+        assert t1.compute(3) == 6
+        assert t1.compute(3) == 6
+        assert t2.compute(3) == 6
+        assert calls == [3, 3]  # once per instance
+
+
+class TestTimer:
+    def test_measures_and_reports(self):
+        timer = Timer()
+        with timer.measure("stage"):
+            time.sleep(0.01)
+        assert timer.totals["stage"] >= 0.01
+        assert timer.counts["stage"] == 1
+        assert "stage" in timer.report()
+
+    def test_mean_of_unmeasured(self):
+        assert Timer().mean("nothing") == 0.0
