@@ -1,0 +1,69 @@
+"""Batch distillation throughput — examples/sec across executor settings.
+
+Tracks the scaling of :class:`repro.core.batch.BatchDistiller` on the
+staged execution engine: serial vs thread pool vs process pool, at the
+worker counts a deployment would use.  Speedup is hardware-dependent (the
+pipeline is pure-Python CPU work, so thread pools are GIL-bound and
+process pools need multiple cores to win); the point of the benchmark is
+that the trajectory is *measured*, run over run, in
+``benchmarks/results/batch_throughput.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.common import emit, get_context
+
+N_EXAMPLES = 24
+
+
+def _fresh_distiller(ctx, workers: int, backend: str):
+    from repro.core import BatchDistiller
+    from repro.core.pipeline import GCED
+
+    # A fresh pipeline per setting: no warm caches carried across runs.
+    gced = GCED(qa_model=ctx.artifacts.reader, artifacts=ctx.artifacts)
+    return BatchDistiller(gced, workers=workers, backend=backend)
+
+
+def _measure(ctx, examples, workers: int, backend: str) -> dict:
+    with _fresh_distiller(ctx, workers, backend) as batch:
+        started = time.perf_counter()
+        results = batch.distill_examples(examples)
+        elapsed = time.perf_counter() - started
+    assert len(results) == len(examples)
+    return {
+        "workers": workers,
+        "backend": backend if workers > 1 else "serial",
+        "examples": len(examples),
+        "seconds": round(elapsed, 3),
+        "examples/sec": round(len(examples) / elapsed, 2),
+        "evidence_hash": hash(tuple(r.evidence for r in results)),
+    }
+
+
+def test_batch_throughput_scaling():
+    ctx = get_context("squad11")
+    examples = ctx.dataset.answerable_dev()[:N_EXAMPLES]
+
+    rows = [
+        _measure(ctx, examples, workers=1, backend="thread"),
+        _measure(ctx, examples, workers=4, backend="thread"),
+        _measure(ctx, examples, workers=4, backend="process"),
+    ]
+
+    # All settings must produce identical evidences (the executor contract).
+    hashes = {row.pop("evidence_hash") for row in rows}
+    assert len(hashes) == 1, "parallel results diverged from serial"
+
+    lines = ["batch throughput (examples/sec), BatchDistiller on squad11"]
+    for row in rows:
+        lines.append(
+            f"  workers={row['workers']} backend={row['backend']:<8} "
+            f"{row['seconds']:>7.3f}s  {row['examples/sec']:>7.2f} ex/s"
+        )
+    serial = rows[0]["examples/sec"]
+    best = max(row["examples/sec"] for row in rows[1:])
+    lines.append(f"  best parallel speedup: {best / serial:.2f}x over serial")
+    emit("batch_throughput", "\n".join(lines))

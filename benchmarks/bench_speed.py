@@ -2,14 +2,40 @@
 
 Not a paper table; tracks the cost profile of the implementation (the
 paper's future work includes "speeding up the process of evidence
-distillation").
+distillation").  The staged execution engine's own per-stage accounting
+(``GCED.profile``) is emitted alongside, so the stage-level cost profile
+lands in ``benchmarks/results/`` next to the end-to-end numbers.
 """
 
-from benchmarks.common import get_context
+from benchmarks.common import emit, get_context
 
 
 def _example(ctx, idx=0):
     return ctx.dataset.answerable_dev()[idx]
+
+
+def test_speed_stage_profile(benchmark):
+    """Per-stage wall-clock collected by the engine over a dev slice."""
+    from repro.core import BatchDistiller
+    from repro.core.pipeline import GCED
+
+    ctx = get_context("squad11")
+    examples = ctx.dataset.answerable_dev()[:16]
+
+    def run():
+        gced = GCED(
+            qa_model=ctx.artifacts.reader,
+            artifacts=ctx.artifacts,
+            parser=ctx.gced.wsptc.parser,
+        )
+        batch = BatchDistiller(gced)
+        batch.distill_examples(examples)
+        return batch
+
+    batch = benchmark.pedantic(run, rounds=1, iterations=1)
+    profile = batch.stats().profile
+    assert profile.stages["oec"].calls > 0
+    emit("speed_stage_profile", profile.report())
 
 
 def test_speed_full_distillation(benchmark):

@@ -21,11 +21,15 @@ def main() -> None:
     dataset = load_dataset("squad11", seed=4, n_train=40, n_dev=20)
     artifacts = QATrainer(seed=0).train(dataset.contexts())
     gced = GCED(qa_model=artifacts.reader, artifacts=artifacts)
-    batch = BatchDistiller(gced)
 
     examples = dataset.answerable_dev()[:12]
-    results = batch.distill_examples(examples)
-    print(batch.stats().summary())
+    # Fan distillation out over the engine's thread-pool executor; results
+    # come back in input order regardless of worker count.
+    with BatchDistiller(gced, workers=4) as batch:
+        results = batch.distill_examples(examples)
+        stats = batch.stats()
+    print(stats.summary())
+    print(stats.profile.report())
 
     OUT_DIR.mkdir(exist_ok=True)
     jsonl_path = OUT_DIR / "evidences.jsonl"

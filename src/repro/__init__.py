@@ -15,7 +15,21 @@ Quickstart::
     print(result.explain())
 """
 
-from repro.core import GCED, GCEDConfig, DistillationResult
+from repro.core import (
+    GCED,
+    GCEDConfig,
+    DistillationResult,
+    BatchDistiller,
+    BatchStats,
+    stage_plan,
+)
+from repro.engine import (
+    ParallelExecutor,
+    PipelineProfile,
+    SerialExecutor,
+    StageRegistry,
+    default_registry,
+)
 from repro.metrics import (
     HybridScorer,
     HybridWeights,
@@ -39,6 +53,14 @@ __all__ = [
     "GCED",
     "GCEDConfig",
     "DistillationResult",
+    "BatchDistiller",
+    "BatchStats",
+    "stage_plan",
+    "ParallelExecutor",
+    "PipelineProfile",
+    "SerialExecutor",
+    "StageRegistry",
+    "default_registry",
     "HybridScorer",
     "HybridWeights",
     "EvidenceScores",

@@ -3,9 +3,14 @@
 Commands:
 
 * ``distill`` — distill evidence for one QA pair over a corpus file.
+* ``batch`` — distill a whole dataset split on the engine executor.
 * ``dataset`` — generate a synthetic dataset and write SQuAD-schema JSON.
 * ``experiment`` — run one of the paper's experiments and print the table.
 * ``errors`` — triage weak evidences (Sec. IV-G error analysis).
+
+``--workers N`` fans distillation out over the staged execution engine's
+parallel executor; ``--profile`` prints the per-stage wall-clock and
+shared-cache hit rates the engine collected.
 """
 
 from __future__ import annotations
@@ -66,6 +71,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_distill.add_argument(
         "--trace", action="store_true", help="print the full distillation trace"
     )
+    p_distill.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-stage timings and cache hit rates",
+    )
+
+    p_batch = sub.add_parser(
+        "batch", help="distill a dataset split on the engine executor"
+    )
+    p_batch.add_argument("--dataset", default="squad11", choices=DATASET_KEYS)
+    p_batch.add_argument("--n-examples", type=int, default=24)
+    p_batch.add_argument("--n-train", type=int, default=100)
+    p_batch.add_argument("--n-dev", type=int, default=60)
+    p_batch.add_argument("--seed", type=int, default=0)
+    p_batch.add_argument(
+        "--workers", type=int, default=1, help="executor pool size (1 = serial)"
+    )
+    p_batch.add_argument(
+        "--backend",
+        default="thread",
+        choices=("thread", "process"),
+        help="parallel executor backend",
+    )
+    p_batch.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-stage timings and cache hit rates",
+    )
+    p_batch.add_argument(
+        "--out",
+        type=pathlib.Path,
+        help="write distilled evidences as JSONL to this path",
+    )
 
     p_dataset = sub.add_parser("dataset", help="generate a synthetic dataset")
     p_dataset.add_argument("key", choices=DATASET_KEYS)
@@ -81,6 +119,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--n-train", type=int, default=100)
     p_exp.add_argument("--n-dev", type=int, default=60)
     p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.add_argument(
+        "--workers", type=int, default=1, help="executor pool size (1 = serial)"
+    )
 
     p_err = sub.add_parser("errors", help="triage weak evidences (Sec. IV-G)")
     p_err.add_argument("--dataset", default="squad11", choices=DATASET_KEYS)
@@ -132,6 +173,38 @@ def _run_distill(args: argparse.Namespace) -> int:
         print(result.explain())
     else:
         print(result.evidence)
+    if args.profile:
+        print(gced.snapshot_caches().report())
+    return 0
+
+
+def _run_batch(args: argparse.Namespace) -> int:
+    from repro.core import BatchDistiller, write_results_jsonl
+    from repro.datasets import load_dataset as _load
+
+    dataset = _load(
+        args.dataset, seed=args.seed, n_train=args.n_train, n_dev=args.n_dev
+    )
+    artifacts = QATrainer(seed=args.seed).train(dataset.contexts())
+    gced = GCED(qa_model=artifacts.reader, artifacts=artifacts)
+    examples = dataset.answerable_dev()[: args.n_examples]
+    with BatchDistiller(
+        gced, workers=args.workers, backend=args.backend
+    ) as batch:
+        results = batch.distill_examples(examples)
+        stats = batch.stats()
+        print(stats.summary())
+        if args.profile:
+            print(stats.profile.report())
+    if args.out:
+        count = write_results_jsonl(
+            args.out,
+            (
+                (e.question, e.primary_answer, r)
+                for e, r in zip(examples, results)
+            ),
+        )
+        print(f"wrote {count} records to {args.out}")
     return 0
 
 
@@ -149,27 +222,31 @@ def _run_dataset(args: argparse.Namespace) -> int:
 
 def _run_experiment(args: argparse.Namespace) -> int:
     dataset_key = args.dataset or _default_dataset(args.name)
-    ctx = ExperimentContext.build(
-        dataset_key, seed=args.seed, n_train=args.n_train, n_dev=args.n_dev
-    )
-    n = args.n_examples
-    if args.name == "table2":
-        print(format_table(agreement_table(ctx, n_examples=n)))
-    elif args.name in ("table4", "table5"):
-        print(format_table(human_evaluation_table(ctx, n_examples=n)))
-    elif args.name in ("table6", "table7"):
-        print(format_table(qa_augmentation_table(ctx, n_examples=n)))
-    elif args.name == "table8":
-        print(format_table(ablation_table(ctx, n_examples=n)))
-    elif args.name == "fig7":
-        print(format_table(degradation_curves(ctx, n_examples=n)))
-    elif args.name == "reduction":
-        stats = reduction_statistics(ctx, n_examples=n)
-        print(
-            f"{stats['dataset']}: {100 * stats['mean_reduction']:.1f}% words "
-            f"removed ({stats['mean_context_words']:.0f} -> "
-            f"{stats['mean_evidence_words']:.0f})"
-        )
+    with ExperimentContext.build(
+        dataset_key,
+        seed=args.seed,
+        n_train=args.n_train,
+        n_dev=args.n_dev,
+        workers=args.workers,
+    ) as ctx:
+        n = args.n_examples
+        if args.name == "table2":
+            print(format_table(agreement_table(ctx, n_examples=n)))
+        elif args.name in ("table4", "table5"):
+            print(format_table(human_evaluation_table(ctx, n_examples=n)))
+        elif args.name in ("table6", "table7"):
+            print(format_table(qa_augmentation_table(ctx, n_examples=n)))
+        elif args.name == "table8":
+            print(format_table(ablation_table(ctx, n_examples=n)))
+        elif args.name == "fig7":
+            print(format_table(degradation_curves(ctx, n_examples=n)))
+        elif args.name == "reduction":
+            stats = reduction_statistics(ctx, n_examples=n)
+            print(
+                f"{stats['dataset']}: {100 * stats['mean_reduction']:.1f}% "
+                f"words removed ({stats['mean_context_words']:.0f} -> "
+                f"{stats['mean_evidence_words']:.0f})"
+            )
     return 0
 
 
@@ -206,6 +283,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "distill": _run_distill,
+        "batch": _run_batch,
         "dataset": _run_dataset,
         "experiment": _run_experiment,
         "errors": _run_errors,

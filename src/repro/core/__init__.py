@@ -1,11 +1,14 @@
-"""GCED core: the five modules of Fig. 3 plus the end-to-end pipeline.
+"""GCED core: the five modules of Fig. 3 plus the staged pipeline.
 
 * :class:`AnswerOrientedSentenceExtractor` (ASE, Sec. III-B)
 * :class:`QuestionRelevantWordsSelector` (QWS, Sec. III-C)
 * :class:`WeightedTreeConstructor` (WSPTC, Sec. III-D)
 * :class:`EvidenceForestConstructor` (EFC, Sec. III-E)
 * :class:`OptimalEvidenceDistiller` (OEC / Grow-and-Clip, Sec. III-F)
-* :class:`GCED` — the pipeline tying them together.
+* :mod:`repro.core.stages` — each module wrapped as a registered engine
+  stage, with :func:`~repro.core.stages.stage_plan` mapping a config to a
+  stage sequence.
+* :class:`GCED` — the pipeline facade composing registered stages.
 """
 
 from repro.core.config import GCEDConfig
@@ -15,6 +18,7 @@ from repro.core.wsptc import WeightedTreeConstructor
 from repro.core.efc import EvidenceForest, EvidenceForestConstructor
 from repro.core.oec import OptimalEvidenceDistiller, GrowTrace, ClipTrace
 from repro.core.pipeline import GCED, DistillationResult
+from repro.core.stages import stage_plan
 from repro.core.batch import BatchDistiller, BatchStats
 from repro.core.serialize import (
     result_to_dict,
@@ -25,6 +29,7 @@ from repro.core.serialize import (
 __all__ = [
     "BatchDistiller",
     "BatchStats",
+    "stage_plan",
     "result_to_dict",
     "write_results_jsonl",
     "read_results_jsonl",

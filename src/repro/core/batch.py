@@ -10,20 +10,69 @@ facts about QA workloads:
 * identical (question, answer, context) triples recur across experiment
   conditions, so finished results are memoized.
 
-It also aggregates per-stage timing so the cost profile of a deployment is
-observable (`stats()`).
+Scheduling is delegated to an :mod:`engine executor
+<repro.engine.executor>`: ``workers=1`` runs inline, ``workers>1`` fans
+context-grouped chunks out to a thread or process pool while preserving
+input order and memoization.  Per-stage wall-clock and shared-cache hit
+rates aggregate into a :class:`~repro.engine.instrumentation.PipelineProfile`
+exposed through :meth:`BatchDistiller.stats` / :meth:`profile`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import operator
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.core.pipeline import GCED, DistillationResult
-from repro.utils.cache import LRUCache
+from repro.engine.executor import Executor, build_executor
+from repro.engine.instrumentation import CacheStats, PipelineProfile
+from repro.utils.cache import LRUCache, MISSING
 from repro.utils.timing import Timer
 
 __all__ = ["BatchDistiller", "BatchStats"]
+
+Triple = tuple[str, str, str]
+
+_by_context = operator.itemgetter(2)
+
+# Per-process pipeline installed by the process-pool initializer, so each
+# task ships a (question, answer, context) triple instead of the pipeline.
+_WORKER_GCED: GCED | None = None
+
+
+def _init_worker(gced: GCED) -> None:
+    global _WORKER_GCED
+    _WORKER_GCED = gced
+
+
+def _worker_distill(triple: Triple) -> tuple[DistillationResult, PipelineProfile]:
+    """Distill in a pool worker, returning the result plus the profile
+    *delta* (stage timings and cache hits attributable to this call) so
+    the parent can aggregate observability across processes."""
+    gced = _WORKER_GCED
+    assert gced is not None, "process pool initializer did not run"
+    delta = PipelineProfile()
+    parent_profile, gced.profile = gced.profile, delta
+    before = {
+        name: (cache.hits, cache.misses)
+        for name, cache in gced.shared_caches().items()
+    }
+    try:
+        result = gced.distill(*triple)
+    finally:
+        gced.profile = parent_profile
+    for name, cache in gced.shared_caches().items():
+        hits0, misses0 = before.get(name, (0, 0))
+        delta.record_cache(
+            CacheStats(
+                name=name,
+                hits=cache.hits - hits0,
+                misses=cache.misses - misses0,
+                size=len(cache),
+            )
+        )
+    return result, delta
 
 
 @dataclass(frozen=True)
@@ -35,15 +84,23 @@ class BatchStats:
     total_seconds: float
     mean_ms: float
     mean_reduction: float
+    cache_stats: tuple[CacheStats, ...] = ()
+    profile: PipelineProfile | None = field(default=None, compare=False)
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.n_distilled} distilled "
             f"({self.n_cache_hits} cache hits), "
             f"{self.total_seconds:.2f}s total, "
             f"{self.mean_ms:.1f}ms/example, "
             f"{100 * self.mean_reduction:.1f}% mean word reduction"
         )
+        cache_parts = [
+            stats.describe() for stats in self.cache_stats if stats.lookups
+        ]
+        if cache_parts:
+            text += "; shared caches: " + ", ".join(cache_parts)
+        return text
 
 
 class BatchDistiller:
@@ -52,46 +109,118 @@ class BatchDistiller:
     Args:
         gced: the configured pipeline.
         cache_size: memoized finished results (LRU).
+        workers: parallelism for :meth:`distill_many` (1 = inline).
+        backend: ``"thread"`` shares the pipeline and its caches across a
+            thread pool; ``"process"`` ships a pipeline copy to each
+            worker process for true multi-core scaling.
+        executor: a pre-built executor to use instead of ``workers`` /
+            ``backend`` (must run callables in-process, i.e. thread-like).
     """
 
-    def __init__(self, gced: GCED, cache_size: int = 4096) -> None:
+    def __init__(
+        self,
+        gced: GCED,
+        cache_size: int = 4096,
+        workers: int = 1,
+        backend: str = "thread",
+        executor: Executor | None = None,
+    ) -> None:
         self.gced = gced
+        if executor is None:
+            self.backend = backend
+            pool_kwargs = (
+                {"initializer": _init_worker, "initargs": (gced,)}
+                if backend == "process"
+                else {}
+            )
+            executor = build_executor(workers=workers, backend=backend, **pool_kwargs)
+        else:
+            if getattr(executor, "backend", "thread") == "process":
+                raise ValueError(
+                    "pre-built process executors lack the pipeline "
+                    "initializer; pass workers=/backend='process' instead"
+                )
+            self.backend = "thread"
+        self.executor = executor
         self._results = LRUCache(capacity=cache_size)
         self.timer = Timer()
+        self._worker_profile = PipelineProfile()
         self._n_distilled = 0
         self._n_hits = 0
         self._reductions: list[float] = []
 
+    # ------------------------------------------------------------- single
     def distill_one(
         self, question: str, answer: str, context: str
     ) -> DistillationResult:
         """Distill a single triple through the memo cache."""
         key = (question, answer, context)
-        cached = self._results.get(key)
-        if cached is not None:
+        cached = self._results.get(key, MISSING)
+        if cached is not MISSING:
             self._n_hits += 1
             return cached
         with self.timer.measure("distill"):
             result = self.gced.distill(question, answer, context)
+        self._record(key, result)
+        return result
+
+    def _record(self, key: Triple, result: DistillationResult) -> None:
         self._results.put(key, result)
         self._n_distilled += 1
         self._reductions.append(result.reduction)
-        return result
 
+    # -------------------------------------------------------------- batch
     def distill_many(
-        self, triples: Iterable[tuple[str, str, str]]
+        self, triples: Iterable[Triple]
     ) -> list[DistillationResult]:
         """Distill a sequence of triples, grouped by context for locality.
 
-        The returned list preserves the input order.
+        Duplicate and previously-memoized triples are distilled only once
+        (every extra occurrence counts as a cache hit); the rest is
+        scheduled on the executor as context-grouped chunks.  The returned
+        list preserves the input order.
         """
-        triples = list(triples)
-        order = sorted(range(len(triples)), key=lambda i: triples[i][2])
+        triples = [tuple(t) for t in triples]
         results: list[DistillationResult | None] = [None] * len(triples)
-        for idx in order:
-            question, answer, context = triples[idx]
-            results[idx] = self.distill_one(question, answer, context)
+        pending: dict[Triple, list[int]] = {}
+        for idx, key in enumerate(triples):
+            if key in pending:
+                # Within-batch duplicate: one distillation will serve it.
+                # Credited as a memo hit once the result lands, without a
+                # second (miss-counting) lookup now.
+                pending[key].append(idx)
+                continue
+            cached = self._results.get(key, MISSING)
+            if cached is not MISSING:
+                self._n_hits += 1
+                results[idx] = cached
+            else:
+                pending[key] = [idx]
+
+        if pending:
+            jobs = list(pending)
+            with self.timer.measure("distill"):
+                outcomes = self._execute(jobs)
+            for key, result in zip(jobs, outcomes):
+                self._record(key, result)
+                positions = pending[key]
+                self._n_hits += len(positions) - 1
+                self._results.hits += len(positions) - 1
+                for idx in positions:
+                    results[idx] = result
         return results  # type: ignore[return-value]
+
+    def _execute(self, jobs: list[Triple]) -> list[DistillationResult]:
+        """Run unique jobs on the executor, folding back worker profiles."""
+        if self.backend == "process" and self.executor.workers > 1:
+            pairs = self.executor.map(_worker_distill, jobs, key=_by_context)
+            for _result, delta in pairs:
+                self._worker_profile.merge(delta)
+            return [result for result, _delta in pairs]
+        return self.executor.map(self._distill_uncached, jobs, key=_by_context)
+
+    def _distill_uncached(self, triple: Triple) -> DistillationResult:
+        return self.gced.distill(*triple)
 
     def distill_examples(self, examples: Sequence) -> list[DistillationResult]:
         """Convenience wrapper over :class:`repro.datasets.types.QAExample`."""
@@ -99,9 +228,32 @@ class BatchDistiller:
             (e.question, e.primary_answer, e.context) for e in examples
         )
 
+    # ------------------------------------------------------ observability
+    def profile(self) -> PipelineProfile:
+        """Combined per-stage/per-cache profile of all work so far.
+
+        Thread and serial execution accumulate directly on the shared
+        pipeline; process workers ship profile deltas back with each
+        result.  The memo cache of finished results appears as
+        ``results``.
+        """
+        combined = PipelineProfile()
+        combined.merge(self.gced.snapshot_caches())
+        combined.merge(self._worker_profile)
+        combined.record_cache(
+            CacheStats(
+                name="results",
+                hits=self._results.hits,
+                misses=self._results.misses,
+                size=len(self._results),
+            )
+        )
+        return combined
+
     def stats(self) -> BatchStats:
         total = self.timer.totals.get("distill", 0.0)
         n = max(1, self._n_distilled)
+        profile = self.profile()
         return BatchStats(
             n_distilled=self._n_distilled,
             n_cache_hits=self._n_hits,
@@ -112,4 +264,18 @@ class BatchDistiller:
                 if self._reductions
                 else 0.0
             ),
+            cache_stats=tuple(
+                profile.caches[name] for name in sorted(profile.caches)
+            ),
+            profile=profile,
         )
+
+    def close(self) -> None:
+        """Shut down the executor's worker pool, if any."""
+        self.executor.close()
+
+    def __enter__(self) -> "BatchDistiller":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,86 +1,42 @@
-"""The end-to-end GCED pipeline (Fig. 3).
+"""The end-to-end GCED pipeline (Fig. 3), composed from engine stages.
 
-``GCED.distill(question, answer, context)`` chains ASE → QWS → WSPTC →
-EFC → OEC and returns a :class:`DistillationResult` carrying the evidence,
-its quality scores, and a full trace of every decision — the traceability
-the paper lists as an advantage over end-to-end neural explainers.
+``GCED.distill(question, answer, context)`` runs the registered stage
+plan ASE → tokenize → QWS → WSPTC → EFC → OEC → finalize over a
+:class:`~repro.engine.stage.StageContext` and returns a
+:class:`DistillationResult` carrying the evidence, its quality scores, and
+a full trace of every decision — the traceability the paper lists as an
+advantage over end-to-end neural explainers.
+
+The pipeline body holds no per-module branching: ablation switches select
+stage names in :func:`repro.core.stages.stage_plan`, and per-stage
+wall-clock plus shared-cache hit rates accumulate in ``GCED.profile``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
 
-from repro.core.ase import ASEResult, AnswerOrientedSentenceExtractor
 from repro.core.config import GCEDConfig
-from repro.core.efc import EvidenceForest, EvidenceForestConstructor
-from repro.core.oec import ClipTrace, GrowTrace, OptimalEvidenceDistiller
-from repro.core.qws import QWSResult, QuestionRelevantWordsSelector
+from repro.core.efc import EvidenceForestConstructor
+from repro.core.oec import OptimalEvidenceDistiller
+from repro.core.qws import QuestionRelevantWordsSelector
+from repro.core.result import DistillationResult
+from repro.core.stages import empty_result, stage_plan
+from repro.core.ase import AnswerOrientedSentenceExtractor
 from repro.core.wsptc import WeightedTreeConstructor
+from repro.engine.instrumentation import CacheStats, PipelineProfile
+from repro.engine.registry import StageRegistry, default_registry
+from repro.engine.stage import PipelineResources, StageContext
 from repro.lexicon.wordnet import MiniWordNet
-from repro.metrics.hybrid import EvidenceScores, HybridScorer
+from repro.metrics.hybrid import HybridScorer
 from repro.metrics.informativeness import InformativenessScorer
 from repro.metrics.readability import ReadabilityScorer
 from repro.parsing.dependency import SyntacticParser
 from repro.qa.base import QAModel
 from repro.qa.training import TrainedArtifacts
-from repro.text.tokenizer import Token, tokenize, word_tokens
+from repro.utils.cache import LRUCache
 
 __all__ = ["GCED", "DistillationResult"]
-
-
-@dataclass
-class DistillationResult:
-    """Everything GCED produced for one (question, answer, context) triple.
-
-    Attributes:
-        evidence: the distilled evidence text (empty if distillation could
-            not find any supported material).
-        scores: I/C/R/H of the evidence under the machine metrics.
-        ase: the answer-oriented sentence extraction outcome.
-        qws: the clue-word selection outcome.
-        forest_size: number of trees in the evidence forest.
-        grow_trace / clip_trace: step-by-step Grow-and-Clip decisions.
-        evidence_nodes: token indices (into the AOS tokens) kept.
-        aos_tokens: the tokens of the answer-oriented sentences.
-        reduction: fraction of AOS words removed (the paper reports 78.5%
-            on SQuAD / 87.2% on TriviaQA relative to the full context).
-    """
-
-    evidence: str
-    scores: EvidenceScores
-    ase: ASEResult
-    qws: QWSResult
-    forest_size: int
-    grow_trace: list[GrowTrace] = field(default_factory=list)
-    clip_trace: list[ClipTrace] = field(default_factory=list)
-    evidence_nodes: set[int] = field(default_factory=set)
-    aos_tokens: list[Token] = field(default_factory=list)
-    reduction: float = 0.0
-
-    def explain(self) -> str:
-        """Human-readable trace of the distillation."""
-        lines = [
-            f"answer-oriented sentences ({len(self.ase.sentences)}): {self.ase.text!r}",
-            f"clue words: {', '.join(self.qws.clue_words) or '(none)'}",
-            f"evidence forest: {self.forest_size} tree(s)",
-        ]
-        for step in self.grow_trace:
-            lines.append(
-                f"  grow: root {step.selected_root} -> parent {step.parent} "
-                f"(w={step.weight:.4f}), forest size {step.forest_size_after}"
-            )
-        for step in self.clip_trace:
-            lines.append(
-                f"  clip: subtree @{step.clipped_root} removed "
-                f"({len(step.removed_nodes)} nodes, H={step.hybrid_after:.4f})"
-            )
-        lines.append(f"evidence: {self.evidence!r}")
-        lines.append(
-            f"scores: I={self.scores.informativeness:.3f} "
-            f"C={self.scores.conciseness:.3f} R={self.scores.readability:.3f} "
-            f"H={self.scores.hybrid:.3f}"
-        )
-        return "\n".join(lines)
 
 
 class GCED:
@@ -97,6 +53,18 @@ class GCED:
         knowledge: optional entity knowledge graph for knowledge-enhanced
             QWS (the paper's future-work extension; see
             :mod:`repro.lexicon.knowledge`).
+        registry: stage registry to resolve the plan against (defaults to
+            the process-wide one; pass a custom registry to splice in
+            custom stages).
+        plan: explicit stage-name sequence overriding
+            :func:`repro.core.stages.stage_plan`; this is how custom
+            registered stages (baseline selectors, extra annotators)
+            enter the pipeline.
+
+    The classic component handles (``gced.ase``, ``gced.qws``,
+    ``gced.wsptc``, ``gced.efc``, ``gced.oec``, ``gced.scorer``) remain
+    available; they are the same objects the stages reach through
+    ``resources``.
     """
 
     def __init__(
@@ -108,6 +76,8 @@ class GCED:
         parser: SyntacticParser | None = None,
         knowledge=None,
         knowledge_hops: int = 2,
+        registry: StageRegistry | None = None,
+        plan: tuple[str, ...] | None = None,
     ) -> None:
         self.config = config or GCEDConfig()
         self.qa_model = qa_model
@@ -122,103 +92,88 @@ class GCED:
             parser or SyntacticParser(), artifacts.attention
         )
         self.efc = EvidenceForestConstructor()
-        scorer = HybridScorer(
+        self.scorer = HybridScorer(
             informativeness=InformativenessScorer(qa_model),
             readability=ReadabilityScorer(artifacts.language_model),
             weights=self.config.effective_weights(),
         )
-        self.scorer = scorer
         self.oec = OptimalEvidenceDistiller(
-            scorer, clip_times=self.config.clip_times
+            self.scorer, clip_times=self.config.clip_times
         )
+        self.resources = PipelineResources(
+            config=self.config,
+            qa_model=self.qa_model,
+            artifacts=self.artifacts,
+            ase=self.ase,
+            qws=self.qws,
+            wsptc=self.wsptc,
+            efc=self.efc,
+            oec=self.oec,
+            scorer=self.scorer,
+        )
+        # Resolve the plan to stage instances eagerly: GCED must stay
+        # picklable for process executors, and registries may hold
+        # non-picklable factories, so the registry itself is not retained.
+        self.plan = tuple(plan) if plan is not None else stage_plan(self.config)
+        self.stages = (registry or default_registry).build(self.plan)
+        self.profile = PipelineProfile()
 
     # ------------------------------------------------------------ pipeline
+    def make_context(self, question: str, answer: str, context: str) -> StageContext:
+        """A fresh stage context wired to this pipeline's resources."""
+        return StageContext(
+            question=question,
+            answer=answer,
+            context=context,
+            resources=self.resources,
+        )
+
     def distill(self, question: str, answer: str, context: str) -> DistillationResult:
         """Distill an informative-yet-concise evidence for the QA pair."""
         if not context.strip():
             raise ValueError("context must be non-empty")
+        ctx = self.make_context(question, answer, context)
         if not answer.strip():
             # Unanswerable question: there is nothing to support.  The
             # contract mirrors Eq. 2's discard rule — no valid evidence.
-            return self._empty_result(question, answer, context)
+            self.profile.count("unanswerable")
+            return empty_result(ctx)
+        return self.run_stages(ctx)
 
-        # 1. ASE ----------------------------------------------------------
-        if self.config.use_ase:
-            ase_result = self.ase.extract(question, answer, context)
-        else:
-            ase_result = self.ase.passthrough(context)
-        aos_tokens = tokenize(ase_result.text)
-        if not aos_tokens:
-            return self._empty_result(question, answer, context, ase_result)
-
-        # 2. QWS ----------------------------------------------------------
-        if self.config.use_qws:
-            qws_result = self.qws.select(question, aos_tokens)
-        else:
-            qws_result = self.qws.empty()
-
-        # 3. WSPTC --------------------------------------------------------
-        tree = self.wsptc.build(aos_tokens)
-
-        # 4. EFC ----------------------------------------------------------
-        answer_indices = self.efc.find_answer_indices(aos_tokens, answer)
-        forest = self.efc.build(tree, qws_result.clue_indices, answer_indices)
-        if len(forest) == 0:
-            # Degenerate case: neither clue nor answer words were located
-            # in the AOS (e.g. ASE picked the wrong sentences on a long
-            # noisy context).  Fall back to sentence-level evidence — the
-            # AOS text itself — rather than returning nothing.
-            scores = self.scorer.score(question, answer, ase_result.text)
-            total_words = len(word_tokens(context))
-            kept_words = len(word_tokens(ase_result.text))
-            return DistillationResult(
-                evidence=ase_result.text,
-                scores=scores,
-                ase=ase_result,
-                qws=qws_result,
-                forest_size=0,
-                aos_tokens=aos_tokens,
-                reduction=1.0 - kept_words / total_words if total_words else 0.0,
+    def run_stages(self, ctx: StageContext) -> DistillationResult:
+        """Execute the stage plan over ``ctx``, timing each stage."""
+        self.profile.count("contexts")
+        last = len(self.stages) - 1
+        for position, stage in enumerate(self.stages):
+            started = time.perf_counter()
+            stage.run(ctx)
+            self.profile.record_stage(
+                stage.name,
+                time.perf_counter() - started,
+                halted=ctx.halted and position < last,
             )
+            if ctx.halted:
+                break
+        if ctx.result is None:
+            raise RuntimeError(
+                f"stage plan {self.plan} finished without producing a result"
+            )
+        return ctx.result
 
-        # 5. OEC ----------------------------------------------------------
-        evidence, nodes, grow_trace, clip_trace = self.oec.distill(
-            forest,
-            question,
-            answer,
-            use_grow=self.config.use_grow,
-            use_clip=self.config.use_clip,
-        )
-        scores = self.scorer.score(question, answer, evidence)
-        total_words = len(word_tokens(context))
-        kept_words = len(word_tokens(evidence))
-        reduction = 1.0 - kept_words / total_words if total_words else 0.0
-        return DistillationResult(
-            evidence=evidence,
-            scores=scores,
-            ase=ase_result,
-            qws=qws_result,
-            forest_size=len(forest),
-            grow_trace=grow_trace,
-            clip_trace=clip_trace,
-            evidence_nodes=nodes,
-            aos_tokens=aos_tokens,
-            reduction=reduction,
-        )
+    # ------------------------------------------------------ instrumentation
+    def shared_caches(self) -> dict[str, LRUCache]:
+        """The live shared caches, by instrumentation name."""
+        caches = {
+            "parse": self.wsptc.parser.parse_cache(),
+            "informativeness": self.scorer.informativeness._cache,
+            "readability": self.scorer.readability._cache,
+        }
+        return {name: cache for name, cache in caches.items() if cache is not None}
 
-    def _empty_result(
-        self,
-        question: str,
-        answer: str,
-        context: str,
-        ase_result: ASEResult | None = None,
-        qws_result: QWSResult | None = None,
-    ) -> DistillationResult:
-        scores = EvidenceScores(0.0, float("-inf"), 0.0, float("-inf"))
-        return DistillationResult(
-            evidence="",
-            scores=scores,
-            ase=ase_result or ASEResult((), "", False, 0.0, 0),
-            qws=qws_result or QWSResult((), frozenset(), (), {}),
-            forest_size=0,
-        )
+    def snapshot_caches(self) -> PipelineProfile:
+        """Refresh ``profile`` with current shared-cache hit/miss counts."""
+        for name, cache in self.shared_caches().items():
+            self.profile.record_cache(
+                CacheStats(name=name, hits=cache.hits, misses=cache.misses, size=len(cache))
+            )
+        return self.profile

@@ -1,0 +1,251 @@
+"""Concrete GCED pipeline stages (Fig. 3) for the staged execution engine.
+
+Each module of the paper — ASE, QWS, WSPTC, EFC, OEC — becomes one
+registered :class:`~repro.engine.stage.Stage`, and every Table VIII
+ablation becomes a stage *substitution* in :func:`stage_plan` rather than
+an ``if config.use_*`` branch inside the pipeline body:
+
+========================  =========================================
+ablation                  plan change
+========================  =========================================
+w/o ASE                   ``ase`` → ``ase-passthrough``
+w/o QWS                   ``qws`` → ``qws-passthrough``
+w/o Grow                  ``oec`` → ``oec-no-grow``
+w/o Clip                  ``oec`` → ``oec-no-clip``
+========================  =========================================
+
+Custom stages (knowledge-enhanced selectors, baseline extractors, ...)
+plug in the same way: register under a new name and splice that name into
+the plan.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.core.ase import ASEResult
+from repro.core.config import GCEDConfig
+from repro.core.qws import QWSResult
+from repro.core.result import DistillationResult
+from repro.engine.registry import register_stage
+from repro.engine.stage import StageContext
+from repro.metrics.hybrid import EvidenceScores
+from repro.text.tokenizer import tokenize, word_tokens
+
+__all__ = [
+    "ASEStage",
+    "EFCStage",
+    "FinalizeStage",
+    "OECStage",
+    "PassthroughASEStage",
+    "PassthroughQWSStage",
+    "QWSStage",
+    "TokenizeStage",
+    "WSPTCStage",
+    "empty_result",
+    "stage_plan",
+]
+
+
+def empty_result(ctx: StageContext) -> DistillationResult:
+    """The no-evidence outcome (Eq. 2's discard rule)."""
+    scores = EvidenceScores(0.0, float("-inf"), 0.0, float("-inf"))
+    return DistillationResult(
+        evidence="",
+        scores=scores,
+        ase=ctx.ase or ASEResult((), "", False, 0.0, 0),
+        qws=ctx.qws or QWSResult((), frozenset(), (), {}),
+        forest_size=0,
+    )
+
+
+def _reduction(context: str, evidence: str) -> float:
+    """Fraction of context words the evidence dropped."""
+    total_words = len(word_tokens(context))
+    kept_words = len(word_tokens(evidence))
+    return 1.0 - kept_words / total_words if total_words else 0.0
+
+
+@register_stage("ase")
+class ASEStage:
+    """Answer-oriented Sentences Extractor (Sec. III-B)."""
+
+    name = "ase"
+
+    def run(self, ctx: StageContext) -> None:
+        ctx.ase = ctx.resources.ase.extract(ctx.question, ctx.answer, ctx.context)
+
+
+@register_stage("ase-passthrough")
+class PassthroughASEStage:
+    """The "w/o ASE" ablation: the whole context is the sentence set."""
+
+    name = "ase-passthrough"
+
+    def run(self, ctx: StageContext) -> None:
+        ctx.ase = ctx.resources.ase.passthrough(ctx.context)
+
+
+@register_stage("tokenize")
+class TokenizeStage:
+    """Tokenizes the AOS text; halts with no evidence if nothing remains."""
+
+    name = "tokenize"
+
+    def run(self, ctx: StageContext) -> None:
+        ctx.aos_tokens = tokenize(ctx.ase.text)
+        if not ctx.aos_tokens:
+            ctx.halt(empty_result(ctx))
+
+
+@register_stage("qws")
+class QWSStage:
+    """Question-relevant Words Selector (Sec. III-C)."""
+
+    name = "qws"
+
+    def run(self, ctx: StageContext) -> None:
+        ctx.qws = ctx.resources.qws.select(ctx.question, ctx.aos_tokens)
+
+
+@register_stage("qws-passthrough")
+class PassthroughQWSStage:
+    """The "w/o QWS" ablation: no clue words at all."""
+
+    name = "qws-passthrough"
+
+    def run(self, ctx: StageContext) -> None:
+        ctx.qws = ctx.resources.qws.empty()
+
+
+@register_stage("wsptc")
+class WSPTCStage:
+    """Weighted Syntactic Parsing Tree Constructor (Sec. III-D)."""
+
+    name = "wsptc"
+
+    def run(self, ctx: StageContext) -> None:
+        ctx.tree = ctx.resources.wsptc.build(ctx.aos_tokens)
+
+
+@register_stage("efc")
+class EFCStage:
+    """Evidence Forest Constructor (Sec. III-E), with the degenerate
+    empty-forest fallback.
+
+    If neither clue nor answer words were located in the AOS (e.g. ASE
+    picked the wrong sentences on a long noisy context), fall back to
+    sentence-level evidence — the AOS text itself — rather than returning
+    nothing.
+    """
+
+    name = "efc"
+
+    def run(self, ctx: StageContext) -> None:
+        resources = ctx.resources
+        ctx.answer_indices = resources.efc.find_answer_indices(
+            ctx.aos_tokens, ctx.answer
+        )
+        ctx.forest = resources.efc.build(
+            ctx.tree, ctx.qws.clue_indices, ctx.answer_indices
+        )
+        if len(ctx.forest) == 0:
+            scores = resources.scorer.score(ctx.question, ctx.answer, ctx.ase.text)
+            ctx.halt(
+                DistillationResult(
+                    evidence=ctx.ase.text,
+                    scores=scores,
+                    ase=ctx.ase,
+                    qws=ctx.qws,
+                    forest_size=0,
+                    aos_tokens=ctx.aos_tokens,
+                    reduction=_reduction(ctx.context, ctx.ase.text),
+                )
+            )
+
+
+class OECStage:
+    """Optimal Evidence Distiller (Sec. III-F) — Grow-and-Clip.
+
+    The grow/clip ablations are separate registered variants of this one
+    class, so the plan (not the stage body) decides what runs.
+    """
+
+    def __init__(self, use_grow: bool = True, use_clip: bool = True) -> None:
+        self.use_grow = use_grow
+        self.use_clip = use_clip
+        suffix = {
+            (True, True): "",
+            (False, True): "-no-grow",
+            (True, False): "-no-clip",
+            (False, False): "-minimal",
+        }[(use_grow, use_clip)]
+        self.name = f"oec{suffix}"
+
+    def run(self, ctx: StageContext) -> None:
+        evidence, nodes, grow_trace, clip_trace = ctx.resources.oec.distill(
+            ctx.forest,
+            ctx.question,
+            ctx.answer,
+            use_grow=self.use_grow,
+            use_clip=self.use_clip,
+        )
+        ctx.evidence = evidence
+        ctx.evidence_nodes = nodes
+        ctx.grow_trace = grow_trace
+        ctx.clip_trace = clip_trace
+
+
+register_stage("oec", partial(OECStage, use_grow=True, use_clip=True))
+register_stage("oec-no-grow", partial(OECStage, use_grow=False, use_clip=True))
+register_stage("oec-no-clip", partial(OECStage, use_grow=True, use_clip=False))
+register_stage("oec-minimal", partial(OECStage, use_grow=False, use_clip=False))
+
+
+@register_stage("finalize")
+class FinalizeStage:
+    """Scores the distilled evidence and assembles the result record."""
+
+    name = "finalize"
+
+    def run(self, ctx: StageContext) -> None:
+        scores = ctx.resources.scorer.score(ctx.question, ctx.answer, ctx.evidence)
+        ctx.halt(
+            DistillationResult(
+                evidence=ctx.evidence,
+                scores=scores,
+                ase=ctx.ase,
+                qws=ctx.qws,
+                forest_size=len(ctx.forest),
+                grow_trace=ctx.grow_trace,
+                clip_trace=ctx.clip_trace,
+                evidence_nodes=ctx.evidence_nodes,
+                aos_tokens=ctx.aos_tokens,
+                reduction=_reduction(ctx.context, ctx.evidence),
+            )
+        )
+
+
+def stage_plan(config: GCEDConfig) -> tuple[str, ...]:
+    """The registered-stage sequence realizing ``config``.
+
+    Ablation switches select stage *names*; the pipeline body never
+    branches on them.
+    """
+    if config.use_grow and config.use_clip:
+        oec = "oec"
+    elif config.use_clip:
+        oec = "oec-no-grow"
+    elif config.use_grow:
+        oec = "oec-no-clip"
+    else:
+        oec = "oec-minimal"
+    return (
+        "ase" if config.use_ase else "ase-passthrough",
+        "tokenize",
+        "qws" if config.use_qws else "qws-passthrough",
+        "wsptc",
+        "efc",
+        oec,
+        "finalize",
+    )

@@ -1,0 +1,166 @@
+"""Per-stage observability: timings, counters, and cache hit rates.
+
+A :class:`PipelineProfile` accumulates across every context a pipeline
+runs.  Profiles are plain picklable data and support :meth:`merge`, so
+parallel workers can profile locally and ship their numbers back to the
+coordinating :class:`~repro.core.batch.BatchDistiller`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["CacheStats", "PipelineProfile", "StageTiming"]
+
+
+@dataclass
+class StageTiming:
+    """Accumulated wall-clock of one stage."""
+
+    calls: int = 0
+    seconds: float = 0.0
+    halts: int = 0
+
+    @property
+    def mean_ms(self) -> float:
+        return 1000.0 * self.seconds / self.calls if self.calls else 0.0
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss snapshot of one shared cache."""
+
+    name: str
+    hits: int
+    misses: int
+    size: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def describe(self) -> str:
+        """``name 85% (17/20)`` — the one-line digest of this cache."""
+        return (
+            f"{self.name} {100 * self.hit_rate:.0f}% "
+            f"({self.hits}/{self.lookups})"
+        )
+
+
+@dataclass
+class PipelineProfile:
+    """Everything the engine observed while running pipelines.
+
+    Attributes:
+        stages: per-stage timing accumulators, in first-seen order (which
+            matches pipeline order for a fixed plan).
+        counters: free-form event counts (contexts run, early halts, ...).
+        caches: latest shared-cache snapshots, by cache name.
+    """
+
+    stages: dict[str, StageTiming] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+    caches: dict[str, CacheStats] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Accumulation must be safe under thread-pool execution; the lock
+        # is excluded from pickling so profiles still travel to/from
+        # worker processes.
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------ recording
+    def record_stage(
+        self, name: str, seconds: float, halted: bool = False
+    ) -> None:
+        """Add one stage execution to the accumulators."""
+        with self._lock:
+            timing = self.stages.get(name)
+            if timing is None:
+                timing = self.stages[name] = StageTiming()
+            timing.calls += 1
+            timing.seconds += seconds
+            if halted:
+                timing.halts += 1
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump a named counter."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + n
+
+    def record_cache(self, stats: CacheStats) -> None:
+        """Store the latest snapshot of a shared cache."""
+        with self._lock:
+            self.caches[stats.name] = stats
+
+    # ------------------------------------------------------------ combining
+    def merge(self, other: "PipelineProfile") -> None:
+        """Fold another profile (e.g. from a worker process) into this one.
+
+        Timings and counters add; cache snapshots add hit/miss counts
+        (each worker owns its own cache instances).
+        """
+        with self._lock:
+            self._merge_locked(other)
+
+    def _merge_locked(self, other: "PipelineProfile") -> None:
+        for name, timing in other.stages.items():
+            mine = self.stages.get(name)
+            if mine is None:
+                mine = self.stages[name] = StageTiming()
+            mine.calls += timing.calls
+            mine.seconds += timing.seconds
+            mine.halts += timing.halts
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for name, stats in other.caches.items():
+            mine_stats = self.caches.get(name)
+            if mine_stats is None:
+                self.caches[name] = stats
+            else:
+                self.caches[name] = CacheStats(
+                    name=name,
+                    hits=mine_stats.hits + stats.hits,
+                    misses=mine_stats.misses + stats.misses,
+                    size=max(mine_stats.size, stats.size),
+                )
+
+    # ------------------------------------------------------------ reporting
+    @property
+    def total_seconds(self) -> float:
+        return sum(t.seconds for t in self.stages.values())
+
+    def cache_summary(self) -> str:
+        """One-line hit-rate digest of the shared caches."""
+        return ", ".join(
+            self.caches[name].describe()
+            for name in sorted(self.caches)
+            if self.caches[name].lookups
+        )
+
+    def report(self) -> str:
+        """Human-readable per-stage table plus cache hit rates."""
+        lines = ["stage               calls   total(s)   mean(ms)  halts"]
+        for name, timing in self.stages.items():
+            lines.append(
+                f"{name:<18} {timing.calls:>6d} {timing.seconds:>10.3f} "
+                f"{timing.mean_ms:>10.3f} {timing.halts:>6d}"
+            )
+        for name, value in sorted(self.counters.items()):
+            lines.append(f"{name:<18} {value:>6d}")
+        if self.caches:
+            lines.append("shared caches: " + (self.cache_summary() or "(cold)"))
+        return "\n".join(lines)

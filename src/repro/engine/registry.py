@@ -1,0 +1,98 @@
+"""Stage registry — ablations and extensions as stage substitution.
+
+Every pipeline stage is registered under a stable name; a pipeline is then
+just a tuple of names resolved against a registry.  Swapping ``"ase"`` for
+``"ase-passthrough"`` *is* the "w/o ASE" ablation — no ``if config.use_*``
+branches inside the pipeline body — and third-party stages (a
+knowledge-enhanced selector, a baseline extractor) plug in by registering
+under a new name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.engine.stage import Stage
+
+__all__ = ["StageRegistry", "default_registry", "register_stage"]
+
+
+class StageRegistry:
+    """Name → stage-factory mapping.
+
+    Factories take no required arguments (configuration travels in the
+    :class:`~repro.engine.stage.StageContext` resources), so registering a
+    stage class directly is the common case:
+
+    >>> registry = StageRegistry()
+    >>> @registry.register("noop")
+    ... class Noop:
+    ...     name = "noop"
+    ...     def run(self, ctx): pass
+    >>> registry.create("noop").name
+    'noop'
+    """
+
+    def __init__(self) -> None:
+        self._factories: dict[str, Callable[..., Stage]] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._factories))
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+    def names(self) -> tuple[str, ...]:
+        """All registered stage names, sorted."""
+        return tuple(sorted(self._factories))
+
+    def register(
+        self, name: str, factory: Callable[..., Stage] | None = None
+    ) -> Callable:
+        """Register ``factory`` under ``name`` (usable as a decorator).
+
+        Re-registering a taken name raises — substitution is explicit
+        (register under a new name and change the plan), never silent.
+        """
+        if factory is None:
+            def decorator(cls: Callable[..., Stage]) -> Callable[..., Stage]:
+                self.register(name, cls)
+                return cls
+
+            return decorator
+        if name in self._factories:
+            raise ValueError(f"stage {name!r} is already registered")
+        self._factories[name] = factory
+        return factory
+
+    def create(self, name: str, **kwargs) -> Stage:
+        """Instantiate the stage registered under ``name``."""
+        try:
+            factory = self._factories[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown stage {name!r}; registered: {list(self.names())}"
+            ) from None
+        return factory(**kwargs)
+
+    def build(self, plan: tuple[str, ...] | list[str]) -> list[Stage]:
+        """Instantiate a whole pipeline plan, in order."""
+        return [self.create(name) for name in plan]
+
+    def clone(self) -> "StageRegistry":
+        """An independent copy — extend it without touching this one."""
+        copy = StageRegistry()
+        copy._factories.update(self._factories)
+        return copy
+
+
+default_registry = StageRegistry()
+"""The process-wide registry the core stages register into on import."""
+
+
+def register_stage(name: str, factory: Callable[..., Stage] | None = None):
+    """Register into :data:`default_registry` (decorator-friendly)."""
+    return default_registry.register(name, factory)

@@ -1,0 +1,110 @@
+"""Stage contract of the execution engine.
+
+A pipeline is a sequence of :class:`Stage` objects run over one mutable
+:class:`StageContext`.  Each stage reads the artifacts earlier stages
+produced, writes its own, and may *halt* the pipeline early by attaching a
+finished result (e.g. nothing to distill, or a degenerate fallback).
+
+Stages are stateless: everything they need — the pipeline components,
+shared caches, configuration — travels in ``ctx.resources``, a
+:class:`PipelineResources` bundle built once per :class:`~repro.core.pipeline.GCED`.
+Statelessness is what makes stages trivially shareable across threads and
+cheap to ship to worker processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # imports for typing only; engine stays core-agnostic
+    from repro.core.ase import AnswerOrientedSentenceExtractor, ASEResult
+    from repro.core.config import GCEDConfig
+    from repro.core.efc import EvidenceForest, EvidenceForestConstructor
+    from repro.core.oec import ClipTrace, GrowTrace, OptimalEvidenceDistiller
+    from repro.core.qws import QuestionRelevantWordsSelector, QWSResult
+    from repro.core.result import DistillationResult
+    from repro.core.wsptc import WeightedTreeConstructor
+    from repro.metrics.hybrid import HybridScorer
+    from repro.parsing.tree import DependencyTree
+    from repro.qa.base import QAModel
+    from repro.qa.training import TrainedArtifacts
+    from repro.text.tokenizer import Token
+
+__all__ = ["PipelineResources", "Stage", "StageContext"]
+
+
+@dataclass
+class PipelineResources:
+    """Shared components and caches every stage may draw on.
+
+    One bundle is built per pipeline and reused across every context that
+    flows through it — the parser memo, attention tables, LM tables, and
+    scorer caches all live (transitively) inside these components, which
+    is what makes context-grouped batch execution cache-friendly.
+    """
+
+    config: "GCEDConfig"
+    qa_model: "QAModel"
+    artifacts: "TrainedArtifacts"
+    ase: "AnswerOrientedSentenceExtractor"
+    qws: "QuestionRelevantWordsSelector"
+    wsptc: "WeightedTreeConstructor"
+    efc: "EvidenceForestConstructor"
+    oec: "OptimalEvidenceDistiller"
+    scorer: "HybridScorer"
+
+
+@dataclass
+class StageContext:
+    """Mutable carrier of one (question, answer, context) distillation.
+
+    The input triple and the resource bundle are set at construction; each
+    stage fills in the artifact slots it owns.  ``result`` doubles as the
+    halt signal: once any stage sets it, the runner stops and returns it.
+    """
+
+    question: str
+    answer: str
+    context: str
+    resources: PipelineResources
+
+    # Artifacts, in pipeline order.  Owned by the stage named in brackets.
+    ase: "ASEResult | None" = None                       # [ase]
+    aos_tokens: "list[Token]" = field(default_factory=list)  # [tokenize]
+    qws: "QWSResult | None" = None                       # [qws]
+    tree: "DependencyTree | None" = None                 # [wsptc]
+    answer_indices: frozenset[int] = frozenset()         # [efc]
+    forest: "EvidenceForest | None" = None               # [efc]
+    evidence: str = ""                                   # [oec]
+    evidence_nodes: set[int] = field(default_factory=set)  # [oec]
+    grow_trace: "list[GrowTrace]" = field(default_factory=list)  # [oec]
+    clip_trace: "list[ClipTrace]" = field(default_factory=list)  # [oec]
+
+    result: "DistillationResult | None" = None
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def halted(self) -> bool:
+        """True once a stage attached a finished result."""
+        return self.result is not None
+
+    def halt(self, result: "DistillationResult") -> None:
+        """Finish the pipeline early with ``result``."""
+        self.result = result
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """One pipeline step.
+
+    Implementations expose a stable ``name`` (the registry key and the
+    instrumentation label) and mutate the context in ``run``.  They must
+    not keep per-call state on ``self``.
+    """
+
+    name: str
+
+    def run(self, ctx: StageContext) -> None:
+        """Read earlier artifacts from ``ctx``, write this stage's own."""
+        ...

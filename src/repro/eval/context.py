@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.batch import BatchDistiller
 from repro.core.config import GCEDConfig
 from repro.core.pipeline import GCED, DistillationResult
 from repro.datasets.loader import load_dataset
@@ -39,6 +40,7 @@ class ExperimentContext:
     gced: GCED
     baselines: dict[str, SimulatedBaseline]
     seed: int
+    distiller: BatchDistiller = None  # type: ignore[assignment]
 
     _gold_evidence_cache: dict[str, DistillationResult] = None  # type: ignore[assignment]
 
@@ -51,8 +53,14 @@ class ExperimentContext:
         n_dev: int = 50,
         config: GCEDConfig | None = None,
         calibration_limit: int = 60,
+        workers: int = 1,
+        backend: str = "thread",
     ) -> "ExperimentContext":
-        """Construct the full experiment state for ``dataset_key``."""
+        """Construct the full experiment state for ``dataset_key``.
+
+        ``workers`` / ``backend`` configure the engine executor every
+        experiment's distillation fans out on (1 = serial).
+        """
         dataset = load_dataset(dataset_key, seed=seed, n_train=n_train, n_dev=n_dev)
         artifacts = QATrainer(seed=seed).train(dataset.contexts())
         gced = GCED(
@@ -76,16 +84,45 @@ class ExperimentContext:
             gced=gced,
             baselines=baselines,
             seed=seed,
+            distiller=BatchDistiller(gced, workers=workers, backend=backend),
         )
         ctx._gold_evidence_cache = {}
         return ctx
 
+    def close(self) -> None:
+        """Shut down the distiller's worker pool, if one was created."""
+        self.distiller.close()
+
+    def __enter__(self) -> "ExperimentContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # ------------------------------------------------------------ evidence
+    def prewarm_gold(self, examples: list[QAExample]) -> None:
+        """Distill gold evidences for ``examples`` as one batch.
+
+        Routes through the engine executor (context-grouped, parallel when
+        ``workers > 1``) and fills the per-example cache
+        :meth:`gold_evidence` reads, so subsequent per-example access is
+        free.
+        """
+        missing = [
+            e for e in examples if e.example_id not in self._gold_evidence_cache
+        ]
+        if not missing:
+            return
+        for example, result in zip(
+            missing, self.distiller.distill_examples(missing)
+        ):
+            self._gold_evidence_cache[example.example_id] = result
+
     def gold_evidence(self, example: QAExample) -> DistillationResult:
         """GCED evidence distilled from the ground-truth answer (cached)."""
         cached = self._gold_evidence_cache.get(example.example_id)
         if cached is None:
-            cached = self.gced.distill(
+            cached = self.distiller.distill_one(
                 example.question, example.primary_answer, example.context
             )
             self._gold_evidence_cache[example.example_id] = cached
@@ -110,7 +147,9 @@ class ExperimentContext:
         predicted = prediction.text
         if not predicted.strip():
             return self.gold_evidence(example), ""
-        result = self.gced.distill(example.question, predicted, example.context)
+        result = self.distiller.distill_one(
+            example.question, predicted, example.context
+        )
         return result, predicted
 
     # ------------------------------------------------------------- ratings

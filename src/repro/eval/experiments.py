@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.batch import BatchDistiller
 from repro.core.config import GCEDConfig
 from repro.core.pipeline import GCED
 from repro.datasets.types import QAExample
@@ -49,6 +50,7 @@ def human_evaluation_table(
     """
     panel = panel or RaterPanel(seed=ctx.seed)
     examples = _eval_examples(ctx, n_examples)
+    ctx.prewarm_gold(examples)
     rows: list[dict] = []
     for name, model in ctx.baselines.items():
         records: list[RatingRecord] = []
@@ -95,6 +97,7 @@ def qa_augmentation_table(
     mechanistic — distilled evidences carry fewer distractor spans.
     """
     examples = _eval_examples(ctx, n_examples)
+    ctx.prewarm_gold(examples)
     evidences = {e.example_id: ctx.gold_evidence(e).evidence for e in examples}
     rows: list[dict] = []
     for name, model in ctx.baselines.items():
@@ -137,6 +140,11 @@ def ablation_table(
     Run on one baseline model (the paper uses BERT on SQuAD-2.0): for each
     ablation, distill ground-truth-based evidences, rate them with the
     panel, and measure the model's EM/F1 with the evidence as context.
+
+    Each ablated config resolves to a different engine stage plan
+    (``stage_plan(config)``) — e.g. "w/o ASE" substitutes the
+    ``ase-passthrough`` stage — and each condition's distillation runs as
+    one context-grouped batch on the engine executor.
     """
     panel = panel or RaterPanel(seed=ctx.seed)
     model = ctx.baselines[model_name]
@@ -150,11 +158,16 @@ def ablation_table(
             artifacts=ctx.artifacts,
             config=config,
         )
+        with BatchDistiller(
+            gced,
+            workers=ctx.distiller.executor.workers,
+            backend=ctx.distiller.backend,
+        ) as distiller:
+            results = distiller.distill_examples(examples)
         records: list[RatingRecord] = []
         em = f1 = 0.0
-        for example in examples:
+        for example, result in zip(examples, results):
             gold = example.primary_answer
-            result = gced.distill(example.question, gold, example.context)
             evidence = result.evidence or example.context
             records.append(
                 ctx.rating_record(result, example.question, gold)
@@ -193,6 +206,7 @@ def degradation_curves(
     the degradation mechanism.
     """
     examples = _eval_examples(ctx, n_examples)
+    ctx.prewarm_gold(examples)
     names = list(model_names or ctx.baselines)
     rows: list[dict] = []
     for name in names:
@@ -247,6 +261,7 @@ def reduction_statistics(
     The paper reports 78.5% on SQuAD and 87.2% on TriviaQA.
     """
     examples = _eval_examples(ctx, n_examples)
+    ctx.prewarm_gold(examples)
     reductions = []
     lengths_ctx = []
     lengths_ev = []
@@ -275,6 +290,7 @@ def agreement_table(
     """Table II: Krippendorff's alpha per criterion per rater group."""
     panel = panel or RaterPanel(seed=ctx.seed)
     examples = _eval_examples(ctx, n_examples)
+    ctx.prewarm_gold(examples)
     records = []
     for example in examples:
         result = ctx.gold_evidence(example)

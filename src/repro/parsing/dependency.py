@@ -85,3 +85,12 @@ class SyntacticParser:
     def parse(self, tokens: list[str]) -> DependencyTree:
         """Full pipeline: tokens → lexicalized parse → dependency tree."""
         return self._parse_cached(tuple(tokens))
+
+    def parse_cache(self):
+        """The memo cache behind :meth:`parse` (None until first use).
+
+        Exposed for the engine's cache instrumentation; the attribute name
+        is ``memoize_method``'s internal layout and must not be reached
+        for directly.
+        """
+        return getattr(self, "_memo__parse_cached", None)

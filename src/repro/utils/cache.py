@@ -4,19 +4,47 @@ Parsing and attention are the most expensive stages of the GCED pipeline
 and are frequently re-invoked on the same sentence (e.g. once by ASE, once
 by WSPTC, once per clip candidate when re-scoring).  A bounded LRU cache
 keyed on the raw text keeps the pipeline near-linear in practice.
+
+``MISSING`` is the shared not-found sentinel: ``cache.get(key, MISSING)``
+distinguishes "never cached" from "cached a falsy value" (including
+``None``), which plain ``get(key) is None`` cannot.
 """
 
 from __future__ import annotations
 
 import functools
+import threading
 from collections import OrderedDict
 from typing import Any, Callable, Hashable
 
-__all__ = ["LRUCache", "memoize_method"]
+__all__ = ["LRUCache", "MISSING", "memoize_method"]
+
+
+class _MissingType:
+    """Singleton sentinel distinct from every cacheable value."""
+
+    _instance: "_MissingType | None" = None
+
+    def __new__(cls) -> "_MissingType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<missing>"
+
+
+MISSING = _MissingType()
+
+_MEMO_CREATE_LOCK = threading.Lock()
 
 
 class LRUCache:
     """A minimal least-recently-used cache with a fixed capacity.
+
+    Lookups and insertions are guarded by a lock, so instances can be
+    shared by the threads of a
+    :class:`~repro.engine.executor.ParallelExecutor`.
 
     >>> cache = LRUCache(capacity=2)
     >>> cache.put("a", 1); cache.put("b", 2); cache.put("c", 3)
@@ -33,6 +61,16 @@ class LRUCache:
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self._lock = threading.RLock()
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
         return len(self._data)
@@ -41,26 +79,34 @@ class LRUCache:
         return key in self._data
 
     def get(self, key: Hashable, default: Any = None) -> Any:
-        """Return the cached value, refreshing its recency, or ``default``."""
-        if key not in self._data:
-            self.misses += 1
-            return default
-        self.hits += 1
-        self._data.move_to_end(key)
-        return self._data[key]
+        """Return the cached value, refreshing its recency, or ``default``.
+
+        Pass ``default=MISSING`` to tell a cached ``None`` (a hit) apart
+        from an absent key (a miss).
+        """
+        with self._lock:
+            value = self._data.get(key, MISSING)
+            if value is MISSING:
+                self.misses += 1
+                return default
+            self.hits += 1
+            self._data.move_to_end(key)
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert ``value``, evicting the least-recently-used entry if full."""
-        if key in self._data:
-            self._data.move_to_end(key)
-        self._data[key] = value
-        if len(self._data) > self.capacity:
-            self._data.popitem(last=False)
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            if len(self._data) > self.capacity:
+                self._data.popitem(last=False)
 
     def clear(self) -> None:
-        self._data.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
 
 
 def memoize_method(maxsize: int = 1024) -> Callable:
@@ -78,11 +124,15 @@ def memoize_method(maxsize: int = 1024) -> Callable:
         def wrapper(self, *args):
             cache: LRUCache | None = getattr(self, attr, None)
             if cache is None:
-                cache = LRUCache(capacity=maxsize)
-                setattr(self, attr, cache)
-            sentinel = object()
-            value = cache.get(args, sentinel)
-            if value is sentinel:
+                # Double-checked under a lock: concurrent first calls from
+                # a thread pool must not each install their own cache.
+                with _MEMO_CREATE_LOCK:
+                    cache = getattr(self, attr, None)
+                    if cache is None:
+                        cache = LRUCache(capacity=maxsize)
+                        setattr(self, attr, cache)
+            value = cache.get(args, MISSING)
+            if value is MISSING:
                 value = func(self, *args)
                 cache.put(args, value)
             return value
