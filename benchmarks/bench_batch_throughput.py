@@ -13,9 +13,9 @@ from __future__ import annotations
 
 import time
 
-from benchmarks.common import emit, get_context
+from benchmarks.common import emit, emit_json, get_context, sample_size
 
-N_EXAMPLES = 24
+N_EXAMPLES = sample_size("BENCH_N_EXAMPLES", 24)
 
 
 def _fresh_distiller(ctx, workers: int, backend: str):
@@ -67,3 +67,14 @@ def test_batch_throughput_scaling():
     best = max(row["examples/sec"] for row in rows[1:])
     lines.append(f"  best parallel speedup: {best / serial:.2f}x over serial")
     emit("batch_throughput", "\n".join(lines))
+    emit_json(
+        "batch_throughput",
+        {
+            "examples": len(examples),
+            "rows": rows,
+            "metrics": {
+                "batch.serial_ex_per_sec": serial,
+                "batch.best_parallel_ex_per_sec": best,
+            },
+        },
+    )

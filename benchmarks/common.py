@@ -10,6 +10,8 @@ pytest's output capture.
 from __future__ import annotations
 
 import functools
+import json
+import os
 import pathlib
 import sys
 
@@ -18,10 +20,16 @@ from repro.eval import ExperimentContext, format_table
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 # Sample sizes: large enough for stable shapes, small enough that the whole
-# suite completes in a few minutes on a laptop.
-N_TRAIN = 120
-N_DEV = 80
+# suite completes in a few minutes on a laptop.  The BENCH_* environment
+# variables let CI's perf-smoke job shrink the sample further.
+N_TRAIN = int(os.environ.get("BENCH_N_TRAIN", "120"))
+N_DEV = int(os.environ.get("BENCH_N_DEV", "80"))
 SEED = 0
+
+
+def sample_size(env_var: str, default: int) -> int:
+    """A benchmark sample size, overridable from the environment."""
+    return int(os.environ.get(env_var, str(default)))
 
 
 @functools.lru_cache(maxsize=None)
@@ -41,3 +49,15 @@ def emit(name: str, text: str) -> None:
 
 def emit_table(name: str, rows: list[dict], title: str) -> None:
     emit(name, format_table(rows, title=title))
+
+
+def emit_json(name: str, payload: dict) -> None:
+    """Persist machine-readable metrics for the CI perf gate.
+
+    ``benchmarks/perf_gate.py`` merges these files into ``BENCH_pr.json``
+    and compares the throughput metrics against the checked-in baseline.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\n[bench] wrote {path}", file=sys.stderr)

@@ -1,0 +1,148 @@
+"""CI perf gate: merge benchmark JSON and compare against the baseline.
+
+Usage (after running the perf benchmarks so that
+``benchmarks/results/*.json`` exist)::
+
+    python benchmarks/perf_gate.py --out BENCH_pr.json
+    python benchmarks/perf_gate.py --write-baseline   # refresh baseline
+
+The gate merges every known benchmark JSON into one ``BENCH_pr.json``
+artifact and fails (exit 1) if any throughput metric regressed more than
+``--tolerance`` (default 30%, overridable via the ``PERF_GATE_TOLERANCE``
+environment variable) below ``benchmarks/results/baseline.json``.
+Latency percentiles are reported for context but do not gate: absolute
+wall-clock varies across runner hardware far more than relative
+throughput under the same process does.
+
+Only metric keys present in *both* the baseline and the current run are
+compared, so adding a new benchmark never breaks the gate — refresh the
+baseline with ``--write-baseline`` to start gating it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+SOURCE_FILES = ("batch_throughput.json", "service_latency.json")
+
+
+def collect_metrics(results_dir: pathlib.Path) -> tuple[dict, list[str]]:
+    """Gather throughput metrics (and context) from benchmark JSON files."""
+    metrics: dict[str, float] = {}
+    extras: dict[str, dict] = {}
+    sources: list[str] = []
+    for filename in SOURCE_FILES:
+        path = results_dir / filename
+        if not path.exists():
+            continue
+        payload = json.loads(path.read_text())
+        metrics.update(payload.get("metrics", {}))
+        if "latency_ms" in payload:
+            extras["latency_ms"] = payload["latency_ms"]
+        sources.append(filename)
+    return {"metrics": metrics, **extras}, sources
+
+
+def compare(
+    current: dict[str, float], baseline: dict[str, float], tolerance: float
+) -> tuple[list[str], list[str]]:
+    """Regressions beyond tolerance, plus one info line per metric."""
+    failures: list[str] = []
+    report: list[str] = []
+    for key in sorted(baseline):
+        if key not in current:
+            report.append(f"  {key:<36} baseline-only (not measured)")
+            continue
+        base, now = float(baseline[key]), float(current[key])
+        floor = base * (1.0 - tolerance)
+        delta = (now - base) / base if base else 0.0
+        status = "ok" if now >= floor else "REGRESSED"
+        report.append(
+            f"  {key:<36} {now:>9.2f} vs baseline {base:>9.2f} "
+            f"({delta:+.1%}) {status}"
+        )
+        if now < floor:
+            failures.append(
+                f"{key}: {now:.2f} is more than {tolerance:.0%} below "
+                f"baseline {base:.2f}"
+            )
+    return failures, report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results-dir", type=pathlib.Path, default=RESULTS_DIR
+    )
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=RESULTS_DIR / "baseline.json",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=pathlib.Path("BENCH_pr.json"),
+        help="merged metrics artifact to write",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("PERF_GATE_TOLERANCE", "0.30")),
+        help="allowed fractional throughput drop vs baseline",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="overwrite the baseline with the current metrics and exit",
+    )
+    args = parser.parse_args(argv)
+
+    current, sources = collect_metrics(args.results_dir)
+    if not current["metrics"]:
+        print(
+            "perf gate: no benchmark JSON found — run the perf benchmarks "
+            "first (bench_batch_throughput.py, bench_service_latency.py)",
+            file=sys.stderr,
+        )
+        return 2
+    current["sources"] = sources
+    current["tolerance"] = args.tolerance
+
+    args.out.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+    print(f"perf gate: wrote {args.out} ({len(current['metrics'])} metrics)")
+
+    if args.write_baseline:
+        args.baseline.write_text(
+            json.dumps({"metrics": current["metrics"]}, indent=2, sort_keys=True)
+            + "\n"
+        )
+        print(f"perf gate: baseline refreshed at {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(
+            f"perf gate: no baseline at {args.baseline}; "
+            "run with --write-baseline to create one",
+            file=sys.stderr,
+        )
+        return 2
+    baseline = json.loads(args.baseline.read_text())["metrics"]
+    failures, report = compare(current["metrics"], baseline, args.tolerance)
+    print(f"perf gate: throughput vs baseline (tolerance {args.tolerance:.0%})")
+    print("\n".join(report))
+    if failures:
+        for failure in failures:
+            print(f"perf gate FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("perf gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

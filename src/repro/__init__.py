@@ -46,6 +46,12 @@ from repro.qa import (
     TRIVIAQA_BASELINES,
     build_baseline,
 )
+from repro.service import (
+    DistillService,
+    MicroBatchScheduler,
+    ServiceClient,
+    ServiceConfig,
+)
 
 __version__ = "1.0.0"
 
@@ -73,5 +79,9 @@ __all__ = [
     "SQUAD_BASELINES",
     "TRIVIAQA_BASELINES",
     "build_baseline",
+    "DistillService",
+    "MicroBatchScheduler",
+    "ServiceClient",
+    "ServiceConfig",
     "__version__",
 ]

@@ -4,6 +4,7 @@ Commands:
 
 * ``distill`` — distill evidence for one QA pair over a corpus file.
 * ``batch`` — distill a whole dataset split on the engine executor.
+* ``serve`` — run the long-lived evidence service (JSON over HTTP).
 * ``dataset`` — generate a synthetic dataset and write SQuAD-schema JSON.
 * ``experiment`` — run one of the paper's experiments and print the table.
 * ``errors`` — triage weak evidences (Sec. IV-G error analysis).
@@ -103,6 +104,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         type=pathlib.Path,
         help="write distilled evidences as JSONL to this path",
+    )
+
+    p_serve = sub.add_parser(
+        "serve", help="run the evidence service (JSON over HTTP)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8080, help="0 picks an ephemeral port"
+    )
+    p_serve.add_argument("--dataset", default="squad11", choices=DATASET_KEYS)
+    p_serve.add_argument("--n-train", type=int, default=100)
+    p_serve.add_argument("--n-dev", type=int, default=60)
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument(
+        "--workers", type=int, default=1, help="executor pool size (1 = serial)"
+    )
+    p_serve.add_argument(
+        "--backend",
+        default="thread",
+        choices=("thread", "process"),
+        help="parallel executor backend",
+    )
+    p_serve.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=16,
+        help="flush a micro-batch once this many requests are queued",
+    )
+    p_serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=5.0,
+        help="flush at the latest this long after the oldest queued request",
+    )
+    p_serve.add_argument(
+        "--self-test",
+        action="store_true",
+        help="serve on an ephemeral port, exercise every endpoint "
+        "concurrently, verify byte-identity with single-shot distill, exit",
     )
 
     p_dataset = sub.add_parser("dataset", help="generate a synthetic dataset")
@@ -208,6 +248,126 @@ def _run_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.service import DistillService, ServiceConfig, make_server
+
+    config = ServiceConfig(
+        dataset=args.dataset,
+        seed=args.seed,
+        n_train=args.n_train,
+        n_dev=args.n_dev,
+        workers=args.workers,
+        backend=args.backend,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+    )
+    print(f"building service resources for {args.dataset} ...", file=sys.stderr)
+    service = DistillService.build(config)
+    if args.self_test:
+        return _serve_self_test(service)
+    server = make_server(service, args.host, args.port)
+    host, port = server.server_address[:2]
+    print(
+        f"serving GCED on http://{host}:{port} "
+        f"(workers={args.workers}, max_batch_size={args.max_batch_size}, "
+        f"max_wait_ms={args.max_wait_ms:g}) — Ctrl-C to stop",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
+def _serve_self_test(service) -> int:
+    """End-to-end smoke: serve, hit every endpoint, verify byte-identity."""
+    import json
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.core.serialize import result_to_dict
+    from repro.service import ServiceClient, ServiceError, start_server
+
+    server, _thread = start_server(service, quiet=True)
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}")
+    failures: list[str] = []
+    try:
+        if client.healthz().get("status") != "ok":
+            failures.append("healthz did not report ok")
+
+        examples = service.dataset.answerable_dev()[:6]
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            served = list(
+                pool.map(
+                    lambda e: client.distill(
+                        e.question, e.primary_answer, e.context
+                    ),
+                    examples,
+                )
+            )
+        for example, payload in zip(examples, served):
+            direct = result_to_dict(
+                service.gced.distill(
+                    example.question, example.primary_answer, example.context
+                ),
+                example.question,
+                example.primary_answer,
+            )
+            if json.dumps(payload, sort_keys=True) != json.dumps(
+                direct, sort_keys=True
+            ):
+                failures.append(
+                    f"served result diverged for {example.question!r}"
+                )
+
+        batch = client.distill_batch(
+            [
+                {
+                    "question": e.question,
+                    "answer": e.primary_answer,
+                    "context": e.context,
+                }
+                for e in examples[:3]
+            ]
+            + [{"question": "poisoned", "answer": "x", "context": "   "}]
+        )
+        if batch["errors"] != 1 or len(batch["results"]) != 4:
+            failures.append(f"batch error isolation failed: {batch['errors']}")
+
+        try:
+            client.distill("q", "a", "")
+            failures.append("empty context was not rejected")
+        except ServiceError as exc:
+            if exc.status != 400:
+                failures.append(f"expected 400 for empty context, got {exc.status}")
+
+        stats = client.stats()
+        for key in ("service", "scheduler", "batch", "stages", "caches"):
+            if key not in stats:
+                failures.append(f"stats missing {key!r}")
+        if stats.get("scheduler", {}).get("completed", 0) < len(examples):
+            failures.append("stats did not count served requests")
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+    if failures:
+        for failure in failures:
+            print(f"self-test FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"self-test ok: {len(served)} concurrent /distill requests "
+        "byte-identical to single-shot GCED.distill; /batch isolated the "
+        "poisoned request; /healthz and /stats healthy"
+    )
+    return 0
+
+
 def _run_dataset(args: argparse.Namespace) -> int:
     dataset = load_dataset(
         args.key, seed=args.seed, n_train=args.n_train, n_dev=args.n_dev
@@ -284,6 +444,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "distill": _run_distill,
         "batch": _run_batch,
+        "serve": _run_serve,
         "dataset": _run_dataset,
         "experiment": _run_experiment,
         "errors": _run_errors,

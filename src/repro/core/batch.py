@@ -21,6 +21,7 @@ exposed through :meth:`BatchDistiller.stats` / :meth:`profile`.
 from __future__ import annotations
 
 import operator
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -55,7 +56,7 @@ def _worker_distill(triple: Triple) -> tuple[DistillationResult, PipelineProfile
     delta = PipelineProfile()
     parent_profile, gced.profile = gced.profile, delta
     before = {
-        name: (cache.hits, cache.misses)
+        name: cache.snapshot()[:2]
         for name, cache in gced.shared_caches().items()
     }
     try:
@@ -64,12 +65,13 @@ def _worker_distill(triple: Triple) -> tuple[DistillationResult, PipelineProfile
         gced.profile = parent_profile
     for name, cache in gced.shared_caches().items():
         hits0, misses0 = before.get(name, (0, 0))
+        hits, misses, size = cache.snapshot()
         delta.record_cache(
             CacheStats(
                 name=name,
-                hits=cache.hits - hits0,
-                misses=cache.misses - misses0,
-                size=len(cache),
+                hits=hits - hits0,
+                misses=misses - misses0,
+                size=size,
             )
         )
     return result, delta
@@ -145,6 +147,9 @@ class BatchDistiller:
         self._results = LRUCache(capacity=cache_size)
         self.timer = Timer()
         self._worker_profile = PipelineProfile()
+        # Guards the run counters below: the serving scheduler may flush a
+        # batch while another thread reads stats() or distills inline.
+        self._stats_lock = threading.Lock()
         self._n_distilled = 0
         self._n_hits = 0
         self._reductions: list[float] = []
@@ -157,7 +162,8 @@ class BatchDistiller:
         key = (question, answer, context)
         cached = self._results.get(key, MISSING)
         if cached is not MISSING:
-            self._n_hits += 1
+            with self._stats_lock:
+                self._n_hits += 1
             return cached
         with self.timer.measure("distill"):
             result = self.gced.distill(question, answer, context)
@@ -166,8 +172,9 @@ class BatchDistiller:
 
     def _record(self, key: Triple, result: DistillationResult) -> None:
         self._results.put(key, result)
-        self._n_distilled += 1
-        self._reductions.append(result.reduction)
+        with self._stats_lock:
+            self._n_distilled += 1
+            self._reductions.append(result.reduction)
 
     # -------------------------------------------------------------- batch
     def distill_many(
@@ -192,7 +199,8 @@ class BatchDistiller:
                 continue
             cached = self._results.get(key, MISSING)
             if cached is not MISSING:
-                self._n_hits += 1
+                with self._stats_lock:
+                    self._n_hits += 1
                 results[idx] = cached
             else:
                 pending[key] = [idx]
@@ -204,8 +212,9 @@ class BatchDistiller:
             for key, result in zip(jobs, outcomes):
                 self._record(key, result)
                 positions = pending[key]
-                self._n_hits += len(positions) - 1
-                self._results.hits += len(positions) - 1
+                with self._stats_lock:
+                    self._n_hits += len(positions) - 1
+                self._results.record_hits(len(positions) - 1)
                 for idx in positions:
                     results[idx] = result
         return results  # type: ignore[return-value]
@@ -240,29 +249,27 @@ class BatchDistiller:
         combined = PipelineProfile()
         combined.merge(self.gced.snapshot_caches())
         combined.merge(self._worker_profile)
+        hits, misses, size = self._results.snapshot()
         combined.record_cache(
-            CacheStats(
-                name="results",
-                hits=self._results.hits,
-                misses=self._results.misses,
-                size=len(self._results),
-            )
+            CacheStats(name="results", hits=hits, misses=misses, size=size)
         )
         return combined
 
     def stats(self) -> BatchStats:
         total = self.timer.totals.get("distill", 0.0)
-        n = max(1, self._n_distilled)
+        with self._stats_lock:
+            n_distilled = self._n_distilled
+            n_hits = self._n_hits
+            reductions = list(self._reductions)
+        n = max(1, n_distilled)
         profile = self.profile()
         return BatchStats(
-            n_distilled=self._n_distilled,
-            n_cache_hits=self._n_hits,
+            n_distilled=n_distilled,
+            n_cache_hits=n_hits,
             total_seconds=total,
             mean_ms=1000.0 * total / n,
             mean_reduction=(
-                sum(self._reductions) / len(self._reductions)
-                if self._reductions
-                else 0.0
+                sum(reductions) / len(reductions) if reductions else 0.0
             ),
             cache_stats=tuple(
                 profile.caches[name] for name in sorted(profile.caches)

@@ -173,7 +173,8 @@ class GCED:
     def snapshot_caches(self) -> PipelineProfile:
         """Refresh ``profile`` with current shared-cache hit/miss counts."""
         for name, cache in self.shared_caches().items():
+            hits, misses, size = cache.snapshot()
             self.profile.record_cache(
-                CacheStats(name=name, hits=cache.hits, misses=cache.misses, size=len(cache))
+                CacheStats(name=name, hits=hits, misses=misses, size=size)
             )
         return self.profile

@@ -8,7 +8,7 @@ inventory for building the matching knowledge graph.
 
 from __future__ import annotations
 
-from repro.datasets.kb import GIVEN_NAMES, SURNAMES, KnowledgeBase
+from repro.datasets.kb import SURNAMES, KnowledgeBase
 from repro.datasets.templates import generic_noise
 from repro.datasets.types import QADataset, QAExample
 from repro.lexicon.knowledge import KnowledgeGraph

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.datasets.kb import Entity, Fact, KnowledgeBase
+from repro.datasets.kb import Fact, KnowledgeBase
 from repro.datasets.squad import SquadGenerator, _locate
 from repro.datasets.templates import (
     generic_noise,

@@ -17,6 +17,7 @@ pipeline) once per worker instead of once per task.
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import (
     Future,
     ProcessPoolExecutor,
@@ -113,17 +114,25 @@ class ParallelExecutor(Executor):
         self._initializer = initializer
         self._initargs = initargs
         self._pool: ThreadPoolExecutor | ProcessPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
 
     def _ensure_pool(self):
+        # Double-checked under a lock: concurrent first maps (e.g. two
+        # scheduler flushes racing) must not each create a pool, which
+        # would leak the loser's worker threads/processes.
         if self._pool is None:
-            pool_cls = (
-                ThreadPoolExecutor if self.backend == "thread" else ProcessPoolExecutor
-            )
-            self._pool = pool_cls(
-                max_workers=self.workers,
-                initializer=self._initializer,
-                initargs=self._initargs,
-            )
+            with self._pool_lock:
+                if self._pool is None:
+                    pool_cls = (
+                        ThreadPoolExecutor
+                        if self.backend == "thread"
+                        else ProcessPoolExecutor
+                    )
+                    self._pool = pool_cls(
+                        max_workers=self.workers,
+                        initializer=self._initializer,
+                        initargs=self._initargs,
+                    )
         return self._pool
 
     def map(
@@ -149,9 +158,10 @@ class ParallelExecutor(Executor):
         return results
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
 
 def _run_chunk(fn: Callable[[Any], Any], chunk_items: list) -> list:

@@ -26,6 +26,14 @@ class StageTiming:
     def mean_ms(self) -> float:
         return 1000.0 * self.seconds / self.calls if self.calls else 0.0
 
+    def to_dict(self) -> dict:
+        return {
+            "calls": self.calls,
+            "seconds": self.seconds,
+            "mean_ms": self.mean_ms,
+            "halts": self.halts,
+        }
+
 
 @dataclass(frozen=True)
 class CacheStats:
@@ -50,6 +58,14 @@ class CacheStats:
             f"{self.name} {100 * self.hit_rate:.0f}% "
             f"({self.hits}/{self.lookups})"
         )
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": self.size,
+            "hit_rate": self.hit_rate,
+        }
 
 
 @dataclass
@@ -111,22 +127,42 @@ class PipelineProfile:
         """Fold another profile (e.g. from a worker process) into this one.
 
         Timings and counters add; cache snapshots add hit/miss counts
-        (each worker owns its own cache instances).
+        (each worker owns its own cache instances).  ``other`` may be a
+        *live* profile another thread is still recording into (the
+        serving layer snapshots the pipeline profile mid-flush), so its
+        dicts are copied under its own lock first; the two locks are
+        never held together.
         """
+        with other._lock:
+            stages = {
+                name: StageTiming(
+                    calls=timing.calls,
+                    seconds=timing.seconds,
+                    halts=timing.halts,
+                )
+                for name, timing in other.stages.items()
+            }
+            counters = dict(other.counters)
+            caches = dict(other.caches)
         with self._lock:
-            self._merge_locked(other)
+            self._merge_locked(stages, counters, caches)
 
-    def _merge_locked(self, other: "PipelineProfile") -> None:
-        for name, timing in other.stages.items():
+    def _merge_locked(
+        self,
+        stages: dict[str, StageTiming],
+        counters: dict[str, int],
+        caches: dict[str, CacheStats],
+    ) -> None:
+        for name, timing in stages.items():
             mine = self.stages.get(name)
             if mine is None:
                 mine = self.stages[name] = StageTiming()
             mine.calls += timing.calls
             mine.seconds += timing.seconds
             mine.halts += timing.halts
-        for name, value in other.counters.items():
+        for name, value in counters.items():
             self.counters[name] = self.counters.get(name, 0) + value
-        for name, stats in other.caches.items():
+        for name, stats in caches.items():
             mine_stats = self.caches.get(name)
             if mine_stats is None:
                 self.caches[name] = stats
@@ -150,6 +186,24 @@ class PipelineProfile:
             for name in sorted(self.caches)
             if self.caches[name].lookups
         )
+
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot of everything observed, for ``/stats``."""
+        with self._lock:
+            return {
+                "stages": {
+                    name: timing.to_dict()
+                    for name, timing in self.stages.items()
+                },
+                "counters": dict(self.counters),
+                "caches": {
+                    name: self.caches[name].to_dict()
+                    for name in sorted(self.caches)
+                },
+                "total_seconds": sum(
+                    t.seconds for t in self.stages.values()
+                ),
+            }
 
     def report(self) -> str:
         """Human-readable per-stage table plus cache hit rates."""

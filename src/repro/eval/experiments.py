@@ -9,13 +9,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.batch import BatchDistiller
-from repro.core.config import GCEDConfig
 from repro.core.pipeline import GCED
 from repro.datasets.types import QAExample
 from repro.eval.context import ExperimentContext
 from repro.eval.human import RaterPanel, RatingRecord
 from repro.metrics.overlap import exact_match, f1_score
-from repro.qa.registry import SimulatedBaseline
 from repro.text.tokenizer import word_tokens
 from repro.utils.rng import rng_from
 

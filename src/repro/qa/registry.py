@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.qa.answer_types import AnswerType, candidate_spans, classify_question
+from repro.qa.answer_types import candidate_spans, classify_question
 from repro.qa.base import AnswerPrediction, QAModel, SpanScoringQA
 from repro.text.normalize import normalize_answer
 from repro.text.tokenizer import tokenize

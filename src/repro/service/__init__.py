@@ -1,0 +1,40 @@
+"""Serving layer: warm-resource request/response API over the engine.
+
+The one-shot CLI rebuilds corpora, lexicons, and parser resources on
+every invocation; this package keeps them alive in a long-lived process:
+
+* :class:`~repro.service.service.DistillService` — builds the pipeline
+  resources once and serves distillations from them;
+* :class:`~repro.service.scheduler.MicroBatchScheduler` — coalesces
+  concurrent requests into engine micro-batches (max-batch-size /
+  max-wait-ms flush policy, FIFO, per-request error isolation);
+* :mod:`~repro.service.server` — stdlib JSON-over-HTTP front end
+  (``/distill``, ``/batch``, ``/healthz``, ``/stats``);
+* :class:`~repro.service.client.ServiceClient` — matching stdlib client.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.scheduler import (
+    DistillRequest,
+    MicroBatchScheduler,
+    SchedulerStats,
+)
+from repro.service.server import (
+    DistillHTTPServer,
+    make_server,
+    start_server,
+)
+from repro.service.service import DistillService, ServiceConfig
+
+__all__ = [
+    "DistillHTTPServer",
+    "DistillRequest",
+    "DistillService",
+    "MicroBatchScheduler",
+    "SchedulerStats",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "make_server",
+    "start_server",
+]

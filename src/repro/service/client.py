@@ -1,0 +1,67 @@
+"""Tiny stdlib HTTP client for the GCED evidence service.
+
+Used by the test suite, the latency benchmark, and ``repro serve
+--self-test``; also a reference for how to talk to the service from any
+language (it is plain JSON over HTTP).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """An HTTP error response from the service, with its parsed body."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        message = payload.get("error") if isinstance(payload, dict) else None
+        super().__init__(f"HTTP {status}: {message or payload}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Blocking JSON client bound to one service base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ----------------------------------------------------------- plumbing
+    def _request(self, path: str, payload: dict | None = None) -> dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read())
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                body = {"error": exc.reason}
+            raise ServiceError(exc.code, body) from None
+
+    # ---------------------------------------------------------- endpoints
+    def healthz(self) -> dict:
+        return self._request("/healthz")
+
+    def stats(self) -> dict:
+        return self._request("/stats")
+
+    def distill(self, question: str, answer: str, context: str) -> dict:
+        return self._request(
+            "/distill",
+            {"question": question, "answer": answer, "context": context},
+        )
+
+    def distill_batch(self, items: list[dict]) -> dict:
+        return self._request("/batch", {"items": items})

@@ -1,0 +1,265 @@
+"""Async micro-batching scheduler for the serving layer.
+
+A long-lived service receives distillation requests one at a time, but
+the engine is at its best on *batches*: :class:`~repro.core.batch.BatchDistiller`
+dedupes within a batch, memoizes finished triples, groups work by context
+paragraph, and fans chunks out to the
+:class:`~repro.engine.executor.ParallelExecutor`.  The scheduler bridges
+the two worlds: callers submit single requests and get a future back;
+a background flusher thread coalesces queued requests into micro-batches
+and runs each batch through the distiller.
+
+A batch flushes when either
+
+* ``max_batch_size`` requests are queued (*size flush*), or
+* ``max_wait_ms`` has elapsed since the oldest queued request arrived
+  (*timeout flush*) — the latency bound a single straggler pays for
+  batching.
+
+Requests flush strictly in arrival order (FIFO), so no request can be
+starved by later arrivals.  Errors are isolated per request: if a batch
+fails, every request in it is retried individually and only the poisoned
+ones receive the exception.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from repro.core.batch import BatchDistiller
+from repro.core.result import DistillationResult
+
+__all__ = ["DistillRequest", "MicroBatchScheduler", "SchedulerStats"]
+
+
+@dataclass
+class DistillRequest:
+    """One queued (question, answer, context) distillation."""
+
+    question: str
+    answer: str
+    context: str
+    future: Future = field(
+        default_factory=Future, repr=False, compare=False
+    )
+    enqueued_at: float = field(
+        default_factory=time.monotonic, repr=False, compare=False
+    )
+
+    @property
+    def triple(self) -> tuple[str, str, str]:
+        return (self.question, self.answer, self.context)
+
+    def result(self, timeout: float | None = None) -> DistillationResult:
+        """Block until the batch containing this request has flushed."""
+        return self.future.result(timeout)
+
+
+@dataclass(frozen=True)
+class SchedulerStats:
+    """Counters describing the scheduler's batching behaviour so far."""
+
+    queue_depth: int
+    submitted: int
+    completed: int
+    failed: int
+    batches: int
+    size_flushes: int
+    timeout_flushes: int
+
+    @property
+    def mean_batch_size(self) -> float:
+        done = self.completed + self.failed
+        return done / self.batches if self.batches else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "queue_depth": self.queue_depth,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "batches": self.batches,
+            "size_flushes": self.size_flushes,
+            "timeout_flushes": self.timeout_flushes,
+            "mean_batch_size": self.mean_batch_size,
+        }
+
+
+class MicroBatchScheduler:
+    """Coalesces concurrent requests into engine-sized micro-batches.
+
+    Args:
+        distiller: the warm :class:`BatchDistiller` every batch runs on.
+            The scheduler owns all access to it from its flusher thread,
+            so callers never contend on the pipeline itself.
+        max_batch_size: flush as soon as this many requests are queued.
+        max_wait_ms: flush at the latest this long after the *oldest*
+            queued request arrived; ``0`` flushes immediately (no
+            batching beyond what is already queued).
+    """
+
+    def __init__(
+        self,
+        distiller: BatchDistiller,
+        max_batch_size: int = 16,
+        max_wait_ms: float = 5.0,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+        self.distiller = distiller
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self._queue: deque[DistillRequest] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._size_flushes = 0
+        self._timeout_flushes = 0
+        self.batch_sizes: list[int] = []
+        self._thread = threading.Thread(
+            target=self._run, name="gced-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------- submit
+    def submit(
+        self, question: str, answer: str, context: str
+    ) -> DistillRequest:
+        """Queue one request; returns immediately with its future."""
+        request = DistillRequest(question, answer, context)
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            self._queue.append(request)
+            self._submitted += 1
+            self._cond.notify_all()
+        return request
+
+    def submit_many(
+        self, triples: list[tuple[str, str, str]]
+    ) -> list[DistillRequest]:
+        """Queue several triples atomically, preserving their order."""
+        requests = [DistillRequest(*triple) for triple in triples]
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            self._queue.extend(requests)
+            self._submitted += len(requests)
+            self._cond.notify_all()
+        return requests
+
+    def distill(
+        self,
+        question: str,
+        answer: str,
+        context: str,
+        timeout: float | None = None,
+    ) -> DistillationResult:
+        """Submit one request and block for its result."""
+        return self.submit(question, answer, context).result(timeout)
+
+    @property
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    # -------------------------------------------------------------- flush
+    def _run(self) -> None:
+        while True:
+            batch, reason = self._next_batch()
+            if batch is None:
+                return
+            if batch:
+                self._flush(batch, reason)
+
+    def _next_batch(
+        self,
+    ) -> tuple[list[DistillRequest] | None, str]:
+        """Block until a batch is due; ``(None, ...)`` means shut down."""
+        with self._cond:
+            while not self._queue:
+                if self._closed:
+                    return None, "closed"
+                self._cond.wait()
+            deadline = self._queue[0].enqueued_at + self.max_wait_ms / 1000.0
+            reason = "timeout"
+            while len(self._queue) < self.max_batch_size and not self._closed:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(timeout=remaining)
+            if len(self._queue) >= self.max_batch_size:
+                reason = "size"
+            batch = [
+                self._queue.popleft()
+                for _ in range(min(len(self._queue), self.max_batch_size))
+            ]
+            return batch, reason
+
+    def _flush(self, batch: list[DistillRequest], reason: str) -> None:
+        try:
+            results = self.distiller.distill_many(
+                [request.triple for request in batch]
+            )
+        except Exception:
+            # Error isolation: re-run the batch one request at a time so a
+            # single poisoned triple cannot fail its batch-mates.
+            results = None
+        completed = failed = 0
+        if results is not None:
+            for request, result in zip(batch, results):
+                request.future.set_result(result)
+                completed += 1
+        else:
+            for request in batch:
+                try:
+                    result = self.distiller.distill_one(*request.triple)
+                except Exception as exc:
+                    request.future.set_exception(exc)
+                    failed += 1
+                else:
+                    request.future.set_result(result)
+                    completed += 1
+        with self._cond:
+            self._completed += completed
+            self._failed += failed
+            self.batch_sizes.append(len(batch))
+            if reason == "size":
+                self._size_flushes += 1
+            else:
+                self._timeout_flushes += 1
+
+    # ------------------------------------------------------ observability
+    def stats(self) -> SchedulerStats:
+        with self._cond:
+            return SchedulerStats(
+                queue_depth=len(self._queue),
+                submitted=self._submitted,
+                completed=self._completed,
+                failed=self._failed,
+                batches=len(self.batch_sizes),
+                size_flushes=self._size_flushes,
+                timeout_flushes=self._timeout_flushes,
+            )
+
+    # ------------------------------------------------------------ closing
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Stop accepting requests, drain the queue, and join the thread."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "MicroBatchScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,180 @@
+"""Stdlib JSON-over-HTTP front end for :class:`DistillService`.
+
+No framework, no new runtime dependency: a
+:class:`http.server.ThreadingHTTPServer` where each connection gets a
+handler thread that parses JSON, submits to the service's micro-batching
+scheduler, and blocks for its future.  Concurrent connections therefore
+coalesce into engine batches automatically — the server threads are the
+producers the scheduler was built for.
+
+Endpoints:
+
+* ``POST /distill`` — body ``{"question", "answer", "context"}``;
+  responds with the serialized distillation (see
+  :func:`repro.core.serialize.result_to_dict`).
+* ``POST /batch`` — body ``{"items": [{...}, ...]}``; responds with
+  ``{"results": [...], "errors": n}``, errors isolated per item.
+* ``GET /healthz`` — liveness probe.
+* ``GET /stats`` — per-stage timings, queue depth, cache hit rates.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import urlsplit
+
+from repro.service.service import DistillService
+
+__all__ = ["DistillHTTPServer", "make_server", "start_server"]
+
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class DistillHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the service for its handlers."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: DistillService,
+        quiet: bool = False,
+    ) -> None:
+        super().__init__(address, _DistillHandler)
+        self.service = service
+        self.quiet = quiet
+
+
+class _DistillHandler(BaseHTTPRequestHandler):
+    server: DistillHTTPServer
+
+    # Keep-alive lets benchmark clients reuse connections; every response
+    # sets Content-Length so this is safe.
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> DistillService:
+        return self.server.service
+
+    # ------------------------------------------------------------ routing
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = urlsplit(self.path).path
+        if path == "/healthz":
+            self._send_json(200, self.service.healthz())
+        elif path == "/stats":
+            self._send_json(200, self.service.stats())
+        else:
+            self._send_json(404, {"error": f"unknown path {path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = urlsplit(self.path).path
+        payload = self._read_json()
+        if payload is None:
+            return
+        try:
+            if path == "/distill":
+                self._handle_distill(payload)
+            elif path == "/batch":
+                self._handle_batch(payload)
+            else:
+                self._send_json(404, {"error": f"unknown path {path!r}"})
+        except ValueError as exc:
+            # Invalid inputs (e.g. empty context) are the client's fault.
+            self._send_json(400, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    # ----------------------------------------------------------- handlers
+    def _handle_distill(self, payload: dict) -> None:
+        missing = [
+            key
+            for key in ("question", "answer", "context")
+            if not isinstance(payload.get(key), str)
+        ]
+        if missing:
+            self._send_json(
+                400,
+                {"error": f"missing string field(s): {', '.join(missing)}"},
+            )
+            return
+        self._send_json(
+            200,
+            self.service.distill_dict(
+                payload["question"], payload["answer"], payload["context"]
+            ),
+        )
+
+    def _handle_batch(self, payload: dict) -> None:
+        items = payload.get("items")
+        if not isinstance(items, list) or not all(
+            isinstance(item, dict) for item in items
+        ):
+            self._send_json(400, {"error": "'items' must be a list of objects"})
+            return
+        self._send_json(200, self.service.distill_batch_dicts(items))
+
+    # ---------------------------------------------------------- plumbing
+    def _read_json(self) -> dict | None:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0 or length > MAX_BODY_BYTES:
+            # The body is never read, so the keep-alive stream would be
+            # desynchronized — drop the connection with the error.
+            self.close_connection = True
+            self._send_json(400, {"error": "missing or oversized body"})
+            return None
+        try:
+            payload = json.loads(self.rfile.read(length))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self._send_json(400, {"error": "body is not valid JSON"})
+            return None
+        if not isinstance(payload, dict):
+            self._send_json(400, {"error": "body must be a JSON object"})
+            return None
+        return payload
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+
+def make_server(
+    service: DistillService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    quiet: bool = False,
+) -> DistillHTTPServer:
+    """Bind (but do not start) the HTTP server for ``service``."""
+    return DistillHTTPServer((host, port), service, quiet=quiet)
+
+
+def start_server(
+    service: DistillService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+) -> tuple[DistillHTTPServer, threading.Thread]:
+    """Bind and serve on a background thread (port 0 = ephemeral).
+
+    Used by tests, benchmarks, and ``repro serve --self-test``; call
+    ``server.shutdown()`` then ``server.server_close()`` when done.
+    """
+    server = make_server(service, host, port, quiet=quiet)
+    thread = threading.Thread(
+        target=server.serve_forever, name="gced-http", daemon=True
+    )
+    thread.start()
+    return server, thread

@@ -1,0 +1,287 @@
+"""The long-lived serving facade: warm resources + micro-batching.
+
+Every one-shot ``repro`` command pays the full startup cost — dataset or
+corpus loading, :class:`~repro.qa.training.QATrainer` fitting, baseline
+construction — before distilling a single triple.  A
+:class:`DistillService` pays it exactly once: the trained artifacts, the
+:class:`~repro.core.pipeline.GCED` pipeline (and therefore its
+:class:`~repro.engine.stage.PipelineResources` bundle with the shared
+parser/scorer caches), the memoizing
+:class:`~repro.core.batch.BatchDistiller`, and the
+:class:`~repro.service.scheduler.MicroBatchScheduler` all stay warm for
+the lifetime of the process, amortized across every request served.
+
+Concurrency model: any number of threads may call :meth:`distill` /
+:meth:`distill_batch` concurrently (the HTTP front end does exactly
+that); all pipeline execution is funnelled through the scheduler's single
+flusher thread onto the engine executor, so the pipeline itself is never
+re-entered from two caller threads.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import Sequence
+
+from repro.core.batch import BatchDistiller
+from repro.core.pipeline import GCED, DistillationResult
+from repro.core.serialize import result_to_dict
+from repro.service.scheduler import DistillRequest, MicroBatchScheduler
+
+__all__ = ["DistillService", "ServiceConfig"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Startup configuration for a dataset-backed :class:`DistillService`.
+
+    Attributes:
+        dataset: synthetic dataset key the corpus is drawn from.
+        seed / n_train / n_dev: dataset generation parameters.
+        workers: engine executor pool size (1 = serial flushes).
+        backend: ``"thread"`` or ``"process"`` executor backend.
+        cache_size: memoized finished results kept by the distiller.
+        max_batch_size / max_wait_ms: micro-batching flush policy.
+    """
+
+    dataset: str = "squad11"
+    seed: int = 0
+    n_train: int = 100
+    n_dev: int = 60
+    workers: int = 1
+    backend: str = "thread"
+    cache_size: int = 4096
+    max_batch_size: int = 16
+    max_wait_ms: float = 5.0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+class DistillService:
+    """Serves GCED distillations from warm, request-shared resources.
+
+    Build one with :meth:`build` (from a synthetic dataset key) or
+    :meth:`from_corpus` (from raw context paragraphs), or pass a
+    pre-configured :class:`GCED` directly.
+    """
+
+    def __init__(
+        self,
+        gced: GCED,
+        *,
+        workers: int = 1,
+        backend: str = "thread",
+        cache_size: int = 4096,
+        max_batch_size: int = 16,
+        max_wait_ms: float = 5.0,
+        corpus_info: str = "custom",
+        config: ServiceConfig | None = None,
+    ) -> None:
+        self.gced = gced
+        self.corpus_info = corpus_info
+        # Only the serving knobs are authoritative here; dataset-shape
+        # fields (seed, n_train, n_dev) are honest solely when a full
+        # config travels in from build()/from_corpus().
+        self.config = config or ServiceConfig(
+            dataset=corpus_info,
+            seed=-1,
+            n_train=0,
+            n_dev=0,
+            workers=workers,
+            backend=backend,
+            cache_size=cache_size,
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+        )
+        self.distiller = BatchDistiller(
+            gced, cache_size=cache_size, workers=workers, backend=backend
+        )
+        self.scheduler = MicroBatchScheduler(
+            self.distiller,
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+        )
+        self.dataset = None  # set by build()
+        self._started = time.monotonic()
+
+    # ------------------------------------------------------- construction
+    @classmethod
+    def build(cls, config: ServiceConfig | None = None) -> "DistillService":
+        """Train artifacts on a synthetic dataset and wire the service."""
+        from repro.datasets.loader import load_dataset
+        from repro.qa.training import QATrainer
+
+        config = config or ServiceConfig()
+        dataset = load_dataset(
+            config.dataset,
+            seed=config.seed,
+            n_train=config.n_train,
+            n_dev=config.n_dev,
+        )
+        artifacts = QATrainer(seed=config.seed).train(dataset.contexts())
+        gced = GCED(qa_model=artifacts.reader, artifacts=artifacts)
+        service = cls(
+            gced,
+            workers=config.workers,
+            backend=config.backend,
+            cache_size=config.cache_size,
+            max_batch_size=config.max_batch_size,
+            max_wait_ms=config.max_wait_ms,
+            corpus_info=config.dataset,
+            config=config,
+        )
+        service.dataset = dataset
+        return service
+
+    @classmethod
+    def from_corpus(
+        cls,
+        corpus: Sequence[str],
+        *,
+        seed: int = 0,
+        corpus_info: str = "corpus",
+        **kwargs,
+    ) -> "DistillService":
+        """Train artifacts on raw context paragraphs and wire the service."""
+        from repro.qa.training import QATrainer
+
+        corpus = list(corpus)
+        artifacts = QATrainer(seed=seed).train(corpus)
+        gced = GCED(qa_model=artifacts.reader, artifacts=artifacts)
+        config = ServiceConfig(
+            dataset=corpus_info,
+            seed=seed,
+            n_train=len(corpus),
+            n_dev=0,
+            **{
+                key: kwargs[key]
+                for key in (
+                    "workers",
+                    "backend",
+                    "cache_size",
+                    "max_batch_size",
+                    "max_wait_ms",
+                )
+                if key in kwargs
+            },
+        )
+        return cls(gced, corpus_info=corpus_info, config=config, **kwargs)
+
+    # ------------------------------------------------------------ serving
+    def distill(
+        self,
+        question: str,
+        answer: str,
+        context: str,
+        timeout: float | None = None,
+    ) -> DistillationResult:
+        """Distill one triple through the micro-batching scheduler."""
+        return self.scheduler.distill(question, answer, context, timeout)
+
+    def distill_dict(
+        self, question: str, answer: str, context: str
+    ) -> dict:
+        """JSON-safe single distillation, as served by ``/distill``."""
+        result = self.distill(question, answer, context)
+        return result_to_dict(result, question, answer)
+
+    def submit(
+        self, question: str, answer: str, context: str
+    ) -> DistillRequest:
+        """Fire-and-forget submission; returns the pending request."""
+        return self.scheduler.submit(question, answer, context)
+
+    def distill_batch(
+        self,
+        triples: list[tuple[str, str, str]],
+        timeout: float | None = None,
+    ) -> list[DistillationResult | Exception]:
+        """Distill many triples; failures come back per-item, not raised.
+
+        The returned list is aligned with ``triples``; a poisoned triple
+        yields its exception object while its batch-mates still yield
+        results (the scheduler's error-isolation contract).
+        """
+        requests = self.scheduler.submit_many(triples)
+        outcomes: list[DistillationResult | Exception] = []
+        for request in requests:
+            try:
+                outcomes.append(request.result(timeout))
+            except Exception as exc:
+                outcomes.append(exc)
+        return outcomes
+
+    def distill_batch_dicts(
+        self, items: list[dict], timeout: float | None = None
+    ) -> dict:
+        """JSON-safe batch distillation, as served by ``/batch``."""
+        triples = [
+            (
+                str(item.get("question", "")),
+                str(item.get("answer", "")),
+                str(item.get("context", "")),
+            )
+            for item in items
+        ]
+        outcomes = self.distill_batch(triples, timeout)
+        results = []
+        errors = 0
+        for (question, answer, _context), outcome in zip(triples, outcomes):
+            if isinstance(outcome, Exception):
+                errors += 1
+                results.append({"error": str(outcome) or type(outcome).__name__})
+            else:
+                results.append(result_to_dict(outcome, question, answer))
+        return {"results": results, "errors": errors}
+
+    # ------------------------------------------------------ observability
+    @property
+    def uptime_seconds(self) -> float:
+        return time.monotonic() - self._started
+
+    def healthz(self) -> dict:
+        return {"status": "ok", "uptime_seconds": self.uptime_seconds}
+
+    def stats(self) -> dict:
+        """Everything ``/stats`` reports: config, queue, timings, caches.
+
+        ``stages`` carries the per-stage wall-clock the engine's
+        :class:`~repro.engine.instrumentation.PipelineProfile` collected;
+        ``caches`` the hit rates of the shared parser/scorer caches plus
+        the distiller's ``results`` memo; ``scheduler`` the micro-batching
+        counters including the live queue depth.
+        """
+        batch_stats = self.distiller.stats()
+        profile = batch_stats.profile.to_dict()
+        return {
+            "service": {
+                "corpus": self.corpus_info,
+                "uptime_seconds": self.uptime_seconds,
+                "config": self.config.to_dict(),
+            },
+            "scheduler": self.scheduler.stats().to_dict(),
+            "batch": {
+                "n_distilled": batch_stats.n_distilled,
+                "n_cache_hits": batch_stats.n_cache_hits,
+                "total_seconds": batch_stats.total_seconds,
+                "mean_ms": batch_stats.mean_ms,
+                "mean_reduction": batch_stats.mean_reduction,
+            },
+            "stages": profile["stages"],
+            "counters": profile["counters"],
+            "caches": profile["caches"],
+        }
+
+    # ------------------------------------------------------------ closing
+    def close(self) -> None:
+        """Drain the scheduler and shut the executor pool down."""
+        self.scheduler.close()
+        self.distiller.close()
+
+    def __enter__(self) -> "DistillService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -73,10 +73,12 @@ class LRUCache:
         self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Return the cached value, refreshing its recency, or ``default``.
@@ -101,6 +103,22 @@ class LRUCache:
             self._data[key] = value
             if len(self._data) > self.capacity:
                 self._data.popitem(last=False)
+
+    def record_hits(self, n: int = 1) -> None:
+        """Credit ``n`` hits that were served without a :meth:`get` lookup.
+
+        Batch deduplication resolves several logical lookups with one
+        physical distillation; callers credit the extra occurrences here
+        instead of mutating ``hits`` directly (which would race with the
+        lock-guarded counter updates in :meth:`get`).
+        """
+        with self._lock:
+            self.hits += n
+
+    def snapshot(self) -> tuple[int, int, int]:
+        """A consistent ``(hits, misses, size)`` triple under the lock."""
+        with self._lock:
+            return self.hits, self.misses, len(self._data)
 
     def clear(self) -> None:
         with self._lock:

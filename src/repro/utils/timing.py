@@ -1,7 +1,13 @@
-"""Lightweight wall-clock timing for the experiment harness."""
+"""Lightweight wall-clock timing for the experiment harness.
+
+Accumulators are lock-guarded and the in-flight measurement state is
+thread-local, so one :class:`Timer` can be shared by the serving layer's
+scheduler thread and any callers reading :attr:`totals` concurrently.
+"""
 
 from __future__ import annotations
 
+import threading
 import time
 
 __all__ = ["Timer"]
@@ -20,23 +26,24 @@ class Timer:
     def __init__(self) -> None:
         self.totals: dict[str, float] = {}
         self.counts: dict[str, int] = {}
-        self._label: str | None = None
-        self._start = 0.0
+        self._lock = threading.Lock()
+        self._local = threading.local()
 
     def measure(self, label: str) -> "Timer":
-        self._label = label
+        self._local.label = label
         return self
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        self._local.start = time.perf_counter()
         return self
 
     def __exit__(self, *exc_info) -> None:
-        elapsed = time.perf_counter() - self._start
-        label = self._label or "unlabeled"
-        self.totals[label] = self.totals.get(label, 0.0) + elapsed
-        self.counts[label] = self.counts.get(label, 0) + 1
-        self._label = None
+        elapsed = time.perf_counter() - getattr(self._local, "start", 0.0)
+        label = getattr(self._local, "label", None) or "unlabeled"
+        with self._lock:
+            self.totals[label] = self.totals.get(label, 0.0) + elapsed
+            self.counts[label] = self.counts.get(label, 0) + 1
+        self._local.label = None
 
     def mean(self, label: str) -> float:
         """Mean duration of a label, or 0.0 if it was never measured."""

@@ -10,7 +10,7 @@ from repro.core import (
     WeightedTreeConstructor,
 )
 from repro.core.oec import OptimalEvidenceDistiller
-from repro.metrics.hybrid import HybridScorer, HybridWeights
+from repro.metrics.hybrid import HybridScorer
 from repro.metrics.informativeness import InformativenessScorer
 from repro.metrics.readability import ReadabilityScorer
 from repro.parsing import SyntacticParser

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import GCED, GCEDConfig, QATrainer
+from repro import GCED, QATrainer
 from repro.eval import (
     ExperimentContext,
     ablation_table,
@@ -13,7 +13,6 @@ from repro.eval import (
     reduction_statistics,
 )
 from repro.metrics import f1_score
-from repro.text.tokenizer import word_tokens
 
 
 @pytest.fixture(scope="module")

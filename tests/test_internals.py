@@ -2,7 +2,6 @@
 closure, OEC tie-breaking and budgets, calibration saturation, rater
 discards."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import GCEDConfig

@@ -5,7 +5,6 @@ import json
 import pytest
 
 from repro.cli import build_parser, main
-from repro.datasets import load_dataset
 from repro.datasets.io import (
     from_squad_json,
     load_dataset_json,

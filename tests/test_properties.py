@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) on core invariants."""
 
-import math
 
 from hypothesis import given, settings, strategies as st
 

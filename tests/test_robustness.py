@@ -1,7 +1,6 @@
 """Robustness / failure-injection tests: the pipeline never crashes on
 degenerate or adversarial inputs."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.text.tokenizer import tokenize

@@ -1,0 +1,327 @@
+"""Serving layer: micro-batching scheduler, DistillService, HTTP server.
+
+Scheduler unit tests run against a stub distiller so flush policy,
+ordering, and error isolation are observable without pipeline noise; the
+equivalence and HTTP tests run the real pipeline from the shared
+conftest artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import GCED
+from repro.core.batch import BatchDistiller
+from repro.core.serialize import result_to_dict
+from repro.service import (
+    DistillService,
+    MicroBatchScheduler,
+    ServiceClient,
+    ServiceError,
+    start_server,
+)
+from tests.conftest import QA_CASES
+
+POISON = "__poison__"
+
+
+class StubDistiller:
+    """Distiller double: records batches, fails on poisoned contexts."""
+
+    def __init__(self, batch_delay: float = 0.0) -> None:
+        self.batches: list[list[tuple[str, str, str]]] = []
+        self.batch_delay = batch_delay
+        self._lock = threading.Lock()
+
+    def _one(self, triple):
+        if triple[2] == POISON:
+            raise ValueError(f"poisoned triple {triple[0]!r}")
+        return ("evidence-for",) + triple
+
+    def distill_many(self, triples):
+        with self._lock:
+            self.batches.append(list(triples))
+        if self.batch_delay:
+            time.sleep(self.batch_delay)
+        return [self._one(t) for t in triples]
+
+    def distill_one(self, question, answer, context):
+        return self._one((question, answer, context))
+
+
+class TestMicroBatchScheduler:
+    def test_flush_on_max_batch(self):
+        stub = StubDistiller()
+        with MicroBatchScheduler(
+            stub, max_batch_size=3, max_wait_ms=10_000
+        ) as sched:
+            requests = [sched.submit(f"q{i}", "a", f"c{i}") for i in range(3)]
+            results = [r.result(timeout=5) for r in requests]
+        assert results == [("evidence-for", f"q{i}", "a", f"c{i}") for i in range(3)]
+        stats = sched.stats()
+        assert stats.batches == 1
+        assert stats.size_flushes == 1
+        assert stats.timeout_flushes == 0
+        assert sched.batch_sizes == [3]
+
+    def test_flush_on_timeout(self):
+        stub = StubDistiller()
+        with MicroBatchScheduler(
+            stub, max_batch_size=8, max_wait_ms=40
+        ) as sched:
+            requests = sched.submit_many(
+                [("q0", "a", "c0"), ("q1", "a", "c1")]
+            )
+            for request in requests:
+                request.result(timeout=5)
+            stats = sched.stats()
+        # The batch never filled; only the max-wait deadline flushed it.
+        assert stats.batches == 1
+        assert stats.timeout_flushes == 1
+        assert stats.size_flushes == 0
+        assert sched.batch_sizes == [2]
+
+    def test_immediate_flush_when_wait_zero(self):
+        stub = StubDistiller()
+        with MicroBatchScheduler(
+            stub, max_batch_size=8, max_wait_ms=0
+        ) as sched:
+            assert sched.distill("q", "a", "c", timeout=5) == (
+                "evidence-for",
+                "q",
+                "a",
+                "c",
+            )
+
+    def test_fifo_ordering_and_batch_cap(self):
+        stub = StubDistiller(batch_delay=0.03)
+        with MicroBatchScheduler(
+            stub, max_batch_size=2, max_wait_ms=1
+        ) as sched:
+            triples = [(f"q{i}", "a", f"c{i}") for i in range(7)]
+            requests = sched.submit_many(triples)
+            results = [r.result(timeout=10) for r in requests]
+        # Each request got its own (not a batch-mate's) result.
+        assert results == [("evidence-for",) + t for t in triples]
+        # No batch exceeded the cap, and the flush sequence preserved
+        # arrival order (FIFO fairness: nothing jumped the queue).
+        assert all(len(batch) <= 2 for batch in stub.batches)
+        flattened = [t for batch in stub.batches for t in batch]
+        assert flattened == triples
+
+    def test_error_isolation_within_batch(self):
+        stub = StubDistiller()
+        with MicroBatchScheduler(
+            stub, max_batch_size=3, max_wait_ms=10_000
+        ) as sched:
+            good1, poisoned, good2 = sched.submit_many(
+                [("q0", "a", "c0"), ("q1", "a", POISON), ("q2", "a", "c2")]
+            )
+            assert good1.result(timeout=5)[1] == "q0"
+            assert good2.result(timeout=5)[1] == "q2"
+            with pytest.raises(ValueError, match="poisoned"):
+                poisoned.result(timeout=5)
+            stats = sched.stats()
+        assert stats.completed == 2
+        assert stats.failed == 1
+
+    def test_close_drains_pending_queue(self):
+        stub = StubDistiller()
+        sched = MicroBatchScheduler(stub, max_batch_size=64, max_wait_ms=60_000)
+        requests = sched.submit_many([(f"q{i}", "a", "c") for i in range(5)])
+        sched.close()
+        # Despite the 60s max-wait, close() flushed everything queued.
+        assert [r.result(timeout=1)[1] for r in requests] == [
+            f"q{i}" for i in range(5)
+        ]
+        with pytest.raises(RuntimeError, match="closed"):
+            sched.submit("q", "a", "c")
+
+    def test_rejects_bad_policy(self):
+        stub = StubDistiller()
+        with pytest.raises(ValueError):
+            MicroBatchScheduler(stub, max_batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatchScheduler(stub, max_wait_ms=-1)
+
+
+class TestServedEquivalence:
+    def test_served_results_byte_identical_to_single_shot(self, artifacts):
+        direct_gced = GCED(qa_model=artifacts.reader, artifacts=artifacts)
+        direct = {
+            case[0]: json.dumps(
+                result_to_dict(direct_gced.distill(*case), case[0], case[1]),
+                sort_keys=True,
+            )
+            for case in QA_CASES
+        }
+        served_gced = GCED(qa_model=artifacts.reader, artifacts=artifacts)
+        with DistillService(
+            served_gced, max_batch_size=4, max_wait_ms=10
+        ) as service:
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                served = list(
+                    pool.map(lambda c: (c, service.distill(*c)), QA_CASES)
+                )
+        for case, result in served:
+            payload = json.dumps(
+                result_to_dict(result, case[0], case[1]), sort_keys=True
+            )
+            assert payload == direct[case[0]]
+
+    def test_distill_batch_isolates_poisoned_triple(self, artifacts):
+        gced = GCED(qa_model=artifacts.reader, artifacts=artifacts)
+        with DistillService(gced, max_batch_size=4, max_wait_ms=5) as service:
+            outcomes = service.distill_batch(
+                [QA_CASES[0], ("q", "a", "   "), QA_CASES[1]]
+            )
+        assert outcomes[0].evidence
+        assert isinstance(outcomes[1], ValueError)
+        assert outcomes[2].evidence
+
+    def test_batch_distiller_counters_consistent_under_concurrent_flushes(
+        self, artifacts
+    ):
+        gced = GCED(qa_model=artifacts.reader, artifacts=artifacts)
+        distiller = BatchDistiller(gced)
+        n_threads, rounds = 4, 3
+
+        def hammer(_seed: int) -> int:
+            total = 0
+            for _ in range(rounds):
+                results = distiller.distill_many(QA_CASES)
+                assert all(r is not None for r in results)
+                total += len(QA_CASES)
+            return total
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            submitted = sum(pool.map(hammer, range(n_threads)))
+        stats = distiller.stats()
+        # Every request was either distilled-and-recorded or a memo hit;
+        # under racy counters this bookkeeping identity is what breaks.
+        assert stats.n_distilled + stats.n_cache_hits == submitted
+        assert stats.n_distilled >= len(QA_CASES)
+
+
+@pytest.fixture(scope="module")
+def served(artifacts):
+    gced = GCED(qa_model=artifacts.reader, artifacts=artifacts)
+    service = DistillService(gced, max_batch_size=4, max_wait_ms=10)
+    server, _thread = start_server(service, quiet=True)
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}")
+    yield service, client
+    server.shutdown()
+    server.server_close()
+    service.close()
+
+
+class TestHTTPServer:
+    def test_healthz(self, served):
+        _service, client = served
+        payload = client.healthz()
+        assert payload["status"] == "ok"
+        assert payload["uptime_seconds"] >= 0
+
+    def test_distill_round_trip(self, served, artifacts):
+        service, client = served
+        question, answer, context = QA_CASES[0]
+        payload = client.distill(question, answer, context)
+        direct = GCED(
+            qa_model=artifacts.reader, artifacts=artifacts
+        ).distill(question, answer, context)
+        assert payload["evidence"] == direct.evidence
+        assert payload["question"] == question
+        assert payload["scores"]["hybrid"] == pytest.approx(
+            direct.scores.hybrid
+        )
+
+    def test_concurrent_distills_all_answered(self, served):
+        _service, client = served
+        cases = [QA_CASES[i % len(QA_CASES)] for i in range(8)]
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            payloads = list(pool.map(lambda c: client.distill(*c), cases))
+        assert len(payloads) == 8
+        for (question, _answer, _context), payload in zip(cases, payloads):
+            assert payload["question"] == question
+
+    def test_batch_endpoint_isolates_errors(self, served):
+        _service, client = served
+        question, answer, context = QA_CASES[2]
+        payload = client.distill_batch(
+            [
+                {"question": question, "answer": answer, "context": context},
+                {"question": "poisoned", "answer": "x", "context": "  "},
+            ]
+        )
+        assert payload["errors"] == 1
+        assert payload["results"][0]["evidence"]
+        assert "error" in payload["results"][1]
+
+    def test_stats_reports_timings_queue_and_cache_rates(self, served):
+        service, client = served
+        client.distill(*QA_CASES[3])
+        stats = client.stats()
+        assert stats["service"]["config"]["max_batch_size"] == 4
+        assert stats["scheduler"]["completed"] >= 1
+        assert "queue_depth" in stats["scheduler"]
+        assert stats["batch"]["n_distilled"] >= 1
+        assert stats["stages"], "per-stage timings missing"
+        for timing in stats["stages"].values():
+            assert timing["calls"] >= 1
+            assert timing["seconds"] >= 0
+        assert "results" in stats["caches"]
+        for cache in stats["caches"].values():
+            assert 0.0 <= cache["hit_rate"] <= 1.0
+        # The in-process view and the HTTP view agree on request counts.
+        assert service.stats()["scheduler"]["submitted"] >= stats[
+            "scheduler"
+        ]["submitted"]
+
+    def test_stats_concurrent_with_distills_never_errors(self, served):
+        # Regression: /stats snapshots the live pipeline profile while
+        # the flusher mutates it; merge() must not iterate live dicts.
+        _service, client = served
+        cases = [QA_CASES[i % len(QA_CASES)] for i in range(12)]
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            distills = [pool.submit(client.distill, *case) for case in cases]
+            stats_calls = [pool.submit(client.stats) for _ in range(12)]
+            for future in distills + stats_calls:
+                future.result(timeout=60)
+
+    def test_rejects_empty_context_with_400(self, served):
+        _service, client = served
+        with pytest.raises(ServiceError) as excinfo:
+            client.distill("q", "a", "   ")
+        assert excinfo.value.status == 400
+
+    def test_rejects_missing_fields_with_400(self, served):
+        _service, client = served
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("/distill", {"question": "q"})
+        assert excinfo.value.status == 400
+        assert "answer" in str(excinfo.value)
+
+    def test_unknown_path_404(self, served):
+        _service, client = served
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("/nope")
+        assert excinfo.value.status == 404
+
+    def test_invalid_json_body_400(self, served):
+        _service, client = served
+        request = urllib.request.Request(
+            f"{client.base_url}/distill",
+            data=b"not-json{",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400

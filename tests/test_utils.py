@@ -1,5 +1,6 @@
 """Unit tests for utilities: rng, cache, timing."""
 
+import threading
 import time
 
 import pytest
@@ -64,6 +65,79 @@ class TestLRUCache:
         cache.put("a", 1)
         cache.clear()
         assert len(cache) == 0
+
+    def test_record_hits_and_snapshot(self):
+        cache = LRUCache(capacity=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        cache.record_hits(3)
+        assert cache.snapshot() == (4, 1, 1)
+
+
+class TestLRUCacheConcurrency:
+    """The scheduler's concurrent flushes hammer one shared cache."""
+
+    N_THREADS = 8
+    OPS = 3000
+
+    def test_stress_from_8_threads(self):
+        cache = LRUCache(capacity=64)
+        barrier = threading.Barrier(self.N_THREADS)
+        gets_done = [0] * self.N_THREADS
+        errors: list[BaseException] = []
+
+        def worker(tid: int) -> None:
+            try:
+                barrier.wait()
+                for i in range(self.OPS):
+                    key = (tid * 7 + i * 13) % 200
+                    if i % 3 == 0:
+                        cache.put(key, (tid, i))
+                    else:
+                        cache.get(key)
+                        gets_done[tid] += 1
+                    if i % 17 == 0:
+                        assert len(cache) <= 64
+                        key in cache  # noqa: B015 - exercises locked path
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(tid,))
+            for tid in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors, errors
+        # Eviction never overshoots the capacity bound.
+        assert len(cache) <= 64
+        # Counter bookkeeping survived: every get() recorded exactly one
+        # hit or miss, with no lost updates.
+        hits, misses, size = cache.snapshot()
+        assert hits + misses == sum(gets_done)
+        assert size == len(cache)
+
+    def test_record_hits_concurrent_credits_are_not_lost(self):
+        cache = LRUCache(capacity=8)
+        per_thread, n_threads = 250, 8
+        barrier = threading.Barrier(n_threads)
+
+        def credit() -> None:
+            barrier.wait()
+            for _ in range(per_thread):
+                cache.record_hits(1)
+
+        threads = [
+            threading.Thread(target=credit) for _ in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert cache.hits == per_thread * n_threads
 
 
 class TestMemoizeMethod:
