@@ -28,7 +28,14 @@ import pathlib
 import sys
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
-SOURCE_FILES = ("batch_throughput.json", "service_latency.json")
+SOURCE_FILES = (
+    "batch_throughput.json",
+    "service_latency.json",
+    "retrieval.json",
+)
+# Context-only payload keys carried into the artifact, keyed by source so
+# two benchmarks reporting latencies never clobber each other.
+CONTEXT_KEYS = ("latency_ms", "query_latency_ms")
 
 
 def collect_metrics(results_dir: pathlib.Path) -> tuple[dict, list[str]]:
@@ -42,8 +49,11 @@ def collect_metrics(results_dir: pathlib.Path) -> tuple[dict, list[str]]:
             continue
         payload = json.loads(path.read_text())
         metrics.update(payload.get("metrics", {}))
-        if "latency_ms" in payload:
-            extras["latency_ms"] = payload["latency_ms"]
+        for key in CONTEXT_KEYS:
+            if key in payload:
+                extras.setdefault(key, {})[filename.removesuffix(".json")] = (
+                    payload[key]
+                )
         sources.append(filename)
     return {"metrics": metrics, **extras}, sources
 

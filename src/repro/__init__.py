@@ -21,6 +21,8 @@ from repro.core import (
     DistillationResult,
     BatchDistiller,
     BatchStats,
+    OpenContextDistiller,
+    open_context_plan,
     stage_plan,
 )
 from repro.engine import (
@@ -46,6 +48,7 @@ from repro.qa import (
     TRIVIAQA_BASELINES,
     build_baseline,
 )
+from repro.retrieval import CorpusRetriever
 from repro.service import (
     DistillService,
     MicroBatchScheduler,
@@ -61,6 +64,9 @@ __all__ = [
     "DistillationResult",
     "BatchDistiller",
     "BatchStats",
+    "CorpusRetriever",
+    "OpenContextDistiller",
+    "open_context_plan",
     "stage_plan",
     "ParallelExecutor",
     "PipelineProfile",

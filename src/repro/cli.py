@@ -4,6 +4,9 @@ Commands:
 
 * ``distill`` — distill evidence for one QA pair over a corpus file.
 * ``batch`` — distill a whole dataset split on the engine executor.
+* ``index`` — build and persist a sharded corpus retrieval index.
+* ``ask`` — open-context distillation: retrieve top-k paragraphs from a
+  persisted index, distill each, rank by hybrid evidence score.
 * ``serve`` — run the long-lived evidence service (JSON over HTTP).
 * ``dataset`` — generate a synthetic dataset and write SQuAD-schema JSON.
 * ``experiment`` — run one of the paper's experiments and print the table.
@@ -36,6 +39,8 @@ from repro.eval import (
 from repro.eval.error_analysis import CATEGORY_DESCRIPTIONS, analyze_errors
 
 __all__ = ["main", "build_parser"]
+
+DEFAULT_INDEX_PATH = pathlib.Path("gced_index.json")
 
 _EXPERIMENTS = (
     "table2",
@@ -104,6 +109,73 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         type=pathlib.Path,
         help="write distilled evidences as JSONL to this path",
+    )
+
+    p_index = sub.add_parser(
+        "index", help="build and persist a sharded corpus retrieval index"
+    )
+    p_index.add_argument("--dataset", default="squad11", choices=DATASET_KEYS)
+    p_index.add_argument(
+        "--corpus",
+        type=pathlib.Path,
+        help="text file, one paragraph per line (overrides --dataset)",
+    )
+    p_index.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=DEFAULT_INDEX_PATH,
+        help=f"index file to write (default: {DEFAULT_INDEX_PATH})",
+    )
+    p_index.add_argument(
+        "--shards", type=int, default=4, help="inverted-index shard count"
+    )
+    p_index.add_argument("--n-train", type=int, default=120)
+    p_index.add_argument("--n-dev", type=int, default=60)
+    p_index.add_argument("--seed", type=int, default=0)
+    p_index.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="executor pool size for shard construction (1 = serial)",
+    )
+    p_index.add_argument(
+        "--backend",
+        default="thread",
+        choices=("thread", "process"),
+        help="parallel executor backend",
+    )
+
+    p_ask = sub.add_parser(
+        "ask",
+        help="open-context distillation over a persisted retrieval index",
+    )
+    p_ask.add_argument("--question", required=True)
+    p_ask.add_argument("--answer", required=True)
+    p_ask.add_argument(
+        "--index",
+        type=pathlib.Path,
+        default=DEFAULT_INDEX_PATH,
+        help=f"index file written by `repro index` (default: {DEFAULT_INDEX_PATH})",
+    )
+    p_ask.add_argument(
+        "--k", type=int, default=3, help="paragraphs to retrieve and distill"
+    )
+    p_ask.add_argument(
+        "--scorer", default="bm25", choices=("bm25", "tfidf")
+    )
+    p_ask.add_argument(
+        "--workers", type=int, default=1, help="executor pool size (1 = serial)"
+    )
+    p_ask.add_argument(
+        "--backend",
+        default="thread",
+        choices=("thread", "process"),
+        help="parallel executor backend",
+    )
+    p_ask.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full ranked outcome as JSON",
     )
 
     p_serve = sub.add_parser(
@@ -248,6 +320,95 @@ def _run_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_index(args: argparse.Namespace) -> int:
+    from repro.retrieval import CorpusRetriever
+
+    if args.corpus:
+        docs = [
+            line.strip()
+            for line in args.corpus.read_text().splitlines()
+            if line.strip()
+        ]
+        metadata = {"source": str(args.corpus), "seed": args.seed}
+        source = str(args.corpus)
+    else:
+        from repro.datasets import load_dataset as _load
+
+        dataset = _load(
+            args.dataset, seed=args.seed, n_train=args.n_train, n_dev=args.n_dev
+        )
+        docs = list(dataset.contexts())
+        metadata = {
+            "dataset": args.dataset,
+            "seed": args.seed,
+            "n_train": args.n_train,
+            "n_dev": args.n_dev,
+        }
+        source = args.dataset
+    if not docs:
+        print("error: the corpus has no paragraphs", file=sys.stderr)
+        return 2
+    retriever = CorpusRetriever.build(
+        docs,
+        n_shards=args.shards,
+        workers=args.workers,
+        backend=args.backend,
+        metadata=metadata,
+    )
+    path = retriever.save(args.out)
+    print(f"indexed {source}: {retriever.index.describe()}")
+    print(f"wrote {path}")
+    return 0
+
+
+def _run_ask(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core import BatchDistiller, OpenContextDistiller
+    from repro.retrieval import CorpusRetriever, make_scorer
+
+    if not args.index.exists():
+        print(
+            f"error: no index at {args.index}; build one first with "
+            "`repro index --dataset squad11`",
+            file=sys.stderr,
+        )
+        return 2
+    retriever = CorpusRetriever.load(args.index, scorer=make_scorer(args.scorer))
+    seed = int(retriever.index.metadata.get("seed", 0))
+    artifacts = QATrainer(seed=seed).train(retriever.corpus)
+    gced = GCED(qa_model=artifacts.reader, artifacts=artifacts)
+    with OpenContextDistiller(
+        BatchDistiller(gced, workers=args.workers, backend=args.backend),
+        retriever,
+        top_k=args.k,
+    ) as distiller:
+        outcome = distiller.ask(args.question, args.answer)
+    if args.json:
+        print(json.dumps(outcome.to_dict(), indent=2, sort_keys=True))
+        # Same exit-code contract as the plain-text mode below.
+        return 0 if outcome.best is not None else 1
+    if outcome.best is None:
+        print("no supporting evidence found", file=sys.stderr)
+        return 1
+    print(outcome.best.result.evidence)
+    for position, candidate in enumerate(outcome.candidates, start=1):
+        hit = candidate.paragraph
+        if candidate.ok:
+            detail = (
+                f"hybrid {candidate.result.scores.hybrid:.4f}, "
+                f"evidence: {candidate.result.evidence[:80]}"
+            )
+        else:
+            detail = f"error: {candidate.error}"
+        print(
+            f"  #{position} doc {hit.doc_id} "
+            f"(retrieval rank {hit.rank}, score {hit.score:.3f}) {detail}",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     from repro.service import DistillService, ServiceConfig, make_server
 
@@ -345,6 +506,34 @@ def _serve_self_test(service) -> int:
             if exc.status != 400:
                 failures.append(f"expected 400 for empty context, got {exc.status}")
 
+        if service.retriever is None:
+            failures.append("service built without a retriever")
+        else:
+            from repro.core.open_context import build_outcome
+
+            example = examples[0]
+            served_ask = client.ask(example.question, example.primary_answer, k=2)
+            hits = service.retriever.retrieve_for_qa(
+                example.question, example.primary_answer, k=2
+            )
+            direct_ask = build_outcome(
+                example.question,
+                example.primary_answer,
+                hits,
+                [
+                    service.gced.distill(
+                        example.question, example.primary_answer, hit.text
+                    )
+                    for hit in hits
+                ],
+            ).to_dict()
+            if json.dumps(served_ask, sort_keys=True) != json.dumps(
+                direct_ask, sort_keys=True
+            ):
+                failures.append(
+                    "served /ask diverged from inline open-context distillation"
+                )
+
         stats = client.stats()
         for key in ("service", "scheduler", "batch", "stages", "caches"):
             if key not in stats:
@@ -362,8 +551,9 @@ def _serve_self_test(service) -> int:
         return 1
     print(
         f"self-test ok: {len(served)} concurrent /distill requests "
-        "byte-identical to single-shot GCED.distill; /batch isolated the "
-        "poisoned request; /healthz and /stats healthy"
+        "byte-identical to single-shot GCED.distill; /ask matched inline "
+        "open-context distillation; /batch isolated the poisoned request; "
+        "/healthz and /stats healthy"
     )
     return 0
 
@@ -444,6 +634,8 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "distill": _run_distill,
         "batch": _run_batch,
+        "index": _run_index,
+        "ask": _run_ask,
         "serve": _run_serve,
         "dataset": _run_dataset,
         "experiment": _run_experiment,

@@ -18,8 +18,14 @@ from repro.core.wsptc import WeightedTreeConstructor
 from repro.core.efc import EvidenceForest, EvidenceForestConstructor
 from repro.core.oec import OptimalEvidenceDistiller, GrowTrace, ClipTrace
 from repro.core.pipeline import GCED, DistillationResult
-from repro.core.stages import stage_plan
+from repro.core.stages import open_context_plan, stage_plan
 from repro.core.batch import BatchDistiller, BatchStats
+from repro.core.open_context import (
+    AskCandidate,
+    AskOutcome,
+    OpenContextDistiller,
+    build_outcome,
+)
 from repro.core.serialize import (
     result_to_dict,
     write_results_jsonl,
@@ -27,8 +33,13 @@ from repro.core.serialize import (
 )
 
 __all__ = [
+    "AskCandidate",
+    "AskOutcome",
     "BatchDistiller",
     "BatchStats",
+    "OpenContextDistiller",
+    "build_outcome",
+    "open_context_plan",
     "stage_plan",
     "result_to_dict",
     "write_results_jsonl",

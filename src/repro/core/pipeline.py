@@ -78,6 +78,7 @@ class GCED:
         knowledge_hops: int = 2,
         registry: StageRegistry | None = None,
         plan: tuple[str, ...] | None = None,
+        retriever=None,
     ) -> None:
         self.config = config or GCEDConfig()
         self.qa_model = qa_model
@@ -100,6 +101,7 @@ class GCED:
         self.oec = OptimalEvidenceDistiller(
             self.scorer, clip_times=self.config.clip_times
         )
+        self.retriever = retriever
         self.resources = PipelineResources(
             config=self.config,
             qa_model=self.qa_model,
@@ -110,6 +112,7 @@ class GCED:
             efc=self.efc,
             oec=self.oec,
             scorer=self.scorer,
+            retriever=retriever,
         )
         # Resolve the plan to stage instances eagerly: GCED must stay
         # picklable for process executors, and registries may hold
@@ -128,9 +131,21 @@ class GCED:
             resources=self.resources,
         )
 
-    def distill(self, question: str, answer: str, context: str) -> DistillationResult:
-        """Distill an informative-yet-concise evidence for the QA pair."""
-        if not context.strip():
+    @property
+    def open_context(self) -> bool:
+        """True when the plan can resolve its own context via retrieval."""
+        return "retrieve" in self.plan
+
+    def distill(
+        self, question: str, answer: str, context: str = ""
+    ) -> DistillationResult:
+        """Distill an informative-yet-concise evidence for the QA pair.
+
+        An empty ``context`` is only admissible on an open-context plan
+        (one containing the ``retrieve`` stage), which resolves it
+        against the corpus retriever.
+        """
+        if not context.strip() and not self.open_context:
             raise ValueError("context must be non-empty")
         ctx = self.make_context(question, answer, context)
         if not answer.strip():
@@ -158,6 +173,11 @@ class GCED:
             raise RuntimeError(
                 f"stage plan {self.plan} finished without producing a result"
             )
+        retrieval = ctx.extras.get("retrieval")
+        if retrieval is not None and ctx.result.retrieval is None:
+            # Fold the retrieve stage's decision into the result trace
+            # (memoized results keep their original retrieval record).
+            ctx.result.retrieval = retrieval
         return ctx.result
 
     # ------------------------------------------------------ instrumentation

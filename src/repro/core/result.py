@@ -35,6 +35,10 @@ class DistillationResult:
         aos_tokens: the tokens of the answer-oriented sentences.
         reduction: fraction of AOS words removed (the paper reports 78.5%
             on SQuAD / 87.2% on TriviaQA relative to the full context).
+        retrieval: how the context was resolved on an open-context plan
+            (``doc_id``/``score`` from the ``retrieve`` stage, or
+            ``{"skipped": True}`` when a context was supplied); ``None``
+            on closed-context plans.
     """
 
     evidence: str
@@ -47,10 +51,17 @@ class DistillationResult:
     evidence_nodes: set[int] = field(default_factory=set)
     aos_tokens: list[Token] = field(default_factory=list)
     reduction: float = 0.0
+    retrieval: dict | None = None
 
     def explain(self) -> str:
         """Human-readable trace of the distillation."""
-        lines = [
+        lines = []
+        if self.retrieval is not None and not self.retrieval.get("skipped"):
+            lines.append(
+                f"retrieved context: doc {self.retrieval.get('doc_id')} "
+                f"(score {self.retrieval.get('score', 0.0):.3f})"
+            )
+        lines += [
             f"answer-oriented sentences ({len(self.ase.sentences)}): {self.ase.text!r}",
             f"clue words: {', '.join(self.qws.clue_words) or '(none)'}",
             f"evidence forest: {self.forest_size} tree(s)",

@@ -27,7 +27,7 @@ def result_to_dict(
     answer: str = "",
 ) -> dict:
     """Flatten a result (plus its QA pair) into a JSON-safe dict."""
-    return {
+    payload = {
         "question": question,
         "answer": answer,
         "evidence": result.evidence,
@@ -60,6 +60,11 @@ def result_to_dict(
         ],
         "evidence_token_indices": sorted(result.evidence_nodes),
     }
+    if result.retrieval is not None:
+        # Only open-context plans set this; closed-plan payloads keep
+        # their exact historical shape.
+        payload["retrieval"] = result.retrieval
+    return payload
 
 
 def write_results_jsonl(

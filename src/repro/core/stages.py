@@ -40,9 +40,11 @@ __all__ = [
     "PassthroughASEStage",
     "PassthroughQWSStage",
     "QWSStage",
+    "RetrieveStage",
     "TokenizeStage",
     "WSPTCStage",
     "empty_result",
+    "open_context_plan",
     "stage_plan",
 ]
 
@@ -64,6 +66,44 @@ def _reduction(context: str, evidence: str) -> float:
     total_words = len(word_tokens(context))
     kept_words = len(word_tokens(evidence))
     return 1.0 - kept_words / total_words if total_words else 0.0
+
+
+@register_stage("retrieve")
+class RetrieveStage:
+    """Resolves an open-context input against the corpus retriever.
+
+    Question+answer-only triples (empty context) retrieve their best
+    supporting paragraph from ``resources.retriever`` before the closed
+    pipeline runs; inputs that already carry a context pass through
+    untouched, so one plan serves both open and closed traffic.  Either
+    way the retrieval decision is recorded in ``ctx.extras`` for the
+    result trace.
+    """
+
+    name = "retrieve"
+
+    def run(self, ctx: StageContext) -> None:
+        if ctx.context.strip():
+            ctx.extras["retrieval"] = {"skipped": True}
+            return
+        retriever = ctx.resources.retriever
+        if retriever is None:
+            raise RuntimeError(
+                "open-context input (empty context) but the pipeline has "
+                "no retriever; pass retriever= to GCED or provide a context"
+            )
+        hits = retriever.retrieve_for_qa(ctx.question, ctx.answer, k=1)
+        if not hits:
+            ctx.extras["retrieval"] = {"skipped": False, "doc_id": None}
+            ctx.halt(empty_result(ctx))
+            return
+        hit = hits[0]
+        ctx.context = hit.text
+        ctx.extras["retrieval"] = {
+            "skipped": False,
+            "doc_id": hit.doc_id,
+            "score": hit.score,
+        }
 
 
 @register_stage("ase")
@@ -249,3 +289,13 @@ def stage_plan(config: GCEDConfig) -> tuple[str, ...]:
         oec,
         "finalize",
     )
+
+
+def open_context_plan(config: GCEDConfig) -> tuple[str, ...]:
+    """The closed plan prefixed with corpus retrieval.
+
+    A pipeline running this plan accepts question+answer-only inputs:
+    the ``retrieve`` stage fills in the best-matching corpus paragraph,
+    then the ordinary stage sequence distills it.
+    """
+    return ("retrieve",) + stage_plan(config)

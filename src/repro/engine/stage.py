@@ -29,6 +29,7 @@ if TYPE_CHECKING:  # imports for typing only; engine stays core-agnostic
     from repro.parsing.tree import DependencyTree
     from repro.qa.base import QAModel
     from repro.qa.training import TrainedArtifacts
+    from repro.retrieval.retriever import CorpusRetriever
     from repro.text.tokenizer import Token
 
 __all__ = ["PipelineResources", "Stage", "StageContext"]
@@ -53,6 +54,9 @@ class PipelineResources:
     efc: "EvidenceForestConstructor"
     oec: "OptimalEvidenceDistiller"
     scorer: "HybridScorer"
+    # Optional corpus retriever enabling the open-context plan (the
+    # ``retrieve`` stage resolves question+answer-only inputs against it).
+    retriever: "CorpusRetriever | None" = None
 
 
 @dataclass

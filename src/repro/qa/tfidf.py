@@ -8,11 +8,11 @@ Fitting the IDF table on the training split is this model's "fine-tuning".
 
 from __future__ import annotations
 
-import math
 from collections import Counter
 from typing import Iterable
 
 from repro.qa.base import SpanScoringQA
+from repro.retrieval.weighting import idf_table, unseen_idf
 from repro.text.tokenizer import Token, word_tokens
 
 __all__ = ["TfidfQA"]
@@ -44,12 +44,12 @@ class TfidfQA(SpanScoringQA):
             doc_freq.update(set(word_tokens(doc)))
         if n_docs == 0:
             raise ValueError("cannot fit TF-IDF on an empty corpus")
-        self._idf = {
-            term: math.log((1 + n_docs) / (1 + freq)) + 1.0
-            for term, freq in doc_freq.items()
-        }
+        # The same smoothed-IDF family the retrieval layer ranks with
+        # (:mod:`repro.retrieval.weighting`), so span scoring and corpus
+        # retrieval agree on term rarity.
+        self._idf = idf_table(doc_freq, n_docs)
         # Unseen terms are maximally discriminative.
-        self._default_idf = math.log(1 + n_docs) + 1.0
+        self._default_idf = unseen_idf(n_docs)
         self._fitted = True
         return self
 

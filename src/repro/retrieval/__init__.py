@@ -1,0 +1,59 @@
+"""Sharded corpus retrieval: the open-context front door of the system.
+
+The paper's pipeline assumes the supporting paragraph is *given*; every
+real serving scenario starts one step earlier.  This package finds the
+context: a sharded inverted index (:mod:`~repro.retrieval.index`) built
+in parallel on the engine executors, BM25/TF-IDF ranking
+(:mod:`~repro.retrieval.bm25`) sharing its term-weighting formulas
+(:mod:`~repro.retrieval.weighting`) with the QA layer's TF-IDF scorer,
+versioned JSON persistence (:mod:`~repro.retrieval.store`) so indexes
+build once and load warm, and the :class:`CorpusRetriever` facade the
+pipeline stage, service, and CLI consume.
+"""
+
+from repro.retrieval.bm25 import (
+    BM25Scorer,
+    RankingScorer,
+    TfidfScorer,
+    make_scorer,
+)
+from repro.retrieval.index import IndexShard, InvertedIndex, build_shard
+from repro.retrieval.retriever import CorpusRetriever, RetrievedParagraph
+from repro.retrieval.store import (
+    INDEX_FORMAT,
+    INDEX_VERSION,
+    index_to_json,
+    load_index,
+    save_index,
+)
+from repro.retrieval.weighting import (
+    bm25_idf,
+    bm25_tf,
+    idf_table,
+    log_tf,
+    smoothed_idf,
+    unseen_idf,
+)
+
+__all__ = [
+    "BM25Scorer",
+    "CorpusRetriever",
+    "INDEX_FORMAT",
+    "INDEX_VERSION",
+    "IndexShard",
+    "InvertedIndex",
+    "RankingScorer",
+    "RetrievedParagraph",
+    "TfidfScorer",
+    "bm25_idf",
+    "bm25_tf",
+    "build_shard",
+    "idf_table",
+    "index_to_json",
+    "load_index",
+    "log_tf",
+    "make_scorer",
+    "save_index",
+    "smoothed_idf",
+    "unseen_idf",
+]

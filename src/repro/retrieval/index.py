@@ -1,0 +1,230 @@
+"""Sharded inverted index over a paragraph corpus.
+
+The index is the retrieval subsystem's data plane: each paragraph is
+tokenized once (with :func:`repro.text.tokenizer.word_tokens`, the same
+normalization every scorer in the repo uses) into a shard's postings —
+``term → ((doc_id, tf), ...)`` — plus per-document lengths.  Documents are
+assigned to shards round-robin by id (``doc_id % n_shards``), so the
+shard layout is a pure function of the corpus and the shard count, never
+of who built it.
+
+Shard construction is embarrassingly parallel and fans out over the
+engine's executors (:func:`repro.engine.executor.build_executor`):
+:func:`build_shard` is a module-level function of picklable inputs, so
+serial, thread-pool, and process-pool builds produce *byte-identical*
+indexes — the same contract the batch distiller keeps, extended to the
+retrieval layer.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.engine.executor import Executor, SerialExecutor
+from repro.text.tokenizer import word_tokens
+
+__all__ = ["IndexShard", "InvertedIndex", "build_shard", "query_terms"]
+
+Posting = tuple[int, int]
+"""One posting: ``(doc_id, term_frequency)``."""
+
+
+@dataclass(frozen=True)
+class IndexShard:
+    """Postings and document statistics for one corpus shard.
+
+    Attributes:
+        shard_id: the shard's position in the index layout.
+        doc_lengths: word-token count per document in this shard.
+        postings: ``term → ((doc_id, tf), ...)``, doc ids ascending,
+            terms inserted in sorted order (the canonical form the
+            byte-identity guarantees are stated over).
+    """
+
+    shard_id: int
+    doc_lengths: dict[int, int]
+    postings: dict[str, tuple[Posting, ...]]
+
+    @property
+    def n_docs(self) -> int:
+        return len(self.doc_lengths)
+
+    @property
+    def n_terms(self) -> int:
+        return len(self.postings)
+
+
+def build_shard(payload: tuple[int, tuple[tuple[int, str], ...]]) -> IndexShard:
+    """Build one shard from ``(shard_id, ((doc_id, text), ...))``.
+
+    Module-level and picklable-in/picklable-out on purpose: this is the
+    unit of work the executor fans out, including to process pools.
+    """
+    shard_id, docs = payload
+    doc_lengths: dict[int, int] = {}
+    term_postings: dict[str, list[Posting]] = {}
+    for doc_id, text in docs:
+        counts = Counter(word_tokens(text))
+        doc_lengths[doc_id] = sum(counts.values())
+        for term, tf in counts.items():
+            term_postings.setdefault(term, []).append((doc_id, tf))
+    # Canonical form: terms sorted, postings already ascending by doc_id
+    # because docs arrive in ascending id order.
+    postings = {
+        term: tuple(term_postings[term]) for term in sorted(term_postings)
+    }
+    return IndexShard(
+        shard_id=shard_id, doc_lengths=doc_lengths, postings=postings
+    )
+
+
+@dataclass
+class InvertedIndex:
+    """A sharded inverted index plus the raw corpus it was built from.
+
+    The raw paragraphs ride along (``docs``) so a persisted index is
+    self-contained: ``repro ask`` can re-train the QA artifacts and serve
+    retrieved paragraphs from the index file alone, fully offline.
+    """
+
+    shards: tuple[IndexShard, ...]
+    docs: tuple[str, ...]
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        doc_freq: dict[str, int] = {}
+        total_len = 0
+        for shard in self.shards:
+            total_len += sum(shard.doc_lengths.values())
+            for term, postings in shard.postings.items():
+                doc_freq[term] = doc_freq.get(term, 0) + len(postings)
+        self._doc_freq = doc_freq
+        self._total_len = total_len
+
+    # ------------------------------------------------------------ building
+    @classmethod
+    def build(
+        cls,
+        docs: Iterable[str],
+        n_shards: int = 4,
+        executor: Executor | None = None,
+        metadata: dict | None = None,
+    ) -> "InvertedIndex":
+        """Index ``docs``, fanning shard construction out on ``executor``.
+
+        The shard layout (``doc_id % n_shards``) and each shard's content
+        depend only on the corpus and ``n_shards`` — the executor choice
+        (serial/thread/process) changes wall-clock, never bytes.
+        """
+        docs = tuple(docs)
+        if not docs:
+            raise ValueError("cannot index an empty corpus")
+        if n_shards < 1:
+            raise ValueError("n_shards must be at least 1")
+        n_shards = min(n_shards, len(docs))
+        payloads = [
+            (
+                shard_id,
+                tuple(
+                    (doc_id, docs[doc_id])
+                    for doc_id in range(shard_id, len(docs), n_shards)
+                ),
+            )
+            for shard_id in range(n_shards)
+        ]
+        executor = executor or SerialExecutor()
+        shards = tuple(executor.map(build_shard, payloads))
+        return cls(shards=shards, docs=docs, metadata=dict(metadata or {}))
+
+    # ------------------------------------------------------------- lookups
+    @property
+    def n_docs(self) -> int:
+        return len(self.docs)
+
+    @property
+    def n_terms(self) -> int:
+        return len(self._doc_freq)
+
+    @property
+    def avg_doc_len(self) -> float:
+        return self._total_len / len(self.docs) if self.docs else 0.0
+
+    def doc_freq(self, term: str) -> int:
+        """Number of documents containing ``term`` (0 if unseen)."""
+        return self._doc_freq.get(term, 0)
+
+    def doc_length(self, doc_id: int) -> int:
+        return self.shards[doc_id % len(self.shards)].doc_lengths[doc_id]
+
+    def postings(self, term: str) -> tuple[Posting, ...]:
+        """Merged ``(doc_id, tf)`` postings for ``term``, ids ascending."""
+        merged: list[Posting] = []
+        for shard in self.shards:
+            merged.extend(shard.postings.get(term, ()))
+        merged.sort()
+        return tuple(merged)
+
+    def doc_text(self, doc_id: int) -> str:
+        return self.docs[doc_id]
+
+    # ------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        """Canonical JSON-safe form (the byte-identity reference)."""
+        return {
+            "n_shards": len(self.shards),
+            "metadata": dict(sorted(self.metadata.items())),
+            "docs": list(self.docs),
+            "shards": [
+                {
+                    "shard_id": shard.shard_id,
+                    "doc_lengths": {
+                        str(doc_id): length
+                        for doc_id, length in sorted(shard.doc_lengths.items())
+                    },
+                    "postings": {
+                        term: [list(posting) for posting in postings]
+                        for term, postings in shard.postings.items()
+                    },
+                }
+                for shard in self.shards
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "InvertedIndex":
+        shards = tuple(
+            IndexShard(
+                shard_id=int(shard["shard_id"]),
+                doc_lengths={
+                    int(doc_id): int(length)
+                    for doc_id, length in shard["doc_lengths"].items()
+                },
+                postings={
+                    term: tuple(
+                        (int(doc_id), int(tf)) for doc_id, tf in postings
+                    )
+                    for term, postings in shard["postings"].items()
+                },
+            )
+            for shard in payload["shards"]
+        )
+        return cls(
+            shards=shards,
+            docs=tuple(payload["docs"]),
+            metadata=dict(payload.get("metadata", {})),
+        )
+
+    def describe(self) -> str:
+        """One-line human summary (used by the CLI)."""
+        return (
+            f"{self.n_docs} docs, {self.n_terms} terms, "
+            f"{len(self.shards)} shards, "
+            f"avg doc length {self.avg_doc_len:.1f} words"
+        )
+
+
+def query_terms(query: str) -> Sequence[str]:
+    """Tokenize a free-text query exactly like indexed documents."""
+    return word_tokens(query)

@@ -1,0 +1,122 @@
+"""The retrieval facade: index + scorer → ranked paragraphs.
+
+:class:`CorpusRetriever` is what the rest of the system talks to — the
+``retrieve`` pipeline stage, the open-context distiller, the ``/ask``
+endpoint, and the CLI all hold one of these.  It binds a sharded
+:class:`~repro.retrieval.index.InvertedIndex` to a ranking scorer and
+returns :class:`RetrievedParagraph` hits carrying everything downstream
+ranking needs: the paragraph text, its corpus id, the retrieval score,
+and the retrieval rank (the deterministic tie-break key for the evidence
+re-ranking step).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.engine.executor import build_executor
+from repro.retrieval.bm25 import BM25Scorer, RankingScorer
+from repro.retrieval.index import InvertedIndex
+from repro.retrieval.store import load_index, save_index
+
+__all__ = ["CorpusRetriever", "RetrievedParagraph"]
+
+
+@dataclass(frozen=True)
+class RetrievedParagraph:
+    """One retrieval hit.
+
+    Attributes:
+        doc_id: position of the paragraph in the indexed corpus.
+        rank: 0-based retrieval rank (0 = best match).
+        score: the scorer's relevance score.
+        text: the paragraph itself.
+    """
+
+    doc_id: int
+    rank: int
+    score: float
+    text: str
+
+    def to_dict(self) -> dict:
+        return {
+            "doc_id": self.doc_id,
+            "rank": self.rank,
+            "score": self.score,
+            "text": self.text,
+        }
+
+
+class CorpusRetriever:
+    """Top-k paragraph retrieval over an inverted index."""
+
+    def __init__(
+        self, index: InvertedIndex, scorer: RankingScorer | None = None
+    ) -> None:
+        self.index = index
+        self.scorer = scorer or BM25Scorer()
+
+    # ------------------------------------------------------------ building
+    @classmethod
+    def build(
+        cls,
+        corpus: Iterable[str],
+        n_shards: int = 4,
+        workers: int = 1,
+        backend: str = "thread",
+        scorer: RankingScorer | None = None,
+        metadata: dict | None = None,
+    ) -> "CorpusRetriever":
+        """Index ``corpus`` on the engine executor and wrap it.
+
+        ``workers``/``backend`` pick the executor exactly as the batch
+        distiller does; the built index is byte-identical regardless.
+        """
+        with build_executor(workers=workers, backend=backend) as executor:
+            index = InvertedIndex.build(
+                corpus, n_shards=n_shards, executor=executor, metadata=metadata
+            )
+        return cls(index, scorer=scorer)
+
+    @classmethod
+    def load(
+        cls, path: str | pathlib.Path, scorer: RankingScorer | None = None
+    ) -> "CorpusRetriever":
+        """Load a retriever from a persisted index file."""
+        return cls(load_index(path), scorer=scorer)
+
+    def save(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Persist the underlying index (scorers are config, not state)."""
+        return save_index(self.index, path)
+
+    # ----------------------------------------------------------- retrieval
+    def retrieve(self, query: str, k: int = 3) -> list[RetrievedParagraph]:
+        """The ``k`` paragraphs most relevant to ``query``, best first."""
+        hits = self.scorer.top_k(self.index, query, k)
+        return [
+            RetrievedParagraph(
+                doc_id=doc_id,
+                rank=rank,
+                score=score,
+                text=self.index.doc_text(doc_id),
+            )
+            for rank, (doc_id, score) in enumerate(hits)
+        ]
+
+    def retrieve_for_qa(
+        self, question: str, answer: str, k: int = 3
+    ) -> list[RetrievedParagraph]:
+        """Retrieve supporting paragraphs for a question-answer pair.
+
+        The query concatenates question and answer: the answer terms are
+        the strongest signal for *evidence* retrieval (the paragraph must
+        contain the answer span to support it).
+        """
+        return self.retrieve(f"{question} {answer}", k=k)
+
+    @property
+    def corpus(self) -> tuple[str, ...]:
+        """The raw indexed paragraphs (doc_id order)."""
+        return self.index.docs

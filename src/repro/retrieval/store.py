@@ -1,0 +1,66 @@
+"""Versioned on-disk persistence for the inverted index.
+
+``repro index`` builds once and writes here; ``repro ask`` and the
+service load warm.  The envelope is a single JSON document::
+
+    {"format": "gced-index", "version": 1, "index": {<canonical index>}}
+
+The payload is the index's canonical
+:meth:`~repro.retrieval.index.InvertedIndex.to_dict` form, serialized
+with sorted keys — so saving the same index twice
+produces byte-identical files, and a save → load → save round trip is an
+identity on bytes (the property the tests pin down).
+
+Version bumps are explicit: a loader only accepts versions it knows how
+to migrate, and rejects unknown formats loudly rather than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.retrieval.index import InvertedIndex
+
+__all__ = [
+    "INDEX_FORMAT",
+    "INDEX_VERSION",
+    "index_to_json",
+    "load_index",
+    "save_index",
+]
+
+INDEX_FORMAT = "gced-index"
+INDEX_VERSION = 1
+
+
+def index_to_json(index: InvertedIndex) -> str:
+    """The canonical serialized envelope (sorted keys, trailing newline)."""
+    envelope = {
+        "format": INDEX_FORMAT,
+        "version": INDEX_VERSION,
+        "index": index.to_dict(),
+    }
+    return json.dumps(envelope, sort_keys=True) + "\n"
+
+
+def save_index(index: InvertedIndex, path: str | pathlib.Path) -> pathlib.Path:
+    """Persist ``index`` at ``path``; returns the resolved path."""
+    path = pathlib.Path(path)
+    path.write_text(index_to_json(index))
+    return path
+
+
+def load_index(path: str | pathlib.Path) -> InvertedIndex:
+    """Load a persisted index, validating the format envelope."""
+    path = pathlib.Path(path)
+    envelope = json.loads(path.read_text())
+    if not isinstance(envelope, dict) or envelope.get("format") != INDEX_FORMAT:
+        raise ValueError(f"{path} is not a {INDEX_FORMAT} file")
+    version = envelope.get("version")
+    if version != INDEX_VERSION:
+        raise ValueError(
+            f"{path} has unsupported {INDEX_FORMAT} version {version!r}; "
+            f"this build reads version {INDEX_VERSION}"
+        )
+    return InvertedIndex.from_dict(envelope["index"])

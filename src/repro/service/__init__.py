@@ -9,7 +9,7 @@ every invocation; this package keeps them alive in a long-lived process:
   concurrent requests into engine micro-batches (max-batch-size /
   max-wait-ms flush policy, FIFO, per-request error isolation);
 * :mod:`~repro.service.server` — stdlib JSON-over-HTTP front end
-  (``/distill``, ``/batch``, ``/healthz``, ``/stats``);
+  (``/distill``, ``/batch``, ``/ask``, ``/healthz``, ``/stats``);
 * :class:`~repro.service.client.ServiceClient` — matching stdlib client.
 """
 

@@ -65,3 +65,10 @@ class ServiceClient:
 
     def distill_batch(self, items: list[dict]) -> dict:
         return self._request("/batch", {"items": items})
+
+    def ask(self, question: str, answer: str, k: int | None = None) -> dict:
+        """Open-context ask: no context — the service retrieves its own."""
+        payload: dict = {"question": question, "answer": answer}
+        if k is not None:
+            payload["k"] = k
+        return self._request("/ask", payload)

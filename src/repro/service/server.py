@@ -14,8 +14,14 @@ Endpoints:
   :func:`repro.core.serialize.result_to_dict`).
 * ``POST /batch`` — body ``{"items": [{...}, ...]}``; responds with
   ``{"results": [...], "errors": n}``, errors isolated per item.
+* ``POST /ask`` — body ``{"question", "answer", "k"?}``; open-context:
+  retrieves top-k paragraphs from the corpus index, distills each, and
+  responds with candidates ranked by hybrid evidence score.
 * ``GET /healthz`` — liveness probe.
 * ``GET /stats`` — per-stage timings, queue depth, cache hit rates.
+
+Hitting a known path with the wrong HTTP method answers ``405`` with an
+``Allow`` header; only unknown paths answer ``404``.
 """
 
 from __future__ import annotations
@@ -30,6 +36,16 @@ from repro.service.service import DistillService
 __all__ = ["DistillHTTPServer", "make_server", "start_server"]
 
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+# Known paths and the methods they answer; anything else is a 404, a
+# known path with the wrong method is a 405 carrying an Allow header.
+ROUTES: dict[str, tuple[str, ...]] = {
+    "/distill": ("POST",),
+    "/batch": ("POST",),
+    "/ask": ("POST",),
+    "/healthz": ("GET",),
+    "/stats": ("GET",),
+}
 
 
 class DistillHTTPServer(ThreadingHTTPServer):
@@ -67,26 +83,45 @@ class _DistillHandler(BaseHTTPRequestHandler):
             self._send_json(200, self.service.healthz())
         elif path == "/stats":
             self._send_json(200, self.service.stats())
+        elif path in ROUTES:
+            self._send_method_not_allowed(path)
         else:
             self._send_json(404, {"error": f"unknown path {path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         path = urlsplit(self.path).path
+        handler = {
+            "/distill": self._handle_distill,
+            "/batch": self._handle_batch,
+            "/ask": self._handle_ask,
+        }.get(path)
+        if handler is None:
+            # Routing is decided before the body is read, so the
+            # keep-alive stream would desync — drop the connection.
+            self.close_connection = True
+            if path in ROUTES:
+                self._send_method_not_allowed(path)
+            else:
+                self._send_json(404, {"error": f"unknown path {path!r}"})
+            return
         payload = self._read_json()
         if payload is None:
             return
         try:
-            if path == "/distill":
-                self._handle_distill(payload)
-            elif path == "/batch":
-                self._handle_batch(payload)
-            else:
-                self._send_json(404, {"error": f"unknown path {path!r}"})
+            handler(payload)
         except ValueError as exc:
             # Invalid inputs (e.g. empty context) are the client's fault.
             self._send_json(400, {"error": str(exc)})
         except Exception as exc:  # pragma: no cover - defensive
             self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def _send_method_not_allowed(self, path: str) -> None:
+        allowed = ", ".join(ROUTES[path])
+        self._send_json(
+            405,
+            {"error": f"method not allowed for {path!r}"},
+            extra_headers={"Allow": allowed},
+        )
 
     # ----------------------------------------------------------- handlers
     def _handle_distill(self, payload: dict) -> None:
@@ -117,6 +152,32 @@ class _DistillHandler(BaseHTTPRequestHandler):
             return
         self._send_json(200, self.service.distill_batch_dicts(items))
 
+    def _handle_ask(self, payload: dict) -> None:
+        missing = [
+            key
+            for key in ("question", "answer")
+            if not isinstance(payload.get(key), str)
+        ]
+        if missing:
+            self._send_json(
+                400,
+                {"error": f"missing string field(s): {', '.join(missing)}"},
+            )
+            return
+        k = payload.get("k")
+        if k is not None and (isinstance(k, bool) or not isinstance(k, int) or k < 1):
+            self._send_json(400, {"error": "'k' must be a positive integer"})
+            return
+        try:
+            response = self.service.ask_dict(
+                payload["question"], payload["answer"], k
+            )
+        except RuntimeError as exc:
+            # No retriever attached: the endpoint is unavailable, not broken.
+            self._send_json(503, {"error": str(exc)})
+            return
+        self._send_json(200, response)
+
     # ---------------------------------------------------------- plumbing
     def _read_json(self) -> dict | None:
         length = int(self.headers.get("Content-Length") or 0)
@@ -136,11 +197,18 @@ class _DistillHandler(BaseHTTPRequestHandler):
             return None
         return payload
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: dict,
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         if self.close_connection:
             self.send_header("Connection", "close")
         self.end_headers()

@@ -25,8 +25,10 @@ from dataclasses import asdict, dataclass
 from typing import Sequence
 
 from repro.core.batch import BatchDistiller
+from repro.core.open_context import AskOutcome, build_outcome
 from repro.core.pipeline import GCED, DistillationResult
 from repro.core.serialize import result_to_dict
+from repro.retrieval.retriever import CorpusRetriever
 from repro.service.scheduler import DistillRequest, MicroBatchScheduler
 
 __all__ = ["DistillService", "ServiceConfig"]
@@ -43,6 +45,8 @@ class ServiceConfig:
         backend: ``"thread"`` or ``"process"`` executor backend.
         cache_size: memoized finished results kept by the distiller.
         max_batch_size / max_wait_ms: micro-batching flush policy.
+        retrieval_shards: inverted-index shard count for ``/ask``.
+        top_k: default number of paragraphs an ask considers.
     """
 
     dataset: str = "squad11"
@@ -54,6 +58,8 @@ class ServiceConfig:
     cache_size: int = 4096
     max_batch_size: int = 16
     max_wait_ms: float = 5.0
+    retrieval_shards: int = 4
+    top_k: int = 3
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -78,9 +84,13 @@ class DistillService:
         max_wait_ms: float = 5.0,
         corpus_info: str = "custom",
         config: ServiceConfig | None = None,
+        retriever: CorpusRetriever | None = None,
+        top_k: int = 3,
     ) -> None:
         self.gced = gced
         self.corpus_info = corpus_info
+        self.retriever = retriever
+        self.top_k = top_k
         # Only the serving knobs are authoritative here; dataset-shape
         # fields (seed, n_train, n_dev) are honest solely when a full
         # config travels in from build()/from_corpus().
@@ -120,8 +130,16 @@ class DistillService:
             n_train=config.n_train,
             n_dev=config.n_dev,
         )
-        artifacts = QATrainer(seed=config.seed).train(dataset.contexts())
+        corpus = list(dataset.contexts())
+        artifacts = QATrainer(seed=config.seed).train(corpus)
         gced = GCED(qa_model=artifacts.reader, artifacts=artifacts)
+        retriever = CorpusRetriever.build(
+            corpus,
+            n_shards=config.retrieval_shards,
+            workers=config.workers,
+            backend=config.backend,
+            metadata={"dataset": config.dataset, "seed": config.seed},
+        )
         service = cls(
             gced,
             workers=config.workers,
@@ -131,6 +149,8 @@ class DistillService:
             max_wait_ms=config.max_wait_ms,
             corpus_info=config.dataset,
             config=config,
+            retriever=retriever,
+            top_k=config.top_k,
         )
         service.dataset = dataset
         return service
@@ -150,6 +170,12 @@ class DistillService:
         corpus = list(corpus)
         artifacts = QATrainer(seed=seed).train(corpus)
         gced = GCED(qa_model=artifacts.reader, artifacts=artifacts)
+        # Not setdefault: building the index is O(corpus) work that must
+        # not happen when the caller brings their own retriever (or None).
+        if "retriever" not in kwargs:
+            kwargs["retriever"] = CorpusRetriever.build(
+                corpus, metadata={"dataset": corpus_info, "seed": seed}
+            )
         config = ServiceConfig(
             dataset=corpus_info,
             seed=seed,
@@ -213,6 +239,48 @@ class DistillService:
                 outcomes.append(exc)
         return outcomes
 
+    # ------------------------------------------------------- open context
+    def ask(
+        self,
+        question: str,
+        answer: str,
+        k: int | None = None,
+        timeout: float | None = None,
+    ) -> AskOutcome:
+        """Open-context distillation: retrieve top-k, distill, re-rank.
+
+        Every candidate paragraph is submitted through the micro-batching
+        scheduler, so one ask's candidates coalesce into engine batches
+        with whatever else is in flight.  Per-candidate failures are
+        isolated (a failed paragraph ranks last with its error recorded)
+        rather than failing the ask.
+        """
+        if self.retriever is None:
+            raise RuntimeError(
+                "service has no retriever; build it from a dataset/corpus "
+                "or pass retriever= explicitly"
+            )
+        if k is None:
+            k = self.top_k
+        hits = self.retriever.retrieve_for_qa(question, answer, k=k)
+        results: list[DistillationResult | Exception] = []
+        if hits:
+            requests = self.scheduler.submit_many(
+                [(question, answer, hit.text) for hit in hits]
+            )
+            for request in requests:
+                try:
+                    results.append(request.result(timeout))
+                except Exception as exc:
+                    results.append(exc)
+        return build_outcome(question, answer, hits, results)
+
+    def ask_dict(
+        self, question: str, answer: str, k: int | None = None
+    ) -> dict:
+        """JSON-safe open-context ask, as served by ``/ask``."""
+        return self.ask(question, answer, k).to_dict()
+
     def distill_batch_dicts(
         self, items: list[dict], timeout: float | None = None
     ) -> dict:
@@ -260,6 +328,17 @@ class DistillService:
                 "corpus": self.corpus_info,
                 "uptime_seconds": self.uptime_seconds,
                 "config": self.config.to_dict(),
+                "retrieval": (
+                    {
+                        "docs": self.retriever.index.n_docs,
+                        "terms": self.retriever.index.n_terms,
+                        "shards": len(self.retriever.index.shards),
+                        "scorer": self.retriever.scorer.name,
+                        "top_k": self.top_k,
+                    }
+                    if self.retriever is not None
+                    else None
+                ),
             },
             "scheduler": self.scheduler.stats().to_dict(),
             "batch": {

@@ -19,7 +19,9 @@ import pytest
 
 from repro import GCED
 from repro.core.batch import BatchDistiller
+from repro.core.open_context import build_outcome
 from repro.core.serialize import result_to_dict
+from repro.retrieval import CorpusRetriever
 from repro.service import (
     DistillService,
     MicroBatchScheduler,
@@ -27,7 +29,7 @@ from repro.service import (
     ServiceError,
     start_server,
 )
-from tests.conftest import QA_CASES
+from tests.conftest import CORPUS, QA_CASES
 
 POISON = "__poison__"
 
@@ -213,7 +215,12 @@ class TestServedEquivalence:
 @pytest.fixture(scope="module")
 def served(artifacts):
     gced = GCED(qa_model=artifacts.reader, artifacts=artifacts)
-    service = DistillService(gced, max_batch_size=4, max_wait_ms=10)
+    service = DistillService(
+        gced,
+        max_batch_size=4,
+        max_wait_ms=10,
+        retriever=CorpusRetriever.build(CORPUS, n_shards=2),
+    )
     server, _thread = start_server(service, quiet=True)
     host, port = server.server_address[:2]
     client = ServiceClient(f"http://{host}:{port}")
@@ -325,3 +332,79 @@ class TestHTTPServer:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(request, timeout=10)
         assert excinfo.value.code == 400
+
+    def test_wrong_method_on_known_path_405_with_allow(self, served):
+        _service, client = served
+        # GET on a POST-only route.
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(
+                urllib.request.Request(f"{client.base_url}/distill"), timeout=10
+            )
+        assert excinfo.value.code == 405
+        assert excinfo.value.headers.get("Allow") == "POST"
+        # POST on a GET-only route.
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(
+                urllib.request.Request(
+                    f"{client.base_url}/healthz",
+                    data=b"{}",
+                    headers={"Content-Type": "application/json"},
+                ),
+                timeout=10,
+            )
+        assert excinfo.value.code == 405
+        assert excinfo.value.headers.get("Allow") == "GET"
+
+
+class TestAskEndpoint:
+    def test_served_ask_matches_inline_open_context(self, served):
+        service, client = served
+        question, answer, _context = QA_CASES[2]
+        served_payload = client.ask(question, answer, k=3)
+        hits = service.retriever.retrieve_for_qa(question, answer, k=3)
+        direct = build_outcome(
+            question,
+            answer,
+            hits,
+            [
+                service.gced.distill(question, answer, hit.text)
+                for hit in hits
+            ],
+        ).to_dict()
+        assert json.dumps(served_payload, sort_keys=True) == json.dumps(
+            direct, sort_keys=True
+        )
+
+    def test_ask_ranks_gold_paragraph_first(self, served):
+        _service, client = served
+        question, answer, context = QA_CASES[0]
+        payload = client.ask(question, answer, k=3)
+        assert payload["best_evidence"]
+        assert payload["candidates"][0]["retrieval"]["doc_id"] == CORPUS.index(
+            context
+        )
+        assert payload["errors"] == 0
+
+    def test_ask_rejects_missing_fields_and_bad_k(self, served):
+        _service, client = served
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("/ask", {"question": "q"})
+        assert excinfo.value.status == 400
+        assert "answer" in str(excinfo.value)
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("/ask", {"question": "q", "answer": "a", "k": 0})
+        assert excinfo.value.status == 400
+        assert "'k'" in str(excinfo.value)
+
+    def test_ask_without_retriever_raises_inline(self, artifacts):
+        gced = GCED(qa_model=artifacts.reader, artifacts=artifacts)
+        with DistillService(gced, max_wait_ms=1) as service:
+            with pytest.raises(RuntimeError, match="no retriever"):
+                service.ask("q", "a")
+
+    def test_stats_reports_retrieval_block(self, served):
+        _service, client = served
+        retrieval = client.stats()["service"]["retrieval"]
+        assert retrieval["docs"] == len(CORPUS)
+        assert retrieval["shards"] == 2
+        assert retrieval["scorer"] == "bm25"
