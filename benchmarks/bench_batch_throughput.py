@@ -47,6 +47,12 @@ def test_batch_throughput_scaling():
     ctx = get_context("squad11")
     examples = ctx.dataset.answerable_dev()[:N_EXAMPLES]
 
+    # Steady-state measurement: one throwaway pass (own distiller, its
+    # results memo discarded) warms the *process-wide* model caches —
+    # question profiles, stems — so the serial row is not the only one
+    # paying their misses and the speedup comparison is fair.
+    _measure(ctx, examples, workers=1, backend="thread")
+
     rows = [
         _measure(ctx, examples, workers=1, backend="thread"),
         _measure(ctx, examples, workers=4, backend="thread"),
@@ -75,6 +81,10 @@ def test_batch_throughput_scaling():
             "metrics": {
                 "batch.serial_ex_per_sec": serial,
                 "batch.best_parallel_ex_per_sec": best,
+                # Hardware-relative: ≥ 1.0 means the executor's overhead
+                # is paid for even on one core; multi-core runners see the
+                # process backend scale further.
+                "batch.parallel_speedup": round(best / serial, 3),
             },
         },
     )

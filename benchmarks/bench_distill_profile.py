@@ -1,0 +1,70 @@
+"""Hot-path profile of the distillation stages — gates the clip search.
+
+Runs a cold pipeline over a squad11 dev slice and reports the per-call
+cost of the two stages that dominate distillation time (``ase`` and
+``oec``) plus the clip search's candidate-scoring throughput.  The full
+per-stage/per-cache report lands in
+``benchmarks/results/distill_profile.txt`` (uploaded as a CI artifact so
+regressions are diagnosable from the workflow run); the JSON metrics feed
+``benchmarks/perf_gate.py``:
+
+* ``distill.oec_ms`` / ``distill.ase_ms`` — mean stage wall-clock per
+  call.  Latency metrics (``*_ms``) gate in the *upward* direction, at
+  double the base tolerance to absorb runner-hardware variance: the
+  gate fails when they grow more than that above baseline.
+* ``distill.clip_scores_per_sec`` — candidate-evidence scoring events
+  (node-set cache lookups) per second of ``oec`` time; throughput, gated
+  downward like the other ``*_per_sec`` metrics.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import emit, emit_json, get_context, sample_size
+
+N_EXAMPLES = sample_size("BENCH_N_EXAMPLES", 16)
+
+
+def test_distill_stage_profile():
+    from repro.core import BatchDistiller
+    from repro.core.pipeline import GCED
+
+    ctx = get_context("squad11")
+    examples = ctx.dataset.answerable_dev()[:N_EXAMPLES]
+
+    # Fresh pipeline (cold scorer/clip caches); the shared parser memo
+    # stays warm, as in a long-lived deployment.
+    gced = GCED(
+        qa_model=ctx.artifacts.reader,
+        artifacts=ctx.artifacts,
+        parser=ctx.gced.wsptc.parser,
+    )
+    with BatchDistiller(gced) as batch:
+        results = batch.distill_examples(examples)
+    assert len(results) == len(examples)
+
+    profile = batch.stats().profile
+    oec = profile.stages["oec"]
+    ase = profile.stages["ase"]
+    assert oec.calls > 0 and ase.calls > 0
+    clip_cache = profile.caches.get("clip_scores")
+    clip_lookups = clip_cache.lookups if clip_cache is not None else 0
+    clip_scores_per_sec = (
+        round(clip_lookups / oec.seconds, 2) if oec.seconds else 0.0
+    )
+
+    emit("distill_profile", profile.report())
+    emit_json(
+        "distill_profile",
+        {
+            "examples": len(examples),
+            "stages": {
+                name: timing.to_dict()
+                for name, timing in profile.stages.items()
+            },
+            "metrics": {
+                "distill.oec_ms": round(oec.mean_ms, 3),
+                "distill.ase_ms": round(ase.mean_ms, 3),
+                "distill.clip_scores_per_sec": clip_scores_per_sec,
+            },
+        },
+    )

@@ -7,12 +7,16 @@ Usage (after running the perf benchmarks so that
     python benchmarks/perf_gate.py --write-baseline   # refresh baseline
 
 The gate merges every known benchmark JSON into one ``BENCH_pr.json``
-artifact and fails (exit 1) if any throughput metric regressed more than
+artifact and fails (exit 1) if any metric regressed more than
 ``--tolerance`` (default 30%, overridable via the ``PERF_GATE_TOLERANCE``
-environment variable) below ``benchmarks/results/baseline.json``.
-Latency percentiles are reported for context but do not gate: absolute
-wall-clock varies across runner hardware far more than relative
-throughput under the same process does.
+environment variable) against ``benchmarks/results/baseline.json``:
+throughput metrics gate *downward*, and latency metrics — keys ending in
+``_ms`` (the hot-path stage timings from ``bench_distill_profile.py``) —
+gate *upward*.  Absolute wall-clock varies across runner hardware more
+than relative throughput does, so latency baselines must be produced on
+CI-comparable hardware (same rule the throughput baselines already
+follow) and re-blessed with ``--write-baseline`` after an intentional
+slowdown; service latency *percentiles* stay context-only.
 
 Only metric keys present in *both* the baseline and the current run are
 compared, so adding a new benchmark never breaks the gate — refresh the
@@ -32,6 +36,7 @@ SOURCE_FILES = (
     "batch_throughput.json",
     "service_latency.json",
     "retrieval.json",
+    "distill_profile.json",
 )
 # Context-only payload keys carried into the artifact, keyed by source so
 # two benchmarks reporting latencies never clobber each other.
@@ -61,7 +66,17 @@ def collect_metrics(results_dir: pathlib.Path) -> tuple[dict, list[str]]:
 def compare(
     current: dict[str, float], baseline: dict[str, float], tolerance: float
 ) -> tuple[list[str], list[str]]:
-    """Regressions beyond tolerance, plus one info line per metric."""
+    """Regressions beyond tolerance, plus one info line per metric.
+
+    Throughput metrics regress *downward* (below ``base * (1 - tol)``);
+    latency metrics — any key ending in ``_ms`` — regress *upward*, so
+    the gate protects the hot-path stage timings from
+    ``bench_distill_profile.py`` in the direction that actually hurts.
+    Absolute wall-clock varies across runner hardware more than relative
+    throughput does, so latency keys get double the tolerance: a slower
+    runner shifts every ``_ms`` value together, while the multi-x
+    regressions the gate exists to catch still trip it.
+    """
     failures: list[str] = []
     report: list[str] = []
     for key in sorted(baseline):
@@ -69,16 +84,23 @@ def compare(
             report.append(f"  {key:<36} baseline-only (not measured)")
             continue
         base, now = float(baseline[key]), float(current[key])
-        floor = base * (1.0 - tolerance)
         delta = (now - base) / base if base else 0.0
-        status = "ok" if now >= floor else "REGRESSED"
+        if key.endswith("_ms"):
+            ceiling = base * (1.0 + 2.0 * tolerance)
+            regressed = now > ceiling
+            direction = "above"
+        else:
+            floor = base * (1.0 - tolerance)
+            regressed = now < floor
+            direction = "below"
+        status = "REGRESSED" if regressed else "ok"
         report.append(
             f"  {key:<36} {now:>9.2f} vs baseline {base:>9.2f} "
             f"({delta:+.1%}) {status}"
         )
-        if now < floor:
+        if regressed:
             failures.append(
-                f"{key}: {now:.2f} is more than {tolerance:.0%} below "
+                f"{key}: {now:.2f} is more than {tolerance:.0%} {direction} "
                 f"baseline {base:.2f}"
             )
     return failures, report
@@ -104,7 +126,8 @@ def main(argv: list[str] | None = None) -> int:
         "--tolerance",
         type=float,
         default=float(os.environ.get("PERF_GATE_TOLERANCE", "0.30")),
-        help="allowed fractional throughput drop vs baseline",
+        help="allowed fractional regression vs baseline (throughput drop, "
+        "or *_ms latency rise)",
     )
     parser.add_argument(
         "--write-baseline",
@@ -144,7 +167,10 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     baseline = json.loads(args.baseline.read_text())["metrics"]
     failures, report = compare(current["metrics"], baseline, args.tolerance)
-    print(f"perf gate: throughput vs baseline (tolerance {args.tolerance:.0%})")
+    print(
+        "perf gate: metrics vs baseline "
+        f"(tolerance {args.tolerance:.0%}; *_ms gate upward)"
+    )
     print("\n".join(report))
     if failures:
         for failure in failures:

@@ -63,10 +63,14 @@ class AnswerOrientedSentenceExtractor:
         after that, the model's prediction overlap and confidence decide.
         """
         norm_answer = normalize_answer(answer)
+        # One batched prediction for all sentences: models amortize their
+        # question-side work, results equal per-sentence predicts exactly.
+        predictions = self.qa_model.predict_batch(
+            question, [sent.text for sent in sentences]
+        )
         ranked: list[tuple[float, float, int, Sentence]] = []
-        for sent in sentences:
+        for sent, prediction in zip(sentences, predictions):
             contains = 1.0 if norm_answer and norm_answer in normalize_answer(sent.text) else 0.0
-            prediction = self.qa_model.predict(question, sent.text)
             overlap = f1_score(prediction.text, answer) if answer else 0.0
             ranked.append((contains, overlap, -sent.index, sent))
         ranked.sort(key=lambda item: (-item[0], -item[1], item[2]))

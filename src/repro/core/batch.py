@@ -144,6 +144,10 @@ class BatchDistiller:
                 )
             self.backend = "thread"
         self.executor = executor
+        # Warm start: spawn pool workers (and run the process-backend
+        # pipeline initializer in each) now, so the first batch measures
+        # distillation, not worker startup.
+        self.executor.warmup()
         self._results = LRUCache(capacity=cache_size)
         self.timer = Timer()
         self._worker_profile = PipelineProfile()

@@ -24,11 +24,17 @@ class GCEDConfig:
         use_informativeness / use_conciseness / use_readability: criterion
             ablations; disabling one redistributes its hybrid weight over
             the remaining criteria ("w/o I" rows of Table VIII).
+        incremental_scoring: route the clip search through the
+            node-set-keyed incremental scoring engine
+            (:mod:`repro.core.scoring`).  Outputs are bit-identical with
+            the engine on or off; the switch exists for equivalence tests
+            and debugging.
     """
 
     weights: HybridWeights = field(default_factory=HybridWeights)
     clip_times: int = 2
     max_answer_sentences: int = 3
+    incremental_scoring: bool = True
     use_ase: bool = True
     use_qws: bool = True
     use_grow: bool = True

@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.efc import EvidenceForest
-from repro.metrics.hybrid import HybridScorer
+from repro.core.scoring import CandidateScoringEngine
+from repro.metrics.hybrid import EvidenceScores, HybridScorer
 from repro.parsing.tree import DependencyTree
 from repro.text.tokenizer import detokenize
 
@@ -51,6 +52,11 @@ class OptimalEvidenceDistiller:
             candidates with the smallest parent-edge weights are evaluated
             first (weak attachments are the likeliest noise), which keeps
             the QA-model calls per example bounded.
+        engine: optional incremental scoring engine.  When present, the
+            clip search scores candidates through node-set-keyed sessions
+            (memoized, incremental metrics, batched QA predictions); when
+            ``None``, every candidate is rendered and scored directly.
+            Outputs are bit-identical either way.
     """
 
     def __init__(
@@ -58,12 +64,14 @@ class OptimalEvidenceDistiller:
         scorer: HybridScorer,
         clip_times: int = 2,
         max_clip_candidates: int = 24,
+        engine: CandidateScoringEngine | None = None,
     ) -> None:
         if clip_times < 0:
             raise ValueError("clip_times must be non-negative")
         self.scorer = scorer
         self.clip_times = clip_times
         self.max_clip_candidates = max_clip_candidates
+        self.engine = engine
 
     # ------------------------------------------------------------- helpers
     @staticmethod
@@ -163,9 +171,18 @@ class OptimalEvidenceDistiller:
         question: str,
         answer: str,
     ) -> tuple[set[int], list[ClipTrace]]:
-        """SCS: iteratively prune the best-to-remove subtree, M times."""
+        """SCS: iteratively prune the best-to-remove subtree, M times.
+
+        The current evidence's score is computed once (lazily, the first
+        time a clip decision needs it) and carried forward as the chosen
+        candidate's score thereafter — it is by construction the previous
+        iteration's ``hybrid_after``, so re-scoring it from scratch every
+        iteration was pure redundancy.
+        """
         evidence = set(evidence)
         trace: list[ClipTrace] = []
+        session = self.engine.session(tree, question, answer) if self.engine else None
+        current_scores = None
         for _ in range(self.clip_times):
             candidates = self._clip_candidates(
                 tree, evidence, evidence_root, protected
@@ -186,24 +203,41 @@ class OptimalEvidenceDistiller:
             maximal.sort(key=lambda item: tree.weight(item[0]))
             maximal = maximal[: self.max_clip_candidates]
 
-            best: tuple[float, float, int, frozenset[int]] | None = None
-            for node, sub in maximal:
-                remaining = evidence - sub
-                text = self.render(tree, remaining)
-                scores = self.scorer.score(question, answer, text)
+            if session is not None:
+                # One engine call per iteration: node-set memo hits skip
+                # rendering, misses share one batched QA prediction.
+                all_scores = session.score_many(
+                    [frozenset(evidence - sub) for _node, sub in maximal]
+                )
+            else:
+                all_scores = [
+                    self.scorer.score(
+                        question, answer, self.render(tree, evidence - sub)
+                    )
+                    for _node, sub in maximal
+                ]
+            best: tuple[float, float, int, frozenset[int], EvidenceScores] | None = None
+            for (node, sub), scores in zip(maximal, all_scores):
                 key = (scores.hybrid, -tree.weight(node))
                 if best is None or key > (best[0], best[1]):
-                    best = (scores.hybrid, -tree.weight(node), node, sub)
+                    best = (scores.hybrid, -tree.weight(node), node, sub, scores)
             if best is None or best[0] == float("-inf"):
                 break
-            hybrid_after, neg_weight, node, sub = best
-            current_text = self.render(tree, evidence)
-            current_scores = self.scorer.score(question, answer, current_text)
+            hybrid_after, neg_weight, node, sub, best_scores = best
+            if current_scores is None:
+                current_scores = (
+                    session.score(frozenset(evidence))
+                    if session is not None
+                    else self.scorer.score(
+                        question, answer, self.render(tree, evidence)
+                    )
+                )
             if hybrid_after < current_scores.hybrid:
                 # No clip improves the evidence: stop early (the paper's M
                 # is an upper bound tuned by experiments).
                 break
             evidence -= sub
+            current_scores = best_scores
             trace.append(
                 ClipTrace(
                     clipped_root=node,

@@ -21,6 +21,7 @@ from repro.core.efc import EvidenceForestConstructor
 from repro.core.oec import OptimalEvidenceDistiller
 from repro.core.qws import QuestionRelevantWordsSelector
 from repro.core.result import DistillationResult
+from repro.core.scoring import CandidateScoringEngine
 from repro.core.stages import empty_result, stage_plan
 from repro.core.ase import AnswerOrientedSentenceExtractor
 from repro.core.wsptc import WeightedTreeConstructor
@@ -98,8 +99,15 @@ class GCED:
             readability=ReadabilityScorer(artifacts.language_model),
             weights=self.config.effective_weights(),
         )
+        self.scoring_engine = (
+            CandidateScoringEngine(self.scorer)
+            if self.config.incremental_scoring
+            else None
+        )
         self.oec = OptimalEvidenceDistiller(
-            self.scorer, clip_times=self.config.clip_times
+            self.scorer,
+            clip_times=self.config.clip_times,
+            engine=self.scoring_engine,
         )
         self.retriever = retriever
         self.resources = PipelineResources(
@@ -188,6 +196,8 @@ class GCED:
             "informativeness": self.scorer.informativeness._cache,
             "readability": self.scorer.readability._cache,
         }
+        if self.scoring_engine is not None:
+            caches["clip_scores"] = self.scoring_engine.cache
         return {name: cache for name, cache in caches.items() if cache is not None}
 
     def snapshot_caches(self) -> PipelineProfile:

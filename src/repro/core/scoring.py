@@ -1,0 +1,208 @@
+"""Incremental candidate-scoring engine for the Grow-and-Clip search.
+
+The clip step (Alg. 1, SCS) is the hottest loop in the system: every
+iteration scores up to ``max_clip_candidates`` evidences that differ from
+the current one by a single removed subtree.  The direct path pays, per
+candidate, a render (detokenize), two re-tokenizations (conciseness and
+readability), a full trigram walk, and a QA-model prediction — almost all
+of it redundant across candidates.  :class:`CandidateScoringEngine`
+removes that redundancy in three layers:
+
+1. **Node-set-keyed memoization** — finished :class:`EvidenceScores` are
+   cached on ``(tree_id, frozenset(nodes))``, so re-encounters of a node
+   set (the carried-forward current evidence, repeated candidates across
+   iterations) never render text at all.  Text is rendered lazily, only
+   for candidates that reach the QA model.
+2. **Incremental metric deltas** — conciseness comes from per-node token
+   counts and readability from cached trigram terms
+   (:mod:`repro.metrics.incremental`); the language model is consulted
+   only at removal boundaries.  When per-node token independence cannot
+   be guaranteed (hazard tokens, see ``TreeTokenArtifacts.separable``),
+   the session transparently falls back to rendering and re-tokenizing —
+   slower, never wrong.
+3. **Batched informativeness** — all candidates of one clip iteration
+   needing a QA prediction are issued as a single
+   :meth:`QAModel.predict_batch` call through
+   :meth:`InformativenessScorer.score_batch`.
+
+Exactness contract: every :class:`EvidenceScores` produced here is
+bit-identical to ``HybridScorer.score(question, answer, render(nodes))``.
+The equivalence is asserted by ``tests/test_scoring_incremental.py`` over
+randomized trees and by the full-pipeline harness with the engine on/off.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.metrics.hybrid import EvidenceScores, HybridScorer
+from repro.metrics.incremental import TreeTokenArtifacts, TrigramTermCache
+from repro.parsing.tree import DependencyTree
+from repro.text.tokenizer import detokenize, word_tokens
+from repro.utils.cache import LRUCache, MISSING
+
+__all__ = ["CandidateScoringEngine", "ScoringSession"]
+
+
+def _invalid_scores() -> EvidenceScores:
+    """The discarded-evidence outcome, matching ``HybridScorer.score``."""
+    return EvidenceScores(0.0, float("-inf"), 0.0, float("-inf"))
+
+
+class ScoringSession:
+    """Per-example scoring context: one tree, one (question, answer) pair.
+
+    Sessions are cheap, transient objects created once per clip search.
+    They own the per-tree token artifacts and route score lookups through
+    the engine's shared node-set cache under a session-unique ``tree_id``.
+    """
+
+    def __init__(
+        self,
+        engine: "CandidateScoringEngine",
+        tree: DependencyTree,
+        question: str,
+        answer: str,
+        tree_id: int,
+    ) -> None:
+        self.engine = engine
+        self.tree = tree
+        self.question = question
+        self.answer = answer
+        self.tree_id = tree_id
+        # L(a) + 1, the shortest admissible evidence length (Eq. 2).
+        self._answer_length = len(word_tokens(answer))
+        self._artifacts = TreeTokenArtifacts(tree.tokens)
+        self._renders: dict[frozenset[int], str] = {}
+        self._verified = False
+
+    # -------------------------------------------------------------- pieces
+    def render(self, nodes: frozenset[int]) -> str:
+        """``detokenize(tree.text_of(nodes))``, memoized per node set.
+
+        Delegates to the same ``text_of`` the direct path renders with,
+        so there is exactly one rendering implementation to keep exact.
+        """
+        text = self._renders.get(nodes)
+        if text is None:
+            text = detokenize(self.tree.text_of(nodes))
+            self._renders[nodes] = text
+        return text
+
+    def _sequence(self, nodes: frozenset[int]) -> list[str]:
+        """Word-token sequence of ``nodes``; exact, fast when separable."""
+        artifacts = self._artifacts
+        if artifacts.separable:
+            seq = artifacts.sequence(sorted(nodes))
+            if not self._verified:
+                # Belt and braces: one direct re-tokenization per session
+                # confirms the separability analysis on real data; any
+                # mismatch flips the session into fallback mode.
+                self._verified = True
+                direct = word_tokens(self.render(nodes))
+                if direct != seq:
+                    artifacts.separable = False
+                    return direct
+            return seq
+        return word_tokens(self.render(nodes))
+
+    def _conciseness(self, length: int) -> float:
+        """Eq. 2 + the scorer's monotone [0, 1] rescaling, from a length.
+
+        Mirrors ``HybridScorer.normalized_conciseness`` exactly:
+        ``min(1.0, (L(a) + 1) * (1 / L(e)))`` for admissible evidences.
+        """
+        if length <= self._answer_length:
+            return float("-inf")
+        return min(1.0, (self._answer_length + 1) * (1.0 / length))
+
+    def _readability(self, seq: list[str]) -> float:
+        """``R(e)`` from cached trigram terms; equals the direct scorer."""
+        if not seq:
+            return 0.0
+        ppl = self.engine.terms.perplexity(seq)
+        return self.engine.scorer.readability.score_from_perplexity(ppl)
+
+    # -------------------------------------------------------------- scores
+    def score(self, nodes: frozenset[int]) -> EvidenceScores:
+        """Scores for one node set (see :meth:`score_many`)."""
+        return self.score_many([nodes])[0]
+
+    def score_many(
+        self, node_sets: list[frozenset[int]]
+    ) -> list[EvidenceScores]:
+        """Scores for many node sets, bit-identical to the direct path.
+
+        Cache hits return without rendering; misses compute conciseness
+        and readability incrementally and share one batched QA prediction
+        for informativeness.
+        """
+        engine = self.engine
+        cache = engine.cache
+        tree_id = self.tree_id
+        out: list[EvidenceScores | None] = [None] * len(node_sets)
+        misses: list[tuple[int, frozenset[int]]] = []
+        for pos, nodes in enumerate(node_sets):
+            cached = cache.get((tree_id, nodes), MISSING)
+            if cached is not MISSING:
+                out[pos] = cached
+            else:
+                misses.append((pos, nodes))
+
+        valid: list[tuple[int, frozenset[int], float, float, str]] = []
+        for pos, nodes in misses:
+            seq = self._sequence(nodes)
+            c = self._conciseness(len(seq))
+            if c == float("-inf"):
+                scores = _invalid_scores()
+                cache.put((tree_id, nodes), scores)
+                out[pos] = scores
+                continue
+            r = self._readability(seq)
+            valid.append((pos, nodes, c, r, self.render(nodes)))
+
+        if valid:
+            scorer = engine.scorer
+            weights = scorer.weights
+            infos = scorer.informativeness.score_batch(
+                self.question, self.answer, [text for *_rest, text in valid]
+            )
+            for (pos, nodes, c, r, text), i in zip(valid, infos):
+                # Seed the string-keyed readability cache so the finalize
+                # stage's direct re-score of the winner hits.
+                scorer.readability.seed(text, r)
+                h = weights.alpha * i + weights.beta * r + weights.gamma * c
+                scores = EvidenceScores(
+                    informativeness=i, conciseness=c, readability=r, hybrid=h
+                )
+                cache.put((tree_id, nodes), scores)
+                out[pos] = scores
+        return out  # type: ignore[return-value]
+
+
+class CandidateScoringEngine:
+    """Shared, pipeline-wide state behind :class:`ScoringSession`.
+
+    One engine lives per :class:`~repro.core.pipeline.GCED`.  It owns the
+    node-set score cache (surfaced as the ``clip_scores`` shared cache in
+    profiles — its lookup counts are the clip search's scoring traffic)
+    and the trigram term cache.  The *term* cache stays warm across
+    examples; node-set entries are keyed by session-unique ``tree_id``,
+    so they serve repeats within one clip search only (cross-example
+    session reuse, keyed on tree content, is a ROADMAP follow-on).
+    Thread-safe for the thread executor (LRU cache is locked; the term
+    cache holds idempotent pure values) and picklable for the process
+    executor.
+    """
+
+    def __init__(self, scorer: HybridScorer, cache_size: int = 8192) -> None:
+        self.scorer = scorer
+        self.cache = LRUCache(capacity=cache_size)
+        self.terms = TrigramTermCache(scorer.readability.language_model)
+        self._tree_ids = itertools.count()
+
+    def session(
+        self, tree: DependencyTree, question: str, answer: str
+    ) -> ScoringSession:
+        """A fresh per-example session with a unique ``tree_id``."""
+        return ScoringSession(self, tree, question, answer, next(self._tree_ids))

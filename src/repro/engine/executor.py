@@ -43,6 +43,16 @@ class Executor:
     ) -> list:
         raise NotImplementedError
 
+    def warmup(self) -> "Executor":
+        """Spin up pool workers now (no-op for serial execution).
+
+        Long-lived callers (the batch distiller, the serving layer) call
+        this at construction so worker spawn and per-worker initializers
+        — unpickling a configured pipeline is the expensive part — run
+        during startup instead of inside the first measured ``map``.
+        """
+        return self
+
     def close(self) -> None:
         """Release pool resources (no-op for serial execution)."""
 
@@ -135,6 +145,21 @@ class ParallelExecutor(Executor):
                     )
         return self._pool
 
+    def warmup(self) -> "Executor":
+        """Create the pool and run per-worker initializers eagerly.
+
+        Submits one barrier task per worker so process workers spawn (and
+        unpickle their initializer state — the warm pipeline) now rather
+        than lazily inside the first real batch.  Best effort: a fast
+        worker may serve several barriers, but the dominant cost (pool
+        creation plus initializer runs for every spawned worker) is paid
+        here either way.  Idempotent; safe to call on a warm pool.
+        """
+        pool = self._ensure_pool()
+        for future in [pool.submit(_warm_worker) for _ in range(self.workers)]:
+            future.result()
+        return self
+
     def map(
         self,
         fn: Callable[[Any], Any],
@@ -167,6 +192,10 @@ class ParallelExecutor(Executor):
 def _run_chunk(fn: Callable[[Any], Any], chunk_items: list) -> list:
     """Execute one chunk inline inside a pool worker."""
     return [fn(item) for item in chunk_items]
+
+
+def _warm_worker() -> None:
+    """Barrier task: forces worker spawn + initializer before real work."""
 
 
 def _locality_order(

@@ -42,8 +42,6 @@ class ExperimentContext:
     seed: int
     distiller: BatchDistiller = None  # type: ignore[assignment]
 
-    _gold_evidence_cache: dict[str, DistillationResult] = None  # type: ignore[assignment]
-
     @classmethod
     def build(
         cls,
@@ -78,16 +76,23 @@ class ExperimentContext:
             )
             for spec in specs
         }
-        ctx = cls(
+        # The results memo must hold every (gold + predicted) distillation
+        # for the context's lifetime — experiments re-read gold evidences
+        # across tables, and an undersized LRU would thrash on sequential
+        # multi-pass scans.  Worst case is one gold plus one predicted
+        # triple per baseline per dev example; size for that (with slack),
+        # floored at the distiller default.
+        memo_size = max(4096, (len(baselines) + 3) * len(dataset.dev))
+        return cls(
             dataset=dataset,
             artifacts=artifacts,
             gced=gced,
             baselines=baselines,
             seed=seed,
-            distiller=BatchDistiller(gced, workers=workers, backend=backend),
+            distiller=BatchDistiller(
+                gced, cache_size=memo_size, workers=workers, backend=backend
+            ),
         )
-        ctx._gold_evidence_cache = {}
-        return ctx
 
     def close(self) -> None:
         """Shut down the distiller's worker pool, if one was created."""
@@ -104,29 +109,24 @@ class ExperimentContext:
         """Distill gold evidences for ``examples`` as one batch.
 
         Routes through the engine executor (context-grouped, parallel when
-        ``workers > 1``) and fills the per-example cache
-        :meth:`gold_evidence` reads, so subsequent per-example access is
-        free.
+        ``workers > 1``); the distiller's content-keyed ``results`` memo
+        makes subsequent per-example access free.
         """
-        missing = [
-            e for e in examples if e.example_id not in self._gold_evidence_cache
-        ]
-        if not missing:
-            return
-        for example, result in zip(
-            missing, self.distiller.distill_examples(missing)
-        ):
-            self._gold_evidence_cache[example.example_id] = result
+        self.distiller.distill_examples(examples)
 
     def gold_evidence(self, example: QAExample) -> DistillationResult:
-        """GCED evidence distilled from the ground-truth answer (cached)."""
-        cached = self._gold_evidence_cache.get(example.example_id)
-        if cached is None:
-            cached = self.distiller.distill_one(
-                example.question, example.primary_answer, example.context
-            )
-            self._gold_evidence_cache[example.example_id] = cached
-        return cached
+        """GCED evidence distilled from the ground-truth answer (memoized).
+
+        Served by the distiller's shared ``results`` cache, keyed on the
+        (question, answer, context) content.  A per-``example_id`` shadow
+        cache used to sit in front of it: ids are dataset/seed-scoped
+        run state, so cross-experiment reuse of the same content never
+        registered — ``--profile`` reported a structural 0% hit rate on
+        ``results`` while the real reuse hid here, uncounted.
+        """
+        return self.distiller.distill_one(
+            example.question, example.primary_answer, example.context
+        )
 
     def predicted_evidence(
         self, example: QAExample, model: SimulatedBaseline

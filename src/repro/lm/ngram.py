@@ -13,10 +13,16 @@ import math
 from collections import Counter
 from typing import Iterable, Sequence
 
-__all__ = ["NGramLanguageModel"]
+__all__ = ["BOS", "NGramLanguageModel"]
 
 _BOS = "<s>"
 _EOS = "</s>"
+
+# Public alias: incremental scoring replays trigram terms outside this
+# module and must left-pad with the exact BOS sentinel
+# ``log_probability`` uses.  (EOS is fit-time only — ``log_probability``
+# scores sequences *without* EOS, so replayers must not append it.)
+BOS = _BOS
 
 
 class NGramLanguageModel:

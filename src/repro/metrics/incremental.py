@@ -1,0 +1,129 @@
+"""Incremental conciseness/readability for clip-candidate scoring.
+
+The clip search (Alg. 1, SCS) scores up to ``max_clip_candidates``
+heavily-overlapping evidences per iteration.  The direct path re-renders
+each candidate node set to text, re-tokenizes it, and re-walks the full
+trigram sequence — O(len) *model* work per candidate even though two
+candidates differ only around one removed subtree.  This module provides
+the per-example artifacts that make those scores cheap:
+
+* :class:`TreeTokenArtifacts` — per-node word-token contributions and a
+  *separability* analysis: when no token can merge with a neighbour under
+  :func:`repro.text.tokenizer.detokenize` (hyphen joins, ``%`` attaching
+  to a number), the word-token sequence of any node set is exactly the
+  concatenation of its nodes' individual word tokens, so candidates never
+  need to be rendered or re-tokenized just to measure length/perplexity.
+* :class:`TrigramTermCache` — per-position trigram log-probabilities
+  ``log p(w | u, v)`` cached by context triple.  Removing a contiguous
+  subtree only perturbs the trigram windows at the removal boundaries, so
+  a candidate's sequence costs new model evaluations only there
+  (O(boundary)); everything else is a dict hit.  The final reduction is a
+  cheap left-to-right float sum kept in exactly the order
+  :meth:`NGramLanguageModel.log_probability` uses, so results are
+  bit-identical to the direct path.
+
+Exactness contract: every value produced here must equal the direct
+computation bit-for-bit.  When separability cannot be guaranteed (a
+hazard token is present, or the verification pass fails), callers fall
+back to rendering and re-tokenizing — slower, never wrong.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.lm.ngram import BOS, NGramLanguageModel
+from repro.text.tokenizer import word_tokens
+
+__all__ = ["TreeTokenArtifacts", "TrigramTermCache"]
+
+# Above this many cached trigram contexts the cache resets; entries are
+# idempotent pure values, so clearing only costs recomputation.
+_MAX_TERM_CACHE = 262_144
+
+
+def _hazardous(token: str) -> bool:
+    """True if ``token`` can merge with a neighbour under detokenize in a
+    way that changes ``word_tokens`` of the joined text.
+
+    Only two join rules can fuse alphanumeric material across token
+    boundaries: hyphen joining (``"big" "-" "wide"`` → ``"big-wide"``, one
+    word token instead of two) and ``%`` attaching to a preceding number
+    (``"5" "%"`` → ``"5%"``, which the tokenizer reads as a single word
+    token).  All other attachments move punctuation only, and word
+    tokenization is insensitive to whitespace around punctuation.
+    """
+    return token == "-" or token.endswith("-") or token == "%"
+
+
+class TreeTokenArtifacts:
+    """Per-node token artifacts for one dependency tree, built once.
+
+    Attributes:
+        node_word_tokens: for each node, the word tokens its token string
+            contributes in isolation (empty for punctuation).
+        separable: True when the concatenation of per-node contributions
+            is guaranteed to equal ``word_tokens(render(nodes))`` for
+            *every* node subset (no hazard tokens present).
+    """
+
+    def __init__(self, tokens: list[str]) -> None:
+        self.node_word_tokens: tuple[tuple[str, ...], ...] = tuple(
+            tuple(word_tokens(token)) for token in tokens
+        )
+        self.separable: bool = not any(_hazardous(token) for token in tokens)
+
+    def sequence(self, ordered_nodes: list[int]) -> list[str]:
+        """Word-token sequence of a node set (nodes pre-sorted by index).
+
+        Only valid when :attr:`separable` is True.
+        """
+        seq: list[str] = []
+        for node in ordered_nodes:
+            seq.extend(self.node_word_tokens[node])
+        return seq
+
+
+class TrigramTermCache:
+    """Replays :meth:`NGramLanguageModel.log_probability` from cached terms.
+
+    Each per-position term ``math.log(p(w | u, v))`` is a pure function of
+    its trigram context, cached by ``(u, v, w)``.  Candidate sequences in
+    one clip search share almost all contexts (only removal boundaries
+    change), so the language model is consulted O(boundary) times per
+    candidate; the summation itself stays left-to-right over the same
+    float values the direct path adds, making the total bit-identical.
+    """
+
+    def __init__(self, language_model: NGramLanguageModel) -> None:
+        self.language_model = language_model
+        self._terms: dict[tuple[str, str, str], float] = {}
+
+    def log_probability(self, tokens: list[str]) -> float:
+        """Exactly ``language_model.log_probability(tokens)``.
+
+        ``tokens`` must already be lowercase (word_tokens output or
+        per-node artifacts, both lowercased), matching the ``t.lower()``
+        padding step of the direct implementation.
+        """
+        terms = self._terms
+        if len(terms) > _MAX_TERM_CACHE:
+            terms.clear()
+        lm = self.language_model
+        u, v = BOS, BOS
+        total = 0.0
+        for w in tokens:
+            key = (u, v, w)
+            term = terms.get(key)
+            if term is None:
+                term = math.log(lm.probability(w, v, u))
+                terms[key] = term
+            total += term
+            u, v = v, w
+        return total
+
+    def perplexity(self, tokens: list[str]) -> float:
+        """Exactly ``language_model.perplexity(tokens)`` (non-empty input)."""
+        if not tokens:
+            return float(self.language_model.vocab_size)
+        return math.exp(-self.log_probability(tokens) / len(tokens))

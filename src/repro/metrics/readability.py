@@ -49,6 +49,20 @@ class ReadabilityScorer:
         if cached is not None:
             return cached
         ppl = self.language_model.perplexity(tokens)
-        value = 1.0 / max(ppl, 1.0) ** self.gamma
+        value = self.score_from_perplexity(ppl)
         self._cache.put(evidence, value)
         return value
+
+    def score_from_perplexity(self, ppl: float) -> float:
+        """The ``R(e)`` calibration applied to a precomputed perplexity."""
+        return 1.0 / max(ppl, 1.0) ** self.gamma
+
+    def seed(self, evidence: str, value: float) -> None:
+        """Install an externally computed score for ``evidence``.
+
+        The incremental scoring engine computes ``R(e)`` from cached
+        trigram terms (bit-identical to :meth:`score`); seeding the
+        string-keyed cache lets later direct lookups — e.g. the finalize
+        stage re-scoring the winning evidence — hit instead of recomputing.
+        """
+        self._cache.put(evidence, value)

@@ -9,13 +9,16 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import Any, Sequence
 
 from repro.parsing.pos import PosTagger, VERB_LEXICON
 from repro.qa.answer_types import AnswerType, candidate_spans, classify_question
+from repro.text.stem import light_stem
 from repro.text.tokenizer import Token, tokenize
 from repro.lexicon.stopwords import is_insignificant
+from repro.utils.cache import memoize_method
 
-__all__ = ["AnswerPrediction", "QAModel", "SpanScoringQA"]
+__all__ = ["AnswerPrediction", "QAModel", "QuestionProfile", "SpanScoringQA"]
 
 
 @dataclass(frozen=True)
@@ -53,11 +56,41 @@ class QAModel(abc.ABC):
     def predict(self, question: str, context: str) -> AnswerPrediction:
         """Predict the best answer span for ``question`` in ``context``."""
 
+    def predict_batch(
+        self, question: str, contexts: Sequence[str]
+    ) -> list[AnswerPrediction]:
+        """Predictions for one question over many candidate texts.
+
+        The contract is *exact* equivalence with calling :meth:`predict`
+        once per context; the batch entry point exists so callers (the
+        clip search, ASE sentence ranking) can issue one call per
+        iteration and models can amortize question-side work across the
+        batch.  The default simply loops.
+        """
+        return [self.predict(question, context) for context in contexts]
+
     def predict_top_k(
         self, question: str, context: str, k: int = 5
     ) -> list[AnswerPrediction]:
         """Best ``k`` non-overlapping predictions; default returns just one."""
         return [self.predict(question, context)]
+
+
+@dataclass(frozen=True)
+class QuestionProfile:
+    """Question-side artifacts shared by every span scored for a question.
+
+    Everything here is a pure function of the question string, so one
+    profile is computed per question (LRU-cached per model) instead of
+    once per candidate span — the clip search scores hundreds of spans
+    per question and used to rebuild these maps for each one.
+    """
+
+    terms: tuple[str, ...]
+    exact: dict[str, str]
+    stems: dict[str, str]
+    verbs: frozenset[str]
+    answer_type: AnswerType
 
 
 class SpanScoringQA(QAModel):
@@ -90,8 +123,6 @@ class SpanScoringQA(QAModel):
         Both maps send a surface key to the canonical question term, so the
         caller can track *distinct* matched terms for coverage bonuses.
         """
-        from repro.text.stem import light_stem
-
         exact = {t: t for t in question_terms}
         stems = {light_stem(t): t for t in question_terms}
         verbs = frozenset(
@@ -107,11 +138,65 @@ class SpanScoringQA(QAModel):
         stems: dict[str, str],
     ) -> str | None:
         """The question term matched by a context token, or None."""
-        from repro.text.stem import light_stem
-
         if token_lower in exact:
             return exact[token_lower]
         return stems.get(light_stem(token_lower))
+
+    @memoize_method(maxsize=512)
+    def _question_profile(self, question: str) -> QuestionProfile:
+        """The cached :class:`QuestionProfile` for ``question``."""
+        terms = tuple(self.question_terms(question))
+        exact, stems, verbs = self.term_index(list(terms))
+        return QuestionProfile(
+            terms=terms,
+            exact=exact,
+            stems=stems,
+            verbs=verbs,
+            answer_type=classify_question(question),
+        )
+
+    # ------------------------------------------------- prepared span scoring
+    def span_prep(self, profile: QuestionProfile, tokens: list[Token]) -> Any:
+        """Per-(question, context) precomputation for span scoring.
+
+        Subclasses return an opaque object (match tables, embedding
+        matrices, ...) that :meth:`score_span_prepared` consumes; spans of
+        the same context then share one O(n) pass instead of each paying
+        it.  Returning ``None`` (the default) routes every span through
+        the generic :meth:`score_span`, so subclasses that only implement
+        ``score_span`` keep their exact behaviour.
+        """
+        return None
+
+    def score_span_prepared(
+        self,
+        prep: Any,
+        profile: QuestionProfile,
+        tokens: list[Token],
+        start: int,
+        end: int,
+        bounds: tuple[int, int] | None = None,
+    ) -> float:
+        """Score a span using ``prep``; must equal :meth:`score_span` exactly."""
+        raise NotImplementedError(
+            "models returning a non-None span_prep must implement "
+            "score_span_prepared"
+        )
+
+    def _span_score(
+        self,
+        prep: Any,
+        terms: list[str],
+        profile: QuestionProfile,
+        tokens: list[Token],
+        start: int,
+        end: int,
+        bounds: tuple[int, int] | None,
+    ) -> float:
+        """Dispatch to the prepared path when available, else the generic one."""
+        if prep is not None:
+            return self.score_span_prepared(prep, profile, tokens, start, end, bounds)
+        return self.score_span(terms, tokens, start, end, bounds=bounds)
 
     @abc.abstractmethod
     def score_span(
@@ -163,14 +248,16 @@ class SpanScoringQA(QAModel):
         tokens = tokenize(context)
         if not tokens:
             return tokens, []
-        answer_type = classify_question(question)
+        profile = self._question_profile(question)
+        answer_type = profile.answer_type
         typed = set(candidate_spans(tokens, answer_type))
         spans = set(typed)
         if answer_type is AnswerType.ENTITY or not spans:
             # "what/which" answers are frequently common-noun phrases that
             # the capitalized-run extractor cannot produce.
             spans |= set(candidate_spans(tokens, AnswerType.PHRASE))
-        terms = self.question_terms(question)
+        terms = list(profile.terms)
+        prep = self.span_prep(profile, tokens)
         entity_like = answer_type in (
             AnswerType.PERSON,
             AnswerType.PLACE,
@@ -182,7 +269,7 @@ class SpanScoringQA(QAModel):
         for start, end in spans:
             lo = sent_bounds[start][0]
             hi = sent_bounds[min(end, len(tokens) - 1)][1]
-            raw = self.score_span(terms, tokens, start, end, bounds=(lo, hi))
+            raw = self._span_score(prep, terms, profile, tokens, start, end, (lo, hi))
             raw -= self.length_penalty * (end - start)
             if (start, end) in typed:
                 raw += self.typed_prior
@@ -229,6 +316,11 @@ class SpanScoringQA(QAModel):
             end=tokens[end].end,
             score=score,
         )
+
+    # predict_batch: the inherited serial loop is already amortized here —
+    # every predict shares the memoized QuestionProfile and pays span
+    # scoring through a per-context span_prep table, so question-side work
+    # is hoisted whether calls arrive one at a time or as a batch.
 
     def predict_top_k(
         self, question: str, context: str, k: int = 5

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.lm.embeddings import CooccurrenceEmbeddings
-from repro.qa.base import SpanScoringQA
+from repro.qa.base import QuestionProfile, SpanScoringQA
 from repro.text.tokenizer import Token
 
 __all__ = ["EmbeddingQA"]
@@ -62,6 +62,51 @@ class EmbeddingQA(SpanScoringQA):
         hi = min(hi_limit, end + self.window + 1)
         words = [tokens[i].lower for i in range(lo, hi) if tokens[i].is_word]
         sv = self._mean_vector(words)
+        sn = np.linalg.norm(sv)
+        if sn == 0.0:
+            return 0.0
+        return float(qv @ sv / (qn * sn))
+
+    # ------------------------------------------------- prepared scoring path
+    def span_prep(self, profile: QuestionProfile, tokens: list[Token]):
+        """Context word-embedding matrix plus word-position prefix counts.
+
+        Window means become contiguous row slices of one stacked matrix
+        (word tokens inside a token range are consecutive in word-only
+        order), so each span pays one ``mean`` instead of rebuilding the
+        matrix from per-token dictionary lookups.
+        """
+        qv = self._question_vector(tuple(profile.terms))
+        qn = np.linalg.norm(qv)
+        word_prefix = [0] * (len(tokens) + 1)
+        rows = []
+        for i, tok in enumerate(tokens):
+            if tok.is_word:
+                rows.append(self.embeddings.vector(tok.lower))
+            word_prefix[i + 1] = len(rows)
+        matrix = np.vstack(rows) if rows else np.zeros((0, self.embeddings.dim))
+        return (qv, qn, matrix, word_prefix)
+
+    def score_span_prepared(
+        self,
+        prep,
+        profile: QuestionProfile,
+        tokens: list[Token],
+        start: int,
+        end: int,
+        bounds: tuple[int, int] | None = None,
+    ) -> float:
+        qv, qn, matrix, word_prefix = prep
+        if qn == 0.0:
+            return 0.0
+        lo_limit, hi_limit = bounds if bounds is not None else (0, len(tokens))
+        lo = max(lo_limit, start - self.window)
+        hi = min(hi_limit, end + self.window + 1)
+        window = matrix[word_prefix[lo] : word_prefix[hi]]
+        if window.shape[0] == 0:
+            sv = np.zeros(self.embeddings.dim)
+        else:
+            sv = window.mean(axis=0)
         sn = np.linalg.norm(sv)
         if sn == 0.0:
             return 0.0

@@ -7,7 +7,7 @@ score-normalized) member outputs.
 
 from __future__ import annotations
 
-from repro.qa.base import SpanScoringQA
+from repro.qa.base import QuestionProfile, SpanScoringQA
 from repro.text.tokenizer import Token
 
 __all__ = ["EnsembleQA"]
@@ -44,4 +44,30 @@ class EnsembleQA(SpanScoringQA):
         return sum(
             weight * model.score_span(question_terms, tokens, start, end, bounds)
             for model, weight in self.members
+        )
+
+    # ------------------------------------------------- prepared scoring path
+    def span_prep(self, profile: QuestionProfile, tokens: list[Token]):
+        """Member preps plus the shared terms list for fallback members."""
+        return (
+            list(profile.terms),
+            [model.span_prep(profile, tokens) for model, _weight in self.members],
+        )
+
+    def score_span_prepared(
+        self,
+        prep,
+        profile: QuestionProfile,
+        tokens: list[Token],
+        start: int,
+        end: int,
+        bounds: tuple[int, int] | None = None,
+    ) -> float:
+        terms, member_preps = prep
+        return sum(
+            weight
+            * model._span_score(
+                member_prep, terms, profile, tokens, start, end, bounds
+            )
+            for (model, weight), member_prep in zip(self.members, member_preps)
         )

@@ -9,7 +9,7 @@ informativeness metric rely on.
 
 from __future__ import annotations
 
-from repro.qa.base import SpanScoringQA
+from repro.qa.base import QuestionProfile, SpanScoringQA
 from repro.text.tokenizer import Token
 
 __all__ = ["LexicalOverlapQA"]
@@ -74,5 +74,56 @@ class LexicalOverlapQA(SpanScoringQA):
             matched.add(term)
         # Coverage bonus: spans near *distinct* question terms beat spans
         # near repeated occurrences of one term.
+        score += 0.5 * len(matched)
+        return score
+
+    # ------------------------------------------------- prepared scoring path
+    def span_prep(self, profile: QuestionProfile, tokens: list[Token]):
+        """Per-token matched-term table, computed once per context.
+
+        ``table[i]`` is the canonical question term token ``i`` matches,
+        or ``None`` for non-words and unmatched words — exactly the
+        outcome of the per-span ``match_term`` calls, hoisted to one
+        O(n) pass.
+        """
+        if not profile.terms:
+            return ()
+        exact, stems = profile.exact, profile.stems
+        return [
+            self.match_term(tok.lower, exact, stems) if tok.is_word else None
+            for tok in tokens
+        ]
+
+    def score_span_prepared(
+        self,
+        prep,
+        profile: QuestionProfile,
+        tokens: list[Token],
+        start: int,
+        end: int,
+        bounds: tuple[int, int] | None = None,
+    ) -> float:
+        if not profile.terms:
+            return 0.0
+        lo_limit, hi_limit = bounds if bounds is not None else (0, len(tokens))
+        score = 0.0
+        matched: set[str] = set()
+        for idx in range(
+            max(lo_limit, start - self.window),
+            min(hi_limit, end + self.window + 1),
+        ):
+            term = prep[idx]
+            if term is None:
+                continue
+            if start <= idx <= end:
+                score -= 0.4
+                continue
+            distance = start - idx if idx < start else idx - end
+            decayed = self.decay ** distance
+            if term in profile.verbs:
+                score += self.verb_term_boost * decayed
+            else:
+                score += 0.75 + 0.25 * decayed
+            matched.add(term)
         score += 0.5 * len(matched)
         return score

@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Iterable
 
-from repro.qa.base import SpanScoringQA
+from repro.qa.base import QuestionProfile, SpanScoringQA
 from repro.retrieval.weighting import idf_table, unseen_idf
 from repro.text.tokenizer import Token, word_tokens
 
@@ -99,4 +99,50 @@ class TfidfQA(SpanScoringQA):
                 score += weight * (0.75 + 0.25 * decayed)
             matched.add(term)
         score += 0.5 * sum(self.idf(t) for t in matched) / max(1, len(question_terms))
+        return score
+
+    # ------------------------------------------------- prepared scoring path
+    def span_prep(self, profile: QuestionProfile, tokens: list[Token]):
+        """Per-token ``(term, idf)`` table, computed once per context."""
+        if not profile.terms:
+            return ()
+        exact, stems = profile.exact, profile.stems
+        table: list[tuple[str, float] | None] = []
+        for tok in tokens:
+            term = self.match_term(tok.lower, exact, stems) if tok.is_word else None
+            table.append((term, self.idf(tok.lower)) if term is not None else None)
+        return table
+
+    def score_span_prepared(
+        self,
+        prep,
+        profile: QuestionProfile,
+        tokens: list[Token],
+        start: int,
+        end: int,
+        bounds: tuple[int, int] | None = None,
+    ) -> float:
+        if not profile.terms:
+            return 0.0
+        lo_limit, hi_limit = bounds if bounds is not None else (0, len(tokens))
+        lo = max(lo_limit, start - self.window)
+        hi = min(hi_limit, end + self.window + 1)
+        score = 0.0
+        matched: set[str] = set()
+        for idx in range(lo, hi):
+            entry = prep[idx]
+            if entry is None:
+                continue
+            term, weight = entry
+            if start <= idx <= end:
+                score -= 0.4 * weight
+                continue
+            distance = start - idx if idx < start else idx - end
+            decayed = self.decay ** distance
+            if term in profile.verbs:
+                score += self.verb_term_boost * weight * decayed
+            else:
+                score += weight * (0.75 + 0.25 * decayed)
+            matched.add(term)
+        score += 0.5 * sum(self.idf(t) for t in matched) / max(1, len(profile.terms))
         return score

@@ -8,6 +8,8 @@ as soft evidence, never as hard identity.
 
 from __future__ import annotations
 
+import functools
+
 __all__ = ["light_stem", "lemma"]
 
 # Irregular verb forms -> base lemma (the lexicon stores base forms).
@@ -30,8 +32,12 @@ _IRREGULAR = {
 }
 
 
+@functools.lru_cache(maxsize=65536)
 def light_stem(word: str) -> str:
     """Strip common inflectional suffixes; lowercases the input.
+
+    Pure and called once per (token, lookup) across span scoring and QWS,
+    so results are memoized process-wide.
 
     >>> light_stem("performed")
     'perform'

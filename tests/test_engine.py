@@ -257,6 +257,14 @@ class TestBatchDistillerParallel:
             stats = batch.stats()
         assert stats.n_distilled == 3
         assert stats.n_cache_hits == 3
+        # The shared results memo must account the repeat batch as hits:
+        # its key is pure (question, answer, context) content, so reruns
+        # of the same triples land on it.
+        results_cache = next(
+            c for c in stats.cache_stats if c.name == "results"
+        )
+        assert results_cache.hits == 3
+        assert results_cache.misses == 3
 
     def test_process_backend_matches_serial(self, gced, artifacts):
         triples = self._triples(3)
@@ -298,7 +306,19 @@ class TestBatchDistillerParallel:
         batch.distill_many(self._triples(4))
         stats = batch.stats()
         names = {c.name for c in stats.cache_stats}
-        assert {"parse", "informativeness", "readability", "results"} <= names
+        assert {
+            "parse",
+            "informativeness",
+            "readability",
+            "results",
+            "clip_scores",
+        } <= names
+        # The incremental engine's node-set cache must record the clip
+        # search's scoring traffic (one lookup per candidate evidence).
+        clip_cache = next(
+            c for c in stats.cache_stats if c.name == "clip_scores"
+        )
+        assert clip_cache.lookups > 0
         summary = stats.summary()
         assert "shared caches" in summary
         assert "informativeness" in summary

@@ -172,6 +172,14 @@ class TestExperimentContext:
         r1 = small_ctx.gold_evidence(example)
         r2 = small_ctx.gold_evidence(example)
         assert r1 is r2
+        # The reuse is served by the distiller's shared results memo
+        # (content-keyed), not a per-example-id shadow cache, so it is
+        # visible in --profile cache stats.
+        stats = small_ctx.distiller.stats()
+        results_cache = next(
+            c for c in stats.cache_stats if c.name == "results"
+        )
+        assert results_cache.hits >= 1
 
     def test_question_coverage_bounds(self, small_ctx):
         example = small_ctx.dataset.answerable_dev()[0]

@@ -1,0 +1,56 @@
+"""Unit tests for the CI perf gate's regression directions."""
+
+from __future__ import annotations
+
+from benchmarks.perf_gate import compare
+
+
+class TestCompareDirections:
+    def test_throughput_regresses_downward(self):
+        failures, _report = compare(
+            {"batch.serial_ex_per_sec": 60.0},
+            {"batch.serial_ex_per_sec": 100.0},
+            tolerance=0.30,
+        )
+        assert failures and "below" in failures[0]
+
+    def test_throughput_improvement_passes(self):
+        failures, _report = compare(
+            {"batch.serial_ex_per_sec": 250.0},
+            {"batch.serial_ex_per_sec": 100.0},
+            tolerance=0.30,
+        )
+        assert failures == []
+
+    def test_latency_regresses_upward(self):
+        failures, _report = compare(
+            {"distill.oec_ms": 10.0},
+            {"distill.oec_ms": 5.0},
+            tolerance=0.30,
+        )
+        assert failures and "above" in failures[0]
+
+    def test_latency_improvement_passes(self):
+        # A big latency *drop* is an improvement, not a regression — the
+        # bug the _ms direction exists to avoid.
+        failures, _report = compare(
+            {"distill.oec_ms": 1.0},
+            {"distill.oec_ms": 5.0},
+            tolerance=0.30,
+        )
+        assert failures == []
+
+    def test_within_tolerance_passes_both_ways(self):
+        failures, _report = compare(
+            {"distill.oec_ms": 5.5, "batch.serial_ex_per_sec": 90.0},
+            {"distill.oec_ms": 5.0, "batch.serial_ex_per_sec": 100.0},
+            tolerance=0.30,
+        )
+        assert failures == []
+
+    def test_baseline_only_metric_reports_not_fails(self):
+        failures, report = compare(
+            {}, {"service.c1.req_per_sec": 50.0}, tolerance=0.30
+        )
+        assert failures == []
+        assert any("baseline-only" in line for line in report)
