@@ -12,7 +12,10 @@ artifact and fails (exit 1) if any metric regressed more than
 environment variable) against ``benchmarks/results/baseline.json``:
 throughput metrics gate *downward*, and latency metrics — keys ending in
 ``_ms`` (the hot-path stage timings from ``bench_distill_profile.py``) —
-gate *upward*.  Absolute wall-clock varies across runner hardware more
+gate *upward*.  Cache-effectiveness ratios (``distill.clip_scores_hit_rate``)
+gate downward like throughput: losing cross-call session reuse halves
+the hit rate long before wall-clock regressions become visible on small
+CI samples.  Absolute wall-clock varies across runner hardware more
 than relative throughput does, so latency baselines must be produced on
 CI-comparable hardware (same rule the throughput baselines already
 follow) and re-blessed with ``--write-baseline`` after an intentional

@@ -65,13 +65,14 @@ def _worker_distill(triple: Triple) -> tuple[DistillationResult, PipelineProfile
         gced.profile = parent_profile
     for name, cache in gced.shared_caches().items():
         hits0, misses0 = before.get(name, (0, 0))
-        hits, misses, size = cache.snapshot()
+        snap = cache.snapshot()
         delta.record_cache(
             CacheStats(
                 name=name,
-                hits=hits - hits0,
-                misses=misses - misses0,
-                size=size,
+                hits=snap.hits - hits0,
+                misses=snap.misses - misses0,
+                size=snap.size,
+                bytes=snap.bytes,
             )
         )
     return result, delta
@@ -253,9 +254,14 @@ class BatchDistiller:
         combined = PipelineProfile()
         combined.merge(self.gced.snapshot_caches())
         combined.merge(self._worker_profile)
-        hits, misses, size = self._results.snapshot()
+        snap = self._results.snapshot()
         combined.record_cache(
-            CacheStats(name="results", hits=hits, misses=misses, size=size)
+            CacheStats(
+                name="results",
+                hits=snap.hits,
+                misses=snap.misses,
+                size=snap.size,
+            )
         )
         return combined
 

@@ -143,6 +143,13 @@ def build_outcome(
 class OpenContextDistiller:
     """Retrieves supporting paragraphs and distills the best evidence.
 
+    Open-context traffic is where the cross-call caches earn their keep:
+    popular paragraphs are retrieved for many asks, so their compiled
+    context artifacts (:attr:`compiler`) and content-keyed scoring
+    sessions stay warm across requests — a re-ask of a QA pair whose
+    result memo entry has aged out still skips the per-paragraph
+    span-table and clip-score work.
+
     Args:
         distiller: the warm batch distiller every candidate set runs on.
         retriever: the corpus retriever answering top-k queries.
@@ -160,6 +167,11 @@ class OpenContextDistiller:
         self.distiller = distiller
         self.retriever = retriever
         self.top_k = top_k
+        # Convenience handle to the pipeline's compiled-context cache
+        # (None for QA models without one): `compiler.snapshot()` shows
+        # how much paragraph reuse this ask traffic is getting.  Stats
+        # otherwise flow through the distiller's profile.
+        self.compiler = distiller.gced.compiler
 
     def _distill_isolated(
         self, triples: list[tuple[str, str, str]]

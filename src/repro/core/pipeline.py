@@ -110,6 +110,11 @@ class GCED:
             engine=self.scoring_engine,
         )
         self.retriever = retriever
+        # The reader's compiled-context cache (created lazily by
+        # SpanScoringQA; None for QA models without one).  Referenced from
+        # the resource bundle so batch/serving layers can surface its
+        # hit rates next to the other shared caches.
+        self.compiler = getattr(qa_model, "context_compiler", None)
         self.resources = PipelineResources(
             config=self.config,
             qa_model=self.qa_model,
@@ -121,6 +126,7 @@ class GCED:
             oec=self.oec,
             scorer=self.scorer,
             retriever=retriever,
+            compiler=self.compiler,
         )
         # Resolve the plan to stage instances eagerly: GCED must stay
         # picklable for process executors, and registries may hold
@@ -198,13 +204,22 @@ class GCED:
         }
         if self.scoring_engine is not None:
             caches["clip_scores"] = self.scoring_engine.cache
+            caches["clip_sessions"] = self.scoring_engine.sessions
+        if self.compiler is not None:
+            caches["compiled_contexts"] = self.compiler.cache
         return {name: cache for name, cache in caches.items() if cache is not None}
 
     def snapshot_caches(self) -> PipelineProfile:
         """Refresh ``profile`` with current shared-cache hit/miss counts."""
         for name, cache in self.shared_caches().items():
-            hits, misses, size = cache.snapshot()
+            snap = cache.snapshot()
             self.profile.record_cache(
-                CacheStats(name=name, hits=hits, misses=misses, size=size)
+                CacheStats(
+                    name=name,
+                    hits=snap.hits,
+                    misses=snap.misses,
+                    size=snap.size,
+                    bytes=snap.bytes,
+                )
             )
         return self.profile

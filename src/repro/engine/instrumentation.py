@@ -37,12 +37,17 @@ class StageTiming:
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Hit/miss snapshot of one shared cache."""
+    """Hit/miss snapshot of one shared cache.
+
+    ``bytes`` is the cache's estimated memory footprint; it stays 0 for
+    caches bounded by entry count only (no size estimator installed).
+    """
 
     name: str
     hits: int
     misses: int
     size: int = 0
+    bytes: int = 0
 
     @property
     def lookups(self) -> int:
@@ -64,6 +69,7 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "size": self.size,
+            "bytes": self.bytes,
             "hit_rate": self.hit_rate,
         }
 
@@ -172,6 +178,7 @@ class PipelineProfile:
                     hits=mine_stats.hits + stats.hits,
                     misses=mine_stats.misses + stats.misses,
                     size=max(mine_stats.size, stats.size),
+                    bytes=max(mine_stats.bytes, stats.bytes),
                 )
 
     # ------------------------------------------------------------ reporting

@@ -28,6 +28,7 @@ if TYPE_CHECKING:  # imports for typing only; engine stays core-agnostic
     from repro.metrics.hybrid import HybridScorer
     from repro.parsing.tree import DependencyTree
     from repro.qa.base import QAModel
+    from repro.qa.compiled import ContextCompiler
     from repro.qa.training import TrainedArtifacts
     from repro.retrieval.retriever import CorpusRetriever
     from repro.text.tokenizer import Token
@@ -57,6 +58,10 @@ class PipelineResources:
     # Optional corpus retriever enabling the open-context plan (the
     # ``retrieve`` stage resolves question+answer-only inputs against it).
     retriever: "CorpusRetriever | None" = None
+    # The QA model's compiled-context cache (None for models without
+    # one), bundled like the other pipeline components so custom stages
+    # can pre-compile or inspect paragraph artifacts via ctx.resources.
+    compiler: "ContextCompiler | None" = None
 
 
 @dataclass

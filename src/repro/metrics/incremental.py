@@ -17,15 +17,30 @@ the per-example artifacts that make those scores cheap:
   ``log p(w | u, v)`` cached by context triple.  Removing a contiguous
   subtree only perturbs the trigram windows at the removal boundaries, so
   a candidate's sequence costs new model evaluations only there
-  (O(boundary)); everything else is a dict hit.  The final reduction is a
-  cheap left-to-right float sum kept in exactly the order
-  :meth:`NGramLanguageModel.log_probability` uses, so results are
-  bit-identical to the direct path.
+  (O(boundary)); everything else is a dict hit.
+* :class:`TrigramPrefixSums` — running sums of the per-position terms of
+  one *full* token sequence, built once per context.  A candidate that
+  survives as token runs of the full sequence then costs O(boundary)
+  term lookups plus O(runs) float subtractions, instead of O(len) dict
+  hits and additions per candidate.
 
-Exactness contract: every value produced here must equal the direct
-computation bit-for-bit.  When separability cannot be guaranteed (a
-hazard token is present, or the verification pass fails), callers fall
-back to rendering and re-tokenizing — slower, never wrong.
+Summation-order contract (changed in the context-compiled scoring PR):
+the per-position *terms* are bit-identical to the ones the direct
+:meth:`NGramLanguageModel.log_probability` walk adds, but the prefix-sum
+path groups the additions by surviving run — ``P[b] - P[a]`` plus fresh
+boundary terms — instead of strictly left to right.  Float addition is
+not associative, so a candidate's total log-probability (and therefore
+its readability and hybrid scores) may differ from the direct path in
+the last ulps.  The guaranteed equivalence is *within 1e-9*, asserted by
+``tests/test_scoring_incremental.py``; pure-prefix candidates (a single
+run starting at position 0) remain bit-identical because ``P`` itself is
+accumulated left to right.  Conciseness and informativeness are
+unaffected and stay bit-exact.
+
+When separability cannot be guaranteed (a hazard token is present, or
+the verification pass fails), callers fall back to rendering and
+re-tokenizing with the term-cache walk — slower, never outside the
+contract.
 """
 
 from __future__ import annotations
@@ -35,7 +50,7 @@ import math
 from repro.lm.ngram import BOS, NGramLanguageModel
 from repro.text.tokenizer import word_tokens
 
-__all__ = ["TreeTokenArtifacts", "TrigramTermCache"]
+__all__ = ["TreeTokenArtifacts", "TrigramPrefixSums", "TrigramTermCache"]
 
 # Above this many cached trigram contexts the cache resets; entries are
 # idempotent pure values, so clearing only costs recomputation.
@@ -62,6 +77,9 @@ class TreeTokenArtifacts:
     Attributes:
         node_word_tokens: for each node, the word tokens its token string
             contributes in isolation (empty for punctuation).
+        word_offsets: for each node, the index of its first word token in
+            the full-tree sequence (the concatenation over all nodes).
+        total_words: length of the full-tree word-token sequence.
         separable: True when the concatenation of per-node contributions
             is guaranteed to equal ``word_tokens(render(nodes))`` for
             *every* node subset (no hazard tokens present).
@@ -71,6 +89,13 @@ class TreeTokenArtifacts:
         self.node_word_tokens: tuple[tuple[str, ...], ...] = tuple(
             tuple(word_tokens(token)) for token in tokens
         )
+        offsets: list[int] = []
+        total = 0
+        for node_tokens in self.node_word_tokens:
+            offsets.append(total)
+            total += len(node_tokens)
+        self.word_offsets: tuple[int, ...] = tuple(offsets)
+        self.total_words: int = total
         self.separable: bool = not any(_hazardous(token) for token in tokens)
 
     def sequence(self, ordered_nodes: list[int]) -> list[str]:
@@ -82,6 +107,32 @@ class TreeTokenArtifacts:
         for node in ordered_nodes:
             seq.extend(self.node_word_tokens[node])
         return seq
+
+    def full_sequence(self) -> list[str]:
+        """The word-token sequence of the whole tree (all nodes)."""
+        return self.sequence(list(range(len(self.node_word_tokens))))
+
+    def runs(self, ordered_nodes: list[int]) -> list[tuple[int, int]]:
+        """Surviving word-token runs ``[a, b)`` of a node set, in order.
+
+        Positions index the full-tree sequence; nodes must be pre-sorted
+        by index.  Punctuation-only nodes contribute no word tokens, so
+        removing one never splits a run.  Only valid when
+        :attr:`separable` is True.
+        """
+        runs: list[tuple[int, int]] = []
+        word_tokens_by_node = self.node_word_tokens
+        offsets = self.word_offsets
+        for node in ordered_nodes:
+            width = len(word_tokens_by_node[node])
+            if not width:
+                continue
+            a = offsets[node]
+            if runs and runs[-1][1] == a:
+                runs[-1] = (runs[-1][0], a + width)
+            else:
+                runs.append((a, a + width))
+        return runs
 
 
 class TrigramTermCache:
@@ -99,6 +150,18 @@ class TrigramTermCache:
         self.language_model = language_model
         self._terms: dict[tuple[str, str, str], float] = {}
 
+    def term(self, u: str, v: str, w: str) -> float:
+        """``math.log(p(w | u, v))``, cached by the context triple."""
+        terms = self._terms
+        if len(terms) > _MAX_TERM_CACHE:
+            terms.clear()
+        key = (u, v, w)
+        term = terms.get(key)
+        if term is None:
+            term = math.log(self.language_model.probability(w, v, u))
+            terms[key] = term
+        return term
+
     def log_probability(self, tokens: list[str]) -> float:
         """Exactly ``language_model.log_probability(tokens)``.
 
@@ -106,19 +169,10 @@ class TrigramTermCache:
         per-node artifacts, both lowercased), matching the ``t.lower()``
         padding step of the direct implementation.
         """
-        terms = self._terms
-        if len(terms) > _MAX_TERM_CACHE:
-            terms.clear()
-        lm = self.language_model
         u, v = BOS, BOS
         total = 0.0
         for w in tokens:
-            key = (u, v, w)
-            term = terms.get(key)
-            if term is None:
-                term = math.log(lm.probability(w, v, u))
-                terms[key] = term
-            total += term
+            total += self.term(u, v, w)
             u, v = v, w
         return total
 
@@ -127,3 +181,74 @@ class TrigramTermCache:
         if not tokens:
             return float(self.language_model.vocab_size)
         return math.exp(-self.log_probability(tokens) / len(tokens))
+
+
+class TrigramPrefixSums:
+    """Prefix sums of trigram terms over one full token sequence.
+
+    ``prefix[i]`` is the left-to-right sum of the first ``i`` per-position
+    terms of ``sequence`` (BOS-padded, exactly the walk
+    :meth:`NGramLanguageModel.log_probability` performs).  A candidate
+    described as surviving runs ``[a, b)`` of the sequence then pays
+    fresh term lookups only for the first two positions of each run
+    after a deletion (their trigram context changed) — everything else
+    is a single ``prefix[b] - prefix[k]`` subtraction per run.
+
+    See the module docstring for the summation-order contract: totals
+    match the direct left-to-right walk within 1e-9, bit-identical for
+    pure-prefix candidates.
+    """
+
+    def __init__(self, terms: TrigramTermCache, sequence: list[str]) -> None:
+        self.terms = terms
+        self.sequence = list(sequence)
+        prefix = [0.0] * (len(self.sequence) + 1)
+        acc = 0.0
+        u, v = BOS, BOS
+        for i, w in enumerate(self.sequence):
+            acc += terms.term(u, v, w)
+            prefix[i + 1] = acc
+            u, v = v, w
+        self.prefix = prefix
+
+    def log_probability(self, runs: list[tuple[int, int]]) -> float:
+        """Log-probability of the subsequence formed by ``runs``.
+
+        ``runs`` are disjoint, ordered, non-empty ``[a, b)`` position
+        ranges of :attr:`sequence`; their concatenation is the candidate
+        token sequence.
+        """
+        seq = self.sequence
+        prefix = self.prefix
+        terms = self.terms
+        total = 0.0
+        u, v = BOS, BOS
+        first = True
+        for a, b in runs:
+            if first and a == 0:
+                # Pure prefix: P[b] is the exact left-to-right sum.
+                total += prefix[b]
+                if b >= 2:
+                    u, v = seq[b - 2], seq[b - 1]
+                else:
+                    u, v = v, seq[b - 1]
+            else:
+                # The first two positions after a deletion see a changed
+                # trigram context; the rest of the run matches the full
+                # sequence and collapses to one subtraction.
+                k = min(b, a + 2)
+                for p in range(a, k):
+                    w = seq[p]
+                    total += terms.term(u, v, w)
+                    u, v = v, w
+                if k < b:
+                    total += prefix[b] - prefix[k]
+                    u, v = seq[b - 2], seq[b - 1]
+            first = False
+        return total
+
+    def perplexity(self, runs: list[tuple[int, int]], length: int) -> float:
+        """Perplexity of the run subsequence (``length`` = total tokens)."""
+        if not length:
+            return float(self.terms.language_model.vocab_size)
+        return math.exp(-self.log_probability(runs) / length)

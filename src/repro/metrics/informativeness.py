@@ -7,6 +7,7 @@ answer and the input answer.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Sequence
 
 from repro.metrics.overlap import f1_score
@@ -20,12 +21,24 @@ class InformativenessScorer:
     """Scores evidence informativeness with a QA model.
 
     Results are cached on ``(question, answer, evidence)`` because the clip
-    search re-scores many overlapping candidates.
+    search re-scores many overlapping candidates.  Predictions run in
+    the QA model's compiled-context *transient* mode: candidate
+    evidences recur only briefly (identical candidates for the adjacent
+    questions of one shared paragraph), so they compile into the
+    compiler's scratch cache instead of churning paragraph artifacts
+    out of the main LRU.
     """
 
     def __init__(self, qa_model: QAModel, cache_size: int = 8192) -> None:
         self.qa_model = qa_model
         self._cache = LRUCache(capacity=cache_size)
+
+    def _one_shot_texts(self):
+        """Context manager routing compilation to the scratch cache."""
+        compiler = getattr(self.qa_model, "context_compiler", None)
+        if compiler is None:
+            return contextlib.nullcontext()
+        return compiler.transient()
 
     def score(self, question: str, answer: str, evidence: str) -> float:
         """``I(e)`` in [0, 1]; empty evidence scores 0."""
@@ -35,7 +48,8 @@ class InformativenessScorer:
         cached = self._cache.get(key)
         if cached is not None:
             return cached
-        predicted = self.qa_model.predict(question, evidence)
+        with self._one_shot_texts():
+            predicted = self.qa_model.predict(question, evidence)
         value = f1_score(predicted.text, answer)
         self._cache.put(key, value)
         return value
@@ -63,7 +77,8 @@ class InformativenessScorer:
                 pending.setdefault(evidence, []).append(idx)
         if pending:
             texts = list(pending)
-            predictions = self.qa_model.predict_batch(question, texts)
+            with self._one_shot_texts():
+                predictions = self.qa_model.predict_batch(question, texts)
             for evidence, predicted in zip(texts, predictions):
                 value = f1_score(predicted.text, answer)
                 self._cache.put((question, answer, evidence), value)

@@ -9,6 +9,7 @@ mechanism behind the paper's Table VI/VII gains.
 
 from repro.qa.base import AnswerPrediction, QAModel, SpanScoringQA
 from repro.qa.answer_types import AnswerType, classify_question, candidate_spans
+from repro.qa.compiled import CompiledContext, ContextCompiler
 from repro.qa.lexical import LexicalOverlapQA
 from repro.qa.tfidf import TfidfQA
 from repro.qa.embedding import EmbeddingQA
@@ -31,6 +32,8 @@ __all__ = [
     "AnswerType",
     "classify_question",
     "candidate_spans",
+    "CompiledContext",
+    "ContextCompiler",
     "LexicalOverlapQA",
     "TfidfQA",
     "EmbeddingQA",

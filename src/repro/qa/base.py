@@ -8,17 +8,26 @@ hybrid scoring) and returns the best answer span with a confidence score.
 from __future__ import annotations
 
 import abc
+import itertools
+import threading
 from dataclasses import dataclass
 from typing import Any, Sequence
 
 from repro.parsing.pos import PosTagger, VERB_LEXICON
 from repro.qa.answer_types import AnswerType, candidate_spans, classify_question
+from repro.qa.compiled import CompiledContext, ContextCompiler
 from repro.text.stem import light_stem
 from repro.text.tokenizer import Token, tokenize
 from repro.lexicon.stopwords import is_insignificant
-from repro.utils.cache import memoize_method
+from repro.utils.cache import MISSING, memoize_method
 
 __all__ = ["AnswerPrediction", "QAModel", "QuestionProfile", "SpanScoringQA"]
+
+# Process-wide identity sequence for compiled-prep cache keys, and the
+# lock that makes lazily installed per-instance state single-assignment
+# under thread-pool execution.
+_PREP_KEYS = itertools.count()
+_INSTALL_LOCK = threading.Lock()
 
 
 @dataclass(frozen=True)
@@ -99,9 +108,64 @@ class SpanScoringQA(QAModel):
     Subclasses implement :meth:`score_span`.  Scores combine with a small
     length penalty so that, all else equal, tighter spans win — the same
     inductive bias extractive PLM heads acquire from SQuAD training.
+
+    Context-side work (tokenization, POS tags, sentence bounds, typed
+    candidate-span sets, the :meth:`span_prep` tables) routes through a
+    per-paragraph :class:`~repro.qa.compiled.CompiledContext` artifact
+    cached in :attr:`context_compiler`, so repeated predictions against
+    the same paragraph — several questions per SQuAD context, ASE
+    re-asks, open-context traffic — derive them once.  Set
+    ``model.context_compiler = None`` to force the inline derivation
+    (used by the equivalence tests and the prepared-vs-compiled
+    micro-benchmark); outputs are bit-identical either way.
     """
 
     length_penalty: float = 0.05
+
+    # ------------------------------------------------- compiled-context hook
+    @property
+    def prep_key(self) -> int:
+        """Stable per-instance identity for compiled-prep cache keys."""
+        key = self.__dict__.get("_prep_key")
+        if key is None:
+            with _INSTALL_LOCK:
+                key = self.__dict__.get("_prep_key")
+                if key is None:
+                    key = self.__dict__["_prep_key"] = next(_PREP_KEYS)
+        return key
+
+    @property
+    def context_compiler(self) -> ContextCompiler | None:
+        """The model's compiled-context cache (lazily created).
+
+        Assign ``None`` to disable compiled-context reuse, or share one
+        :class:`ContextCompiler` across models explicitly.
+        """
+        compiler = self.__dict__.get("_context_compiler", MISSING)
+        if compiler is MISSING:
+            with _INSTALL_LOCK:
+                compiler = self.__dict__.get("_context_compiler", MISSING)
+                if compiler is MISSING:
+                    compiler = ContextCompiler()
+                    self.__dict__["_context_compiler"] = compiler
+        return compiler
+
+    @context_compiler.setter
+    def context_compiler(self, value: ContextCompiler | None) -> None:
+        self.__dict__["_context_compiler"] = value
+
+    def compiled_context(self, context: str) -> CompiledContext | None:
+        """Compile (or fetch) ``context``; None when the compiler is off.
+
+        The compiler routes short-lived texts (predictions made under
+        :meth:`ContextCompiler.transient`, e.g. the informativeness
+        scorer's candidate evidences) to its scratch cache so they never
+        evict paragraph artifacts.
+        """
+        compiler = self.context_compiler
+        if compiler is None:
+            return None
+        return compiler.compile(context)
 
     def question_terms(self, question: str) -> list[str]:
         """Significant (non-stopword) lowercased question terms."""
@@ -156,7 +220,12 @@ class SpanScoringQA(QAModel):
         )
 
     # ------------------------------------------------- prepared span scoring
-    def span_prep(self, profile: QuestionProfile, tokens: list[Token]) -> Any:
+    def span_prep(
+        self,
+        profile: QuestionProfile,
+        tokens: list[Token],
+        compiled: CompiledContext | None = None,
+    ) -> Any:
         """Per-(question, context) precomputation for span scoring.
 
         Subclasses return an opaque object (match tables, embedding
@@ -164,7 +233,10 @@ class SpanScoringQA(QAModel):
         the same context then share one O(n) pass instead of each paying
         it.  Returning ``None`` (the default) routes every span through
         the generic :meth:`score_span`, so subclasses that only implement
-        ``score_span`` keep their exact behaviour.
+        ``score_span`` keep their exact behaviour.  When ``compiled`` is
+        given, question-independent pieces may be memoized on it via
+        :meth:`CompiledContext.derive` so different questions against the
+        same paragraph share them.
         """
         return None
 
@@ -245,26 +317,33 @@ class SpanScoringQA(QAModel):
     def _ranked_spans(
         self, question: str, context: str
     ) -> tuple[list[Token], list[tuple[float, int, int]]]:
-        tokens = tokenize(context)
+        compiled = self.compiled_context(context)
+        tokens = compiled.tokens if compiled is not None else tokenize(context)
         if not tokens:
             return tokens, []
         profile = self._question_profile(question)
         answer_type = profile.answer_type
-        typed = set(candidate_spans(tokens, answer_type))
-        spans = set(typed)
-        if answer_type is AnswerType.ENTITY or not spans:
-            # "what/which" answers are frequently common-noun phrases that
-            # the capitalized-run extractor cannot produce.
-            spans |= set(candidate_spans(tokens, AnswerType.PHRASE))
+        if compiled is not None:
+            typed, spans = compiled.span_sets(answer_type)
+            prep = compiled.prep(self, profile)
+            sent_bounds = compiled.sentence_bounds(self)
+            tags = compiled.pos_tags(self._tagger)
+        else:
+            typed = set(candidate_spans(tokens, answer_type))
+            spans = set(typed)
+            if answer_type is AnswerType.ENTITY or not spans:
+                # "what/which" answers are frequently common-noun phrases
+                # that the capitalized-run extractor cannot produce.
+                spans |= set(candidate_spans(tokens, AnswerType.PHRASE))
+            prep = self.span_prep(profile, tokens)
+            sent_bounds = self.sentence_bounds(tokens)
+            tags = self._tagger.tag([t.text for t in tokens])
         terms = list(profile.terms)
-        prep = self.span_prep(profile, tokens)
         entity_like = answer_type in (
             AnswerType.PERSON,
             AnswerType.PLACE,
             AnswerType.ENTITY,
         )
-        sent_bounds = self.sentence_bounds(tokens)
-        tags = self._tagger.tag([t.text for t in tokens])
         scored = []
         for start, end in spans:
             lo = sent_bounds[start][0]

@@ -68,16 +68,14 @@ class EmbeddingQA(SpanScoringQA):
         return float(qv @ sv / (qn * sn))
 
     # ------------------------------------------------- prepared scoring path
-    def span_prep(self, profile: QuestionProfile, tokens: list[Token]):
-        """Context word-embedding matrix plus word-position prefix counts.
+    def _context_matrix(
+        self, tokens: list[Token]
+    ) -> tuple[np.ndarray, list[int]]:
+        """The stacked word-embedding matrix + word-position prefix counts.
 
-        Window means become contiguous row slices of one stacked matrix
-        (word tokens inside a token range are consecutive in word-only
-        order), so each span pays one ``mean`` instead of rebuilding the
-        matrix from per-token dictionary lookups.
+        A pure function of the context tokens (no question side), so it
+        is shareable across every question asked of one paragraph.
         """
-        qv = self._question_vector(tuple(profile.terms))
-        qn = np.linalg.norm(qv)
         word_prefix = [0] * (len(tokens) + 1)
         rows = []
         for i, tok in enumerate(tokens):
@@ -85,6 +83,29 @@ class EmbeddingQA(SpanScoringQA):
                 rows.append(self.embeddings.vector(tok.lower))
             word_prefix[i + 1] = len(rows)
         matrix = np.vstack(rows) if rows else np.zeros((0, self.embeddings.dim))
+        return matrix, word_prefix
+
+    def span_prep(
+        self, profile: QuestionProfile, tokens: list[Token], compiled=None
+    ):
+        """Context word-embedding matrix plus word-position prefix counts.
+
+        Window means become contiguous row slices of one stacked matrix
+        (word tokens inside a token range are consecutive in word-only
+        order), so each span pays one ``mean`` instead of rebuilding the
+        matrix from per-token dictionary lookups.  The matrix is
+        question-independent; with a compiled context it is derived once
+        per paragraph and shared across questions.
+        """
+        qv = self._question_vector(tuple(profile.terms))
+        qn = np.linalg.norm(qv)
+        if compiled is not None:
+            matrix, word_prefix = compiled.derive(
+                (self.prep_key, "embedding-matrix"),
+                lambda: self._context_matrix(tokens),
+            )
+        else:
+            matrix, word_prefix = self._context_matrix(tokens)
         return (qv, qn, matrix, word_prefix)
 
     def score_span_prepared(

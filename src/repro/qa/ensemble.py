@@ -47,11 +47,22 @@ class EnsembleQA(SpanScoringQA):
         )
 
     # ------------------------------------------------- prepared scoring path
-    def span_prep(self, profile: QuestionProfile, tokens: list[Token]):
-        """Member preps plus the shared terms list for fallback members."""
+    def span_prep(
+        self, profile: QuestionProfile, tokens: list[Token], compiled=None
+    ):
+        """Member preps plus the shared terms list for fallback members.
+
+        ``compiled`` passes through to the members, so question-shared
+        artifacts (the embedding member's context matrix) are derived
+        once per paragraph even though the ensemble-level prep is
+        memoized per question.
+        """
         return (
             list(profile.terms),
-            [model.span_prep(profile, tokens) for model, _weight in self.members],
+            [
+                model.span_prep(profile, tokens, compiled=compiled)
+                for model, _weight in self.members
+            ],
         )
 
     def score_span_prepared(

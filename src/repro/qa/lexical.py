@@ -78,7 +78,9 @@ class LexicalOverlapQA(SpanScoringQA):
         return score
 
     # ------------------------------------------------- prepared scoring path
-    def span_prep(self, profile: QuestionProfile, tokens: list[Token]):
+    def span_prep(
+        self, profile: QuestionProfile, tokens: list[Token], compiled=None
+    ):
         """Per-token matched-term table, computed once per context.
 
         ``table[i]`` is the canonical question term token ``i`` matches,

@@ -102,8 +102,17 @@ class TfidfQA(SpanScoringQA):
         return score
 
     # ------------------------------------------------- prepared scoring path
-    def span_prep(self, profile: QuestionProfile, tokens: list[Token]):
-        """Per-token ``(term, idf)`` table, computed once per context."""
+    def span_prep(
+        self, profile: QuestionProfile, tokens: list[Token], compiled=None
+    ):
+        """Per-token ``(term, idf)`` table, computed once per context.
+
+        The table depends on the question's terms, so it cannot live on
+        the compiled artifact directly; :meth:`CompiledContext.prep`
+        memoizes it per (model, terms) instead.  Refit (:meth:`fit`)
+        after serving traffic would stale those entries — fit before
+        wiring the model into a pipeline.
+        """
         if not profile.terms:
             return ()
         exact, stems = profile.exact, profile.stems

@@ -323,11 +323,29 @@ class DistillService:
         """
         batch_stats = self.distiller.stats()
         profile = batch_stats.profile.to_dict()
+        compiler = self.gced.compiler
+        compiled_block = None
+        if compiler is not None:
+            snap = compiler.snapshot()
+            compiled_block = {
+                "contexts": snap.size,
+                "bytes": snap.bytes,
+                "hits": snap.hits,
+                "misses": snap.misses,
+                "hit_rate": (
+                    snap.hits / (snap.hits + snap.misses)
+                    if snap.hits + snap.misses
+                    else 0.0
+                ),
+            }
         return {
             "service": {
                 "corpus": self.corpus_info,
                 "uptime_seconds": self.uptime_seconds,
                 "config": self.config.to_dict(),
+                # The per-paragraph compiled-artifact cache every QA
+                # prediction draws on (None for QA models without one).
+                "compiled_contexts": compiled_block,
                 "retrieval": (
                     {
                         "docs": self.retriever.index.n_docs,

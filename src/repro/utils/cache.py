@@ -15,9 +15,9 @@ from __future__ import annotations
 import functools
 import threading
 from collections import OrderedDict
-from typing import Any, Callable, Hashable
+from typing import Any, Callable, Hashable, NamedTuple
 
-__all__ = ["LRUCache", "MISSING", "memoize_method"]
+__all__ = ["CacheSnapshot", "LRUCache", "MISSING", "memoize_method"]
 
 
 class _MissingType:
@@ -39,12 +39,37 @@ MISSING = _MissingType()
 _MEMO_CREATE_LOCK = threading.Lock()
 
 
+class CacheSnapshot(NamedTuple):
+    """A consistent point-in-time view of one :class:`LRUCache`.
+
+    ``bytes`` is 0 unless the cache was built with a ``size_estimator``.
+    Compares equal to a plain ``(hits, misses, size, bytes)`` tuple.
+    """
+
+    hits: int
+    misses: int
+    size: int
+    bytes: int = 0
+
+
 class LRUCache:
     """A minimal least-recently-used cache with a fixed capacity.
 
     Lookups and insertions are guarded by a lock, so instances can be
     shared by the threads of a
     :class:`~repro.engine.executor.ParallelExecutor`.
+
+    Besides the entry-count ``capacity``, a cache may be bounded by an
+    approximate *byte budget*: pass ``size_estimator`` (a callable
+    ``value -> int`` giving the estimated byte footprint of one cached
+    value) together with ``max_bytes``, and the least-recently-used
+    entries are evicted until the estimated total fits the budget.  The
+    estimate is taken once, at :meth:`put` time — values that grow
+    afterwards (lazily compiled artifacts) are *under*-counted, so treat
+    the budget as a guideline, not an invariant.  The most recent entry
+    is never evicted on byte pressure, so a single oversized value still
+    caches (a cache that rejects its own inserts would silently degrade
+    to a 0% hit rate).
 
     >>> cache = LRUCache(capacity=2)
     >>> cache.put("a", 1); cache.put("b", 2); cache.put("c", 3)
@@ -54,10 +79,25 @@ class LRUCache:
     3
     """
 
-    def __init__(self, capacity: int = 1024) -> None:
+    def __init__(
+        self,
+        capacity: int = 1024,
+        size_estimator: Callable[[Any], int] | None = None,
+        max_bytes: int | None = None,
+    ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        if max_bytes is not None and size_estimator is None:
+            raise ValueError("max_bytes requires a size_estimator")
         self.capacity = capacity
+        self.max_bytes = max_bytes
+        self._estimate = size_estimator
+        self._sizes: dict[Hashable, int] | None = (
+            {} if size_estimator is not None else None
+        )
+        self._bytes = 0
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -95,14 +135,38 @@ class LRUCache:
             self._data.move_to_end(key)
             return value
 
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Stats-free lookup: no hit/miss counting, no recency refresh.
+
+        For probes that are not part of the cache's own workload — e.g.
+        a side cache checking whether the main cache already holds a
+        value — so observability counters keep measuring real traffic.
+        """
+        with self._lock:
+            value = self._data.get(key, MISSING)
+            return default if value is MISSING else value
+
     def put(self, key: Hashable, value: Any) -> None:
-        """Insert ``value``, evicting the least-recently-used entry if full."""
+        """Insert ``value``, evicting least-recently-used entries while the
+        cache exceeds its entry capacity or (estimated) byte budget."""
         with self._lock:
             if key in self._data:
                 self._data.move_to_end(key)
+                if self._sizes is not None:
+                    self._bytes -= self._sizes.pop(key, 0)
             self._data[key] = value
-            if len(self._data) > self.capacity:
-                self._data.popitem(last=False)
+            if self._sizes is not None:
+                size = int(self._estimate(value))
+                self._sizes[key] = size
+                self._bytes += size
+            while len(self._data) > self.capacity or (
+                self.max_bytes is not None
+                and self._bytes > self.max_bytes
+                and len(self._data) > 1
+            ):
+                evicted, _ = self._data.popitem(last=False)
+                if self._sizes is not None:
+                    self._bytes -= self._sizes.pop(evicted, 0)
 
     def record_hits(self, n: int = 1) -> None:
         """Credit ``n`` hits that were served without a :meth:`get` lookup.
@@ -115,14 +179,19 @@ class LRUCache:
         with self._lock:
             self.hits += n
 
-    def snapshot(self) -> tuple[int, int, int]:
-        """A consistent ``(hits, misses, size)`` triple under the lock."""
+    def snapshot(self) -> CacheSnapshot:
+        """A consistent :class:`CacheSnapshot` taken under the lock."""
         with self._lock:
-            return self.hits, self.misses, len(self._data)
+            return CacheSnapshot(
+                self.hits, self.misses, len(self._data), self._bytes
+            )
 
     def clear(self) -> None:
         with self._lock:
             self._data.clear()
+            if self._sizes is not None:
+                self._sizes.clear()
+            self._bytes = 0
             self.hits = 0
             self.misses = 0
 
