@@ -12,10 +12,21 @@ artifact and fails (exit 1) if any metric regressed more than
 environment variable) against ``benchmarks/results/baseline.json``:
 throughput metrics gate *downward*, and latency metrics — keys ending in
 ``_ms`` (the hot-path stage timings from ``bench_distill_profile.py``) —
-gate *upward*.  Cache-effectiveness ratios (``distill.clip_scores_hit_rate``)
+gate *upward*.  Size metrics — keys ending in ``bytes`` (the snapshot
+segment size from ``bench_snapshot.py``) — gate upward like latencies:
+silent snapshot bloat slows worker spawn long before anything else
+notices.  Cache-effectiveness ratios (``distill.clip_scores_hit_rate``)
 gate downward like throughput: losing cross-call session reuse halves
 the hit rate long before wall-clock regressions become visible on small
-CI samples.  Absolute wall-clock varies across runner hardware more
+CI samples.
+
+With ``PERF_GATE_MULTICORE=1`` the gate additionally enforces a hard
+floor of 1.3x on ``batch.parallel_speedup`` regardless of the baseline —
+only set it on runners with >= 2 CPUs.  On single-CPU runners (where the
+process backend cannot beat serial) leave it unset and the gate relies
+on ``snapshot.worker_warm_ms`` / ``snapshot.bytes`` instead.
+
+Absolute wall-clock varies across runner hardware more
 than relative throughput does, so latency baselines must be produced on
 CI-comparable hardware (same rule the throughput baselines already
 follow) and re-blessed with ``--write-baseline`` after an intentional
@@ -40,10 +51,14 @@ SOURCE_FILES = (
     "service_latency.json",
     "retrieval.json",
     "distill_profile.json",
+    "snapshot.json",
 )
+# Hard floor on multi-core batch speedup, enforced only when the runner
+# opts in via PERF_GATE_MULTICORE=1 (a single-CPU runner cannot meet it).
+MULTICORE_FLOOR = 1.3
 # Context-only payload keys carried into the artifact, keyed by source so
 # two benchmarks reporting latencies never clobber each other.
-CONTEXT_KEYS = ("latency_ms", "query_latency_ms")
+CONTEXT_KEYS = ("latency_ms", "query_latency_ms", "cold_first_request_ms")
 
 
 def collect_metrics(results_dir: pathlib.Path) -> tuple[dict, list[str]]:
@@ -72,9 +87,10 @@ def compare(
     """Regressions beyond tolerance, plus one info line per metric.
 
     Throughput metrics regress *downward* (below ``base * (1 - tol)``);
-    latency metrics — any key ending in ``_ms`` — regress *upward*, so
-    the gate protects the hot-path stage timings from
-    ``bench_distill_profile.py`` in the direction that actually hurts.
+    latency and size metrics — any key ending in ``_ms`` or ``bytes`` —
+    regress *upward*, so the gate protects the hot-path stage timings
+    from ``bench_distill_profile.py`` and the snapshot segment size from
+    ``bench_snapshot.py`` in the direction that actually hurts.
     Absolute wall-clock varies across runner hardware more than relative
     throughput does, so latency keys get double the tolerance: a slower
     runner shifts every ``_ms`` value together, while the multi-x
@@ -88,7 +104,7 @@ def compare(
             continue
         base, now = float(baseline[key]), float(current[key])
         delta = (now - base) / base if base else 0.0
-        if key.endswith("_ms"):
+        if key.endswith("_ms") or key.endswith("bytes"):
             ceiling = base * (1.0 + 2.0 * tolerance)
             regressed = now > ceiling
             direction = "above"
@@ -170,9 +186,21 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     baseline = json.loads(args.baseline.read_text())["metrics"]
     failures, report = compare(current["metrics"], baseline, args.tolerance)
+    if os.environ.get("PERF_GATE_MULTICORE") == "1":
+        speedup = current["metrics"].get("batch.parallel_speedup")
+        if speedup is None:
+            failures.append(
+                "PERF_GATE_MULTICORE=1 but batch.parallel_speedup was not "
+                "measured — run bench_batch_throughput.py"
+            )
+        elif float(speedup) < MULTICORE_FLOOR:
+            failures.append(
+                f"batch.parallel_speedup: {float(speedup):.2f} is below the "
+                f"multi-core floor {MULTICORE_FLOOR} (PERF_GATE_MULTICORE=1)"
+            )
     print(
         "perf gate: metrics vs baseline "
-        f"(tolerance {args.tolerance:.0%}; *_ms gate upward)"
+        f"(tolerance {args.tolerance:.0%}; *_ms and *bytes gate upward)"
     )
     print("\n".join(report))
     if failures:

@@ -54,8 +54,23 @@ class AnswerOrientedSentenceExtractor:
         self.qa_model = qa_model
         self.max_sentences = max_sentences
 
+    def _compiled(self, context: str):
+        """The model's compiled artifact for ``context``, if it keeps one.
+
+        Span-scoring models expose :meth:`compiled_context`; its artifact
+        carries the paragraph's sentence split and per-question sentence
+        prediction batches, so repeated ASE runs over the same paragraph
+        (and snapshot-hydrated workers) skip both.
+        """
+        factory = getattr(self.qa_model, "compiled_context", None)
+        return factory(context) if factory is not None else None
+
     def _rank_sentences(
-        self, question: str, answer: str, sentences: list[Sentence]
+        self,
+        question: str,
+        answer: str,
+        sentences: list[Sentence],
+        compiled=None,
     ) -> list[Sentence]:
         """Order sentences by single-sentence answer support.
 
@@ -65,9 +80,19 @@ class AnswerOrientedSentenceExtractor:
         norm_answer = normalize_answer(answer)
         # One batched prediction for all sentences: models amortize their
         # question-side work, results equal per-sentence predicts exactly.
-        predictions = self.qa_model.predict_batch(
-            question, [sent.text for sent in sentences]
-        )
+        # The batch is an artifact of (question, paragraph), so compiled
+        # contexts memoize it across calls.
+        if compiled is not None:
+            predictions = compiled.sentence_predictions(
+                question,
+                lambda: self.qa_model.predict_batch(
+                    question, [sent.text for sent in sentences]
+                ),
+            )
+        else:
+            predictions = self.qa_model.predict_batch(
+                question, [sent.text for sent in sentences]
+            )
         ranked: list[tuple[float, float, int, Sentence]] = []
         for sent, prediction in zip(sentences, predictions):
             contains = 1.0 if norm_answer and norm_answer in normalize_answer(sent.text) else 0.0
@@ -78,11 +103,15 @@ class AnswerOrientedSentenceExtractor:
 
     def extract(self, question: str, answer: str, context: str) -> ASEResult:
         """Run ASE for one (question, answer, context) triple."""
-        sentences = split_sentences(context)
+        compiled = self._compiled(context)
+        if compiled is not None:
+            sentences = list(compiled.sentences())
+        else:
+            sentences = split_sentences(context)
         if not sentences:
             return ASEResult((), "", False, 0.0, 0)
         norm_answer = normalize_answer(answer)
-        ranked = self._rank_sentences(question, answer, sentences)
+        ranked = self._rank_sentences(question, answer, sentences, compiled)
 
         subset: list[Sentence] = []
         best_subset: list[Sentence] = []
@@ -106,6 +135,10 @@ class AnswerOrientedSentenceExtractor:
 
     def passthrough(self, context: str) -> ASEResult:
         """The "w/o ASE" ablation: the whole context is the sentence set."""
-        sentences = tuple(split_sentences(context))
+        compiled = self._compiled(context)
+        if compiled is not None:
+            sentences = compiled.sentences()
+        else:
+            sentences = tuple(split_sentences(context))
         text = " ".join(s.text for s in sentences)
         return ASEResult(sentences, text, False, 0.0, 0)

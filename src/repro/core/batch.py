@@ -21,12 +21,15 @@ exposed through :meth:`BatchDistiller.stats` / :meth:`profile`.
 from __future__ import annotations
 
 import operator
+import os
+import pickle
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.core.pipeline import GCED, DistillationResult
-from repro.engine.executor import Executor, build_executor
+from repro.engine.executor import Executor, WarmupReport, build_executor
 from repro.engine.instrumentation import CacheStats, PipelineProfile
 from repro.utils.cache import LRUCache, MISSING
 from repro.utils.timing import Timer
@@ -40,11 +43,43 @@ _by_context = operator.itemgetter(2)
 # Per-process pipeline installed by the process-pool initializer, so each
 # task ships a (question, answer, context) triple instead of the pipeline.
 _WORKER_GCED: GCED | None = None
+# Facts recorded by the initializer (pid, snapshot-load ms), collected by
+# the parent through the _worker_info warmup probe.
+_WORKER_INIT: dict | None = None
 
 
-def _init_worker(gced: GCED) -> None:
-    global _WORKER_GCED
+def _init_worker(gced, handle=None) -> None:
+    """Install the per-process pipeline (and, optionally, a snapshot).
+
+    ``gced`` is either the pipeline object (legacy path; inherited under
+    fork) or a :func:`~repro.engine.snapshot.dump_for_workers` payload —
+    bytes whose hollow LM/index/caches rehydrate from ``handle``'s
+    snapshot, which is attached and *activated first* so unpickling and
+    every later lazy rehydration can read it.
+    """
+    global _WORKER_GCED, _WORKER_INIT
+    started = time.perf_counter()
+    snap = None
+    if handle is not None:
+        from repro.engine.snapshot import PipelineSnapshot, activate
+
+        snap = PipelineSnapshot.attach(handle)
+        activate(snap)
+    if isinstance(gced, bytes):
+        gced = pickle.loads(gced)
+    if snap is not None:
+        gced.adopt_snapshot(snap)
     _WORKER_GCED = gced
+    _WORKER_INIT = {
+        "pid": os.getpid(),
+        "snapshot": snap is not None,
+        "snapshot_load_ms": round((time.perf_counter() - started) * 1000.0, 3),
+    }
+
+
+def _worker_info() -> dict | None:
+    """Warmup probe: what the initializer recorded in this worker."""
+    return dict(_WORKER_INIT) if _WORKER_INIT is not None else None
 
 
 def _worker_distill(triple: Triple) -> tuple[DistillationResult, PipelineProfile]:
@@ -59,6 +94,7 @@ def _worker_distill(triple: Triple) -> tuple[DistillationResult, PipelineProfile
         name: cache.snapshot()[:2]
         for name, cache in gced.shared_caches().items()
     }
+    hydration_before = gced.hydration_counts()
     try:
         result = gced.distill(*triple)
     finally:
@@ -75,6 +111,12 @@ def _worker_distill(triple: Triple) -> tuple[DistillationResult, PipelineProfile
                 bytes=snap.bytes,
             )
         )
+    for name, (hits, misses) in gced.hydration_counts().items():
+        hits0, misses0 = hydration_before.get(name, (0, 0))
+        if hits - hits0:
+            delta.count(f"hydration_hits.{name}", hits - hits0)
+        if misses - misses0:
+            delta.count(f"hydration_misses.{name}", misses - misses0)
     return result, delta
 
 
@@ -118,6 +160,14 @@ class BatchDistiller:
             worker process for true multi-core scaling.
         executor: a pre-built executor to use instead of ``workers`` /
             ``backend`` (must run callables in-process, i.e. thread-like).
+        snapshot: controls the pipeline-snapshot handoff on the process
+            backend.  ``None`` (default) builds one from ``gced``'s warm
+            state (owned: unlinked on :meth:`close`); a
+            :class:`~repro.engine.snapshot.PipelineSnapshot` is used
+            as-is (caller keeps ownership; its fingerprint must match
+            ``gced.config``); ``False`` disables the snapshot plane and
+            ships the full pipeline through the initializer (cold
+            workers, the pre-snapshot behaviour).
     """
 
     def __init__(
@@ -127,15 +177,48 @@ class BatchDistiller:
         workers: int = 1,
         backend: str = "thread",
         executor: Executor | None = None,
+        snapshot=None,
     ) -> None:
         self.gced = gced
+        self._snapshot = None
+        self._owns_snapshot = False
         if executor is None:
             self.backend = backend
-            pool_kwargs = (
-                {"initializer": _init_worker, "initargs": (gced,)}
-                if backend == "process"
-                else {}
-            )
+            n_workers = workers if workers > 0 else (os.cpu_count() or 1)
+            pool_kwargs = {}
+            if backend == "process":
+                snap = None
+                if n_workers > 1 and snapshot is not False:
+                    if snapshot is None:
+                        snap = gced.build_snapshot()
+                        self._owns_snapshot = True
+                    else:
+                        snap = snapshot
+                        if snap.fingerprint != gced.config.fingerprint():
+                            raise ValueError(
+                                "stale pipeline snapshot: built under config "
+                                f"fingerprint {snap.fingerprint}, but this "
+                                "pipeline's config fingerprints as "
+                                f"{gced.config.fingerprint()}"
+                            )
+                if snap is not None:
+                    self._snapshot = snap
+                    from repro.engine.snapshot import dump_for_workers
+
+                    # Pre-pickled with warm state externalized: the bulky
+                    # tables travel once via the snapshot segment, not N
+                    # times through initializer payloads (and not at all
+                    # by accident under fork's initargs inheritance).
+                    payload = dump_for_workers(gced)
+                    pool_kwargs = {
+                        "initializer": _init_worker,
+                        "initargs": (payload, snap.handle),
+                    }
+                else:
+                    pool_kwargs = {
+                        "initializer": _init_worker,
+                        "initargs": (gced,),
+                    }
             executor = build_executor(workers=workers, backend=backend, **pool_kwargs)
         else:
             if getattr(executor, "backend", "thread") == "process":
@@ -145,13 +228,22 @@ class BatchDistiller:
                 )
             self.backend = "thread"
         self.executor = executor
+        self._worker_profile = PipelineProfile()
         # Warm start: spawn pool workers (and run the process-backend
         # pipeline initializer in each) now, so the first batch measures
-        # distillation, not worker startup.
-        self.executor.warmup()
+        # distillation, not worker startup.  Process pools probe each
+        # worker for its initializer facts (pid, snapshot-load ms).
+        probe = (
+            _worker_info
+            if self.backend == "process" and self.executor.workers > 1
+            else None
+        )
+        self._warmup_report: WarmupReport = self.executor.warmup(probe=probe)
+        self._worker_profile.count(
+            "pool_warmup_ms", round(self._warmup_report.seconds * 1000.0, 3)
+        )
         self._results = LRUCache(capacity=cache_size)
         self.timer = Timer()
-        self._worker_profile = PipelineProfile()
         # Guards the run counters below: the serving scheduler may flush a
         # batch while another thread reads stats() or distills inline.
         self._stats_lock = threading.Lock()
@@ -243,6 +335,43 @@ class BatchDistiller:
         )
 
     # ------------------------------------------------------ observability
+    def snapshot_info(self) -> dict | None:
+        """Snapshot-plane observability (None when no snapshot is used).
+
+        Reports build cost and size, the warmup barrier's wall-clock, the
+        per-worker initializer facts collected by the warmup probe, and
+        the aggregate hydration hit rate workers shipped back with their
+        profile deltas.
+        """
+        snap = self._snapshot
+        if snap is None:
+            return None
+        workers: dict[int, dict] = {}
+        for info in self._warmup_report.worker_infos:
+            if isinstance(info, dict) and "pid" in info:
+                workers[info["pid"]] = info
+        hits = misses = 0
+        for name, value in self._worker_profile.counters.items():
+            if name.startswith("hydration_hits."):
+                hits += int(value)
+            elif name.startswith("hydration_misses."):
+                misses += int(value)
+        lookups = hits + misses
+        return {
+            "fingerprint": snap.fingerprint,
+            "build_ms": snap.meta.get("build_ms"),
+            "bytes": snap.nbytes,
+            "shared_memory": snap.shm_name is not None,
+            "sections": dict(snap.meta.get("sections", {})),
+            "warmup_ms": round(self._warmup_report.seconds * 1000.0, 3),
+            "workers": sorted(workers.values(), key=lambda w: w["pid"]),
+            "hydration": {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": hits / lookups if lookups else 0.0,
+            },
+        }
+
     def profile(self) -> PipelineProfile:
         """Combined per-stage/per-cache profile of all work so far.
 
@@ -288,8 +417,16 @@ class BatchDistiller:
         )
 
     def close(self) -> None:
-        """Shut down the executor's worker pool, if any."""
+        """Shut down the worker pool and release any owned snapshot.
+
+        The shared-memory segment is unlinked only after the pool has
+        fully shut down (workers hold mappings until then); snapshots
+        passed in by the caller are left alone.
+        """
         self.executor.close()
+        snap, self._snapshot = self._snapshot, None
+        if snap is not None and self._owns_snapshot:
+            snap.close(unlink=True)
 
     def __enter__(self) -> "BatchDistiller":
         return self

@@ -35,7 +35,7 @@ from repro.metrics.readability import ReadabilityScorer
 from repro.parsing.dependency import SyntacticParser
 from repro.qa.base import QAModel
 from repro.qa.training import TrainedArtifacts
-from repro.utils.cache import LRUCache
+from repro.utils.cache import LRUCache, MISSING
 
 __all__ = ["GCED", "DistillationResult"]
 
@@ -134,6 +134,19 @@ class GCED:
         self.plan = tuple(plan) if plan is not None else stage_plan(self.config)
         self.stages = (registry or default_registry).build(self.plan)
         self.profile = PipelineProfile()
+        # Cached PipelineSnapshot of this pipeline's warm state (built on
+        # demand by pipeline_snapshot); owns a shared-memory segment, so
+        # it never pickles and is invalidated on config change.
+        self._snapshot = None
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_snapshot"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.__dict__.setdefault("_snapshot", None)
 
     # ------------------------------------------------------------ pipeline
     def make_context(self, question: str, answer: str, context: str) -> StageContext:
@@ -193,6 +206,165 @@ class GCED:
             # (memoized results keep their original retrieval record).
             ctx.result.retrieval = retrieval
         return ctx.result
+
+    # -------------------------------------------------------- snapshot plane
+    def build_snapshot(self, use_shared_memory: bool = True):
+        """Serialize this pipeline's warm state into a fresh snapshot.
+
+        Sections (each present only when it has content): ``lm`` — the
+        trigram LM's flat tables; ``index`` — the retrieval shards'
+        canonical bytes; ``compiled`` — exported compiled-context
+        artifacts; ``sessions`` — warm clip-score entries by session key;
+        ``parse`` — the dependency-parse memo; ``informativeness`` /
+        ``readability`` — the scorers' string-keyed result caches (small
+        floats, but they spare workers the QA predictions and LM walks
+        behind them).  The snapshot is stamped with the config
+        fingerprint so stale hydration is refused.
+        """
+        from repro.engine.snapshot import PipelineSnapshot, pack_entry_map
+
+        started = time.perf_counter()
+        sections: dict[str, bytes] = {}
+        counts: dict[str, int] = {}
+        language_model = self.artifacts.language_model
+        if getattr(language_model, "_fitted", False):
+            sections["lm"] = language_model.snapshot_bytes()
+        if self.retriever is not None:
+            index = getattr(self.retriever, "index", None)
+            if index is not None:
+                sections["index"] = index.to_snapshot_bytes()
+        if self.compiler is not None:
+            states = self.compiler.export_states()
+            if states:
+                sections["compiled"] = pack_entry_map(states)
+                counts["compiled"] = len(states)
+        if self.scoring_engine is not None:
+            sessions = self.scoring_engine.export_sessions()
+            if sessions:
+                sections["sessions"] = pack_entry_map(sessions)
+                counts["sessions"] = len(sessions)
+        parse_cache = self.wsptc.parser.parse_cache()
+        if parse_cache is not None:
+            parse_entries = dict(parse_cache.items())
+            if parse_entries:
+                sections["parse"] = pack_entry_map(parse_entries)
+                counts["parse"] = len(parse_entries)
+        for name, cache in (
+            ("informativeness", self.scorer.informativeness._cache),
+            ("readability", self.scorer.readability._cache),
+        ):
+            entries = dict(cache.items())
+            if entries:
+                sections[name] = pack_entry_map(entries)
+                counts[name] = len(entries)
+        snapshot = PipelineSnapshot(
+            sections,
+            fingerprint=self.config.fingerprint(),
+            meta={
+                "sections": {name: len(blob) for name, blob in sections.items()},
+                "counts": counts,
+            },
+            use_shared_memory=use_shared_memory,
+        )
+        snapshot.meta["build_ms"] = round(
+            (time.perf_counter() - started) * 1000.0, 3
+        )
+        return snapshot
+
+    def pipeline_snapshot(self, refresh: bool = False):
+        """The cached snapshot of this pipeline, (re)built when needed.
+
+        Rebuilds when no snapshot exists, when ``refresh`` is passed, or
+        when the cached one's fingerprint no longer matches the config (a
+        replaced ``config`` invalidates previously serialized state); a
+        stale snapshot is unlinked before the rebuild.
+        """
+        snapshot = self._snapshot
+        fingerprint = self.config.fingerprint()
+        if (
+            snapshot is not None
+            and not refresh
+            and snapshot.fingerprint == fingerprint
+        ):
+            return snapshot
+        if snapshot is not None:
+            if snapshot.fingerprint != fingerprint:
+                self.profile.count("snapshot_stale")
+            snapshot.close(unlink=True)
+        self._snapshot = self.build_snapshot()
+        return self._snapshot
+
+    def adopt_snapshot(self, snapshot) -> bool:
+        """Wire this pipeline's caches to hydrate read-through from
+        ``snapshot`` (already attached and activated by the caller).
+
+        Refuses — returning False and counting ``snapshot_stale`` —
+        when the snapshot was built under a different config fingerprint:
+        ablation switches change scores, so hydrating across configs
+        would smuggle one config's results into another's outputs.
+        """
+        from repro.engine.snapshot import EntryMap
+
+        if snapshot.fingerprint != self.config.fingerprint():
+            self.profile.count("snapshot_stale")
+            return False
+
+        def entry_map(name: str) -> EntryMap | None:
+            try:
+                blob = snapshot.section(name)
+            except (KeyError, RuntimeError):
+                return None
+            return EntryMap(blob)
+
+        if self.compiler is not None:
+            states = entry_map("compiled")
+            if states is not None:
+                self.compiler.attach_snapshot(
+                    lambda text: states.get(text, MISSING)
+                )
+        if self.scoring_engine is not None:
+            sessions = entry_map("sessions")
+            if sessions is not None:
+                self.scoring_engine.attach_snapshot(
+                    lambda key: sessions.get(key, MISSING)
+                )
+        parse = entry_map("parse")
+        if parse is not None:
+            self.wsptc.parser.ensure_parse_cache().loader = (
+                lambda key: parse.get(key, MISSING)
+            )
+        for name, cache in (
+            ("informativeness", self.scorer.informativeness._cache),
+            ("readability", self.scorer.readability._cache),
+        ):
+            entries = entry_map(name)
+            if entries is not None:
+                cache.loader = (
+                    lambda key, _entries=entries: _entries.get(key, MISSING)
+                )
+        self.profile.count("snapshot_adopted")
+        return True
+
+    def hydration_counts(self) -> dict[str, tuple[int, int]]:
+        """Per-cache ``(hits, misses)`` of snapshot read-through traffic."""
+        counts: dict[str, tuple[int, int]] = {}
+        if self.compiler is not None:
+            cache = self.compiler.cache
+            counts["compiled_contexts"] = (cache.loader_hits, cache.loader_misses)
+        parse_cache = self.wsptc.parser.parse_cache()
+        if parse_cache is not None:
+            counts["parse"] = (parse_cache.loader_hits, parse_cache.loader_misses)
+        for name, cache in (
+            ("informativeness", self.scorer.informativeness._cache),
+            ("readability", self.scorer.readability._cache),
+        ):
+            counts[name] = (cache.loader_hits, cache.loader_misses)
+        if self.scoring_engine is not None:
+            counts["clip_sessions"] = (
+                self.scoring_engine.snapshot_hits,
+                self.scoring_engine.snapshot_misses,
+            )
+        return counts
 
     # ------------------------------------------------------ instrumentation
     def shared_caches(self) -> dict[str, LRUCache]:

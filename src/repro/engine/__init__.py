@@ -17,10 +17,12 @@ from repro.engine.executor import (
     Executor,
     ParallelExecutor,
     SerialExecutor,
+    WarmupReport,
     build_executor,
 )
 from repro.engine.instrumentation import CacheStats, PipelineProfile, StageTiming
 from repro.engine.registry import StageRegistry, default_registry, register_stage
+from repro.engine.snapshot import PipelineSnapshot, SnapshotHandle
 from repro.engine.stage import PipelineResources, Stage, StageContext
 
 __all__ = [
@@ -29,11 +31,14 @@ __all__ = [
     "ParallelExecutor",
     "PipelineProfile",
     "PipelineResources",
+    "PipelineSnapshot",
     "SerialExecutor",
+    "SnapshotHandle",
     "Stage",
     "StageContext",
     "StageRegistry",
     "StageTiming",
+    "WarmupReport",
     "build_executor",
     "default_registry",
     "register_stage",

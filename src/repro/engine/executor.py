@@ -18,16 +18,40 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from concurrent.futures import (
     Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
+from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
-__all__ = ["Executor", "ParallelExecutor", "SerialExecutor", "build_executor"]
+__all__ = [
+    "Executor",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "WarmupReport",
+    "build_executor",
+]
 
 _BACKENDS = ("thread", "process")
+
+
+@dataclass(frozen=True)
+class WarmupReport:
+    """Timing and per-worker findings of one :meth:`Executor.warmup`.
+
+    Attributes:
+        seconds: wall-clock of the warmup barrier (pool spawn plus every
+            initializer run for pools; ~0 for serial).
+        worker_infos: whatever the warmup probes returned, one entry per
+            non-None probe result (process pools report per-worker facts
+            like snapshot-load milliseconds here).
+    """
+
+    seconds: float = 0.0
+    worker_infos: tuple = field(default=())
 
 
 class Executor:
@@ -43,15 +67,18 @@ class Executor:
     ) -> list:
         raise NotImplementedError
 
-    def warmup(self) -> "Executor":
+    def warmup(self, probe: Callable | None = None) -> WarmupReport:
         """Spin up pool workers now (no-op for serial execution).
 
         Long-lived callers (the batch distiller, the serving layer) call
         this at construction so worker spawn and per-worker initializers
         — unpickling a configured pipeline is the expensive part — run
         during startup instead of inside the first measured ``map``.
+        Returns a :class:`WarmupReport`; ``probe`` (a picklable zero-arg
+        callable) replaces the default barrier task so callers can
+        collect per-worker facts.
         """
-        return self
+        return WarmupReport()
 
     def close(self) -> None:
         """Release pool resources (no-op for serial execution)."""
@@ -125,6 +152,8 @@ class ParallelExecutor(Executor):
         self._initargs = initargs
         self._pool: ThreadPoolExecutor | ProcessPoolExecutor | None = None
         self._pool_lock = threading.Lock()
+        self._closed = False
+        self.last_warmup: WarmupReport | None = None
 
     def _ensure_pool(self):
         # Double-checked under a lock: concurrent first maps (e.g. two
@@ -132,6 +161,15 @@ class ParallelExecutor(Executor):
         # would leak the loser's worker threads/processes.
         if self._pool is None:
             with self._pool_lock:
+                if self._closed:
+                    # Refuse, loudly: recreating the pool here used to
+                    # silently resurrect a closed executor — workers (and
+                    # their initializer state, possibly a now-unlinked
+                    # snapshot) respawned behind the caller's back.
+                    raise RuntimeError(
+                        "executor is closed; create a new one instead of "
+                        "mapping on a closed executor"
+                    )
                 if self._pool is None:
                     pool_cls = (
                         ThreadPoolExecutor
@@ -145,7 +183,7 @@ class ParallelExecutor(Executor):
                     )
         return self._pool
 
-    def warmup(self) -> "Executor":
+    def warmup(self, probe: Callable | None = None) -> WarmupReport:
         """Create the pool and run per-worker initializers eagerly.
 
         Submits one barrier task per worker so process workers spawn (and
@@ -153,12 +191,23 @@ class ParallelExecutor(Executor):
         than lazily inside the first real batch.  Best effort: a fast
         worker may serve several barriers, but the dominant cost (pool
         creation plus initializer runs for every spawned worker) is paid
-        here either way.  Idempotent; safe to call on a warm pool.
+        here either way.  Idempotent; safe to call on a warm pool.  The
+        report (also kept as ``last_warmup``) carries the barrier's
+        wall-clock and the non-None probe results.
         """
+        started = time.perf_counter()
         pool = self._ensure_pool()
-        for future in [pool.submit(_warm_worker) for _ in range(self.workers)]:
-            future.result()
-        return self
+        task = probe or _warm_worker
+        infos = []
+        for future in [pool.submit(task) for _ in range(self.workers)]:
+            info = future.result()
+            if info is not None:
+                infos.append(info)
+        report = WarmupReport(
+            seconds=time.perf_counter() - started, worker_infos=tuple(infos)
+        )
+        self.last_warmup = report
+        return report
 
     def map(
         self,
@@ -183,7 +232,14 @@ class ParallelExecutor(Executor):
         return results
 
     def close(self) -> None:
+        """Shut the pool down and mark the executor closed.
+
+        Terminal: later ``map``/``warmup`` calls raise instead of
+        silently recreating the pool (the old behaviour, which leaked
+        respawned workers past teardown).  Idempotent.
+        """
         with self._pool_lock:
+            self._closed = True
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)

@@ -221,7 +221,12 @@ class PipelineProfile:
                 f"{timing.mean_ms:>10.3f} {timing.halts:>6d}"
             )
         for name, value in sorted(self.counters.items()):
-            lines.append(f"{name:<18} {value:>6d}")
+            # Counters are ints for event counts but floats for timing
+            # accumulators (e.g. pool_warmup_ms, snapshot_load_ms).
+            rendered = (
+                f"{value:>6d}" if isinstance(value, int) else f"{value:>9.2f}"
+            )
+            lines.append(f"{name:<18} {rendered}")
         if self.caches:
             lines.append("shared caches: " + (self.cache_summary() or "(cold)"))
         return "\n".join(lines)

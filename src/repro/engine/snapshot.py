@@ -1,0 +1,319 @@
+"""Read-only pipeline snapshot plane for multi-process scaling.
+
+Process-pool workers used to start cold: each one re-derived the parent's
+warm state — compiled paragraph artifacts, trigram LM tables, parse
+memos, retrieval postings — from scratch, duplicating both the compute
+and the memory N ways.  A :class:`PipelineSnapshot` serializes that warm
+state *once* in the parent as named byte sections, places them in a
+single :mod:`multiprocessing.shared_memory` segment (N workers map one
+copy; pickled inline as a fallback when shared memory is unavailable),
+and hands workers a small picklable :class:`SnapshotHandle` through the
+pool initializer.  Workers hydrate lazily from the snapshot into their
+local caches — read-through, never write-back — so their first request
+hits warm artifacts instead of recompiling.
+
+Three cooperating pieces live here:
+
+* **Externalized pickling** — :func:`dump_for_workers` pickles an object
+  graph under a thread-local flag that snapshot-aware classes
+  (:class:`~repro.lm.ngram.NGramLanguageModel`,
+  :class:`~repro.retrieval.index.InvertedIndex`,
+  :class:`~repro.utils.cache.LRUCache`) consult in ``__getstate__`` to
+  drop their bulky tables from the payload; the dropped state rides the
+  shared segment instead and re-attaches on first use.
+* **The active-snapshot registry** — one process-global snapshot,
+  installed by the worker initializer via :func:`activate`, that hollow
+  objects read their sections back from
+  (:func:`load_active_section`).
+* **Entry maps** — :func:`pack_entry_map` / :class:`EntryMap`, a
+  two-level pickle (outer key table, per-entry payloads) so workers
+  deserialize only the cache entries their traffic actually touches.
+
+Everything here is stdlib-only and import-cycle safe: lower layers
+(``utils``, ``lm``, ``retrieval``) import this module lazily inside
+``__getstate__``/rehydration paths only.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import pickle
+import secrets
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+__all__ = [
+    "EntryMap",
+    "PipelineSnapshot",
+    "SnapshotHandle",
+    "activate",
+    "active",
+    "deactivate",
+    "dump_for_workers",
+    "externalize_warm_state",
+    "externalizing",
+    "load_active_section",
+    "pack_entry_map",
+]
+
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+# ------------------------------------------------------- externalized pickling
+
+_EXTERNALIZE = threading.local()
+
+
+@contextlib.contextmanager
+def externalize_warm_state() -> Iterator[None]:
+    """While active (per thread), snapshot-aware ``__getstate__`` methods
+    drop their warm tables from pickles, leaving hollow shells that
+    rehydrate from the active snapshot.  Re-entrant."""
+    _EXTERNALIZE.depth = getattr(_EXTERNALIZE, "depth", 0) + 1
+    try:
+        yield
+    finally:
+        _EXTERNALIZE.depth -= 1
+
+
+def externalizing() -> bool:
+    """True while the calling thread is inside :func:`externalize_warm_state`."""
+    return getattr(_EXTERNALIZE, "depth", 0) > 0
+
+
+def dump_for_workers(obj: Any) -> bytes:
+    """Pickle ``obj`` with warm state externalized (the worker payload).
+
+    The result is deliberately compact — caches pickle empty, LM counts
+    and index postings pickle hollow — because the bulky state travels
+    once through the snapshot's shared segment instead of N times through
+    initializer pickles.
+    """
+    with externalize_warm_state():
+        return pickle.dumps(obj, protocol=_PICKLE_PROTOCOL)
+
+
+# ------------------------------------------------------------ snapshot plane
+
+
+@dataclass(frozen=True)
+class SnapshotHandle:
+    """The picklable description workers need to attach a snapshot.
+
+    Exactly one of ``shm_name`` (shared-memory segment holding the packed
+    sections) or ``inline`` (the packed bytes themselves, the fallback
+    transport) is set.
+    """
+
+    layout: tuple[tuple[str, int, int], ...]
+    fingerprint: str
+    nbytes: int
+    shm_name: str | None = None
+    inline: bytes | None = None
+    meta: dict = field(default_factory=dict)
+
+
+class PipelineSnapshot:
+    """Named read-only byte sections, packed once, mapped by N workers.
+
+    Built parent-side from ``sections`` (name → packed bytes); workers
+    re-open it from a :class:`SnapshotHandle` via :meth:`attach`.  The
+    parent owns the shared-memory segment and must :meth:`close` with
+    ``unlink=True`` when done (the batch distiller does this for the
+    snapshots it builds); workers just :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        sections: Mapping[str, bytes],
+        fingerprint: str = "",
+        meta: dict | None = None,
+        use_shared_memory: bool = True,
+    ) -> None:
+        layout: list[tuple[str, int, int]] = []
+        offset = 0
+        for name, blob in sections.items():
+            layout.append((name, offset, len(blob)))
+            offset += len(blob)
+        self.layout: tuple[tuple[str, int, int], ...] = tuple(layout)
+        self.fingerprint = fingerprint
+        self.meta = dict(meta or {})
+        self.nbytes = offset
+        self._owner = True
+        self._closed = False
+        self._shm = None
+        self._inline: bytes | None = None
+        packed = b"".join(sections.values())
+        if use_shared_memory and packed:
+            try:
+                from multiprocessing import shared_memory
+
+                shm = shared_memory.SharedMemory(
+                    create=True,
+                    size=len(packed),
+                    name=f"repro_snap_{secrets.token_hex(6)}",
+                )
+                shm.buf[: len(packed)] = packed
+                self._shm = shm
+            except (OSError, ValueError):
+                # No usable /dev/shm (restricted containers): ship the
+                # packed bytes inline through the initializer pickle.
+                self._inline = packed
+        else:
+            self._inline = packed
+
+    # -------------------------------------------------------------- transport
+    @property
+    def shm_name(self) -> str | None:
+        return self._shm.name if self._shm is not None else None
+
+    @property
+    def handle(self) -> SnapshotHandle:
+        """A fresh picklable handle describing this snapshot."""
+        return SnapshotHandle(
+            layout=self.layout,
+            fingerprint=self.fingerprint,
+            nbytes=self.nbytes,
+            shm_name=self.shm_name,
+            inline=self._inline,
+            meta=dict(self.meta),
+        )
+
+    @classmethod
+    def attach(cls, handle: SnapshotHandle) -> "PipelineSnapshot":
+        """Open a worker-side view of the snapshot a handle describes."""
+        snapshot = cls.__new__(cls)
+        snapshot.layout = handle.layout
+        snapshot.fingerprint = handle.fingerprint
+        snapshot.meta = dict(handle.meta)
+        snapshot.nbytes = handle.nbytes
+        snapshot._owner = False
+        snapshot._closed = False
+        snapshot._shm = None
+        snapshot._inline = handle.inline
+        if handle.shm_name is not None:
+            from multiprocessing import shared_memory
+
+            snapshot._shm = shared_memory.SharedMemory(name=handle.shm_name)
+        return snapshot
+
+    # --------------------------------------------------------------- sections
+    def section_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _offset, _length in self.layout)
+
+    def section(self, name: str) -> bytes:
+        """The packed bytes of one section (copied out of the segment)."""
+        if self._closed:
+            raise RuntimeError("snapshot is closed")
+        for section_name, offset, length in self.layout:
+            if section_name == name:
+                if self._shm is not None:
+                    return bytes(self._shm.buf[offset : offset + length])
+                assert self._inline is not None
+                return self._inline[offset : offset + length]
+        raise KeyError(name)
+
+    # --------------------------------------------------------------- lifetime
+    def close(self, unlink: bool = False) -> None:
+        """Release the segment mapping; owners pass ``unlink=True`` to
+        remove the segment from the system.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        deactivate(self)
+        shm, self._shm = self._shm, None
+        if shm is not None:
+            shm.close()
+            if unlink and self._owner:
+                try:
+                    shm.unlink()
+                except FileNotFoundError:
+                    pass
+
+    def __enter__(self) -> "PipelineSnapshot":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close(unlink=self._owner)
+
+
+# ------------------------------------------------- active-snapshot registry
+
+_ACTIVE: PipelineSnapshot | None = None
+
+
+def activate(snapshot: PipelineSnapshot) -> None:
+    """Install ``snapshot`` as this process's source for hollow objects."""
+    global _ACTIVE
+    _ACTIVE = snapshot
+
+
+def active() -> PipelineSnapshot | None:
+    return _ACTIVE
+
+
+def deactivate(snapshot: PipelineSnapshot | None = None) -> None:
+    """Remove the active snapshot (or only ``snapshot``, if it is active)."""
+    global _ACTIVE
+    if snapshot is None or snapshot is _ACTIVE:
+        _ACTIVE = None
+
+
+def load_active_section(name: str) -> bytes | None:
+    """The named section of the active snapshot, or None if unavailable."""
+    snapshot = _ACTIVE
+    if snapshot is None:
+        return None
+    try:
+        return snapshot.section(name)
+    except (KeyError, RuntimeError):
+        return None
+
+
+# ------------------------------------------------------------- entry maps
+
+
+def pack_entry_map(entries: Mapping[Any, Any]) -> bytes:
+    """Pack a cache-export mapping as a two-level pickle.
+
+    The outer pickle carries the key table and per-entry *byte strings*;
+    an attached :class:`EntryMap` unpickles individual entries on demand,
+    so a worker deserializes only what its traffic touches.  Entries that
+    fail to pickle are dropped (snapshots are best-effort accelerators,
+    never correctness carriers).
+    """
+    packed: dict[Any, bytes] = {}
+    for key, value in entries.items():
+        try:
+            packed[key] = pickle.dumps(value, protocol=_PICKLE_PROTOCOL)
+        except Exception:
+            continue
+    return pickle.dumps(packed, protocol=_PICKLE_PROTOCOL)
+
+
+class EntryMap:
+    """Lazy reader over a :func:`pack_entry_map` blob."""
+
+    def __init__(self, blob: bytes) -> None:
+        self._entries: dict[Any, bytes] = pickle.loads(blob)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._entries
+
+    def keys(self):
+        return self._entries.keys()
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        raw = self._entries.get(key)
+        if raw is None:
+            return default
+        return pickle.loads(raw)
+
+
+def timed_ms(started: float) -> float:
+    """Milliseconds elapsed since ``started`` (a ``perf_counter`` value)."""
+    return round((time.perf_counter() - started) * 1000.0, 3)

@@ -385,6 +385,18 @@ class SpanScoringQA(QAModel):
         return tokens, scored
 
     def predict(self, question: str, context: str) -> AnswerPrediction:
+        # The final prediction is a pure function of (trained model,
+        # question, context), so the compiled context memoizes it whole:
+        # ASE's subset loop and hydrated snapshot workers repeat the same
+        # (question, text) pairs, and a memo hit skips span scoring.
+        compiled = self.compiled_context(context)
+        if compiled is not None:
+            return compiled.prediction(
+                self.name, question, lambda: self._predict_direct(question, context)
+            )
+        return self._predict_direct(question, context)
+
+    def _predict_direct(self, question: str, context: str) -> AnswerPrediction:
         tokens, scored = self._ranked_spans(question, context)
         if not scored:
             return AnswerPrediction.empty()

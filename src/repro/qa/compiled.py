@@ -16,20 +16,30 @@ the compiler on and off are bit-identical
 (``tests/test_compiled_context.py`` asserts this over randomized
 paragraphs for all four span-scoring models).
 
-Memory contract: the compiler's byte budget is enforced from a one-shot
-estimate taken when a context is first compiled; tables that materialize
-later (tags, span sets, preps) are charged by a per-token amortized
-constant in that estimate rather than re-measured, so the budget is a
-close guideline, not an exact invariant (see
-:class:`repro.utils.cache.LRUCache`).
+Memory contract: :func:`estimate_compiled_bytes` *measures* the tables a
+context has actually materialized, and every lazy fill notifies the
+owning cache (see :meth:`CompiledContext.bind_accounting` /
+:meth:`repro.utils.cache.LRUCache.reaccount`), so the compiler's byte
+budget is an invariant over the measured footprint — not a guess taken
+at insert time.
+
+Snapshot contract: compiled artifacts :meth:`export_state` /
+:meth:`import_state` across process boundaries for the pipeline snapshot
+plane (:mod:`repro.engine.snapshot`).  Preps are re-keyed from the
+process-local ``prep_key`` to the owning model's stable ``name`` on
+export, and imported states hydrate workers' caches read-through — a
+worker's first prediction against a known paragraph reuses the parent's
+tables instead of recompiling.
 """
 
 from __future__ import annotations
 
 import contextlib
+import pickle
 import threading
 
 from repro.qa.answer_types import AnswerType, candidate_spans
+from repro.text.sentences import Sentence, split_sentences
 from repro.text.tokenizer import Token, tokenize
 from repro.utils.cache import LRUCache, MISSING
 
@@ -74,6 +84,43 @@ class CompiledContext:
         # question-independent derived values (e.g. embedding matrices).
         self._preps: dict = {}
         self._derived: dict = {}
+        # prep_key -> model.name, so preps can be re-keyed stably when the
+        # artifact is exported across a process boundary.
+        self._prep_names: dict[int, str | None] = {}
+        # (model name, question terms) -> prep, imported from a snapshot;
+        # consulted on prep misses, promoted into _preps on first use.
+        self._imported_preps: dict = {}
+        # ASE-level artifacts: the paragraph's sentence split and the
+        # per-question single-sentence prediction batches.
+        self._sentences: tuple[Sentence, ...] | None = None
+        self._sentence_preds: dict[str, tuple] = {}
+        # (model name, question) -> final AnswerPrediction.  Predictions
+        # are pure functions of (trained model, question, text), so the
+        # whole result memoizes — ASE's subset loop re-asks the same
+        # question of the same joined text constantly, and hydrated
+        # workers skip span scoring entirely on known pairs.
+        self._predictions: dict = {}
+        # Owning-cache notification, installed by bind_accounting();
+        # called after every lazy fill so byte accounting stays measured.
+        self._accounting = None
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        # The accounting binding closes over the owning cache; the
+        # receiving process re-binds when it caches the artifact.
+        state["_accounting"] = None
+        return state
+
+    # -------------------------------------------------------- byte accounting
+    def bind_accounting(self, cache: LRUCache, key) -> None:
+        """Re-measure this artifact in ``cache`` whenever a table fills in."""
+        self._accounting = (cache, key)
+
+    def _grown(self) -> None:
+        binding = self._accounting
+        if binding is not None:
+            cache, key = binding
+            cache.reaccount(key)
 
     # ------------------------------------------------------ context tables
     def sentence_bounds(self, model) -> list[tuple[int, int]]:
@@ -81,6 +128,7 @@ class CompiledContext:
         bounds = self._sentence_bounds
         if bounds is None:
             bounds = self._sentence_bounds = model.sentence_bounds(self.tokens)
+            self._grown()
         return bounds
 
     def pos_tags(self, tagger) -> list[str]:
@@ -92,6 +140,7 @@ class CompiledContext:
         tags = self._tags
         if tags is None:
             tags = self._tags = tagger.tag([t.text for t in self.tokens])
+            self._grown()
         return tags
 
     def _kind_spans(self, kind: str, answer_type: AnswerType) -> frozenset:
@@ -99,6 +148,7 @@ class CompiledContext:
         if spans is None:
             spans = frozenset(candidate_spans(self.tokens, answer_type))
             self._span_kinds[kind] = spans
+            self._grown()
         return spans
 
     def span_sets(
@@ -118,7 +168,56 @@ class CompiledContext:
             if answer_type is AnswerType.ENTITY or not spans:
                 spans = spans | self._kind_spans("phrase", AnswerType.PHRASE)
             cached = self._span_sets[answer_type] = (typed, spans)
+            self._grown()
         return cached
+
+    # ----------------------------------------------------- sentence artifacts
+    def sentences(self) -> tuple[Sentence, ...]:
+        """``split_sentences(text)``, computed once per paragraph.
+
+        ASE's subset search re-splits the same paragraph for every
+        question; the compiled split serves them all (and rides the
+        snapshot to workers).
+        """
+        sents = self._sentences
+        if sents is None:
+            sents = self._sentences = tuple(split_sentences(self.text))
+            self._grown()
+        return sents
+
+    def sentence_predictions(self, question: str, factory) -> tuple:
+        """Per-question single-sentence prediction batch, memoized.
+
+        ``factory`` must produce the model's ``predict_batch(question,
+        [sentence texts])`` output; it runs at most once per distinct
+        question (bounded like the prep table).
+        """
+        preds = self._sentence_preds.get(question, MISSING)
+        if preds is MISSING:
+            if len(self._sentence_preds) > _MAX_PREPS:
+                self._sentence_preds.clear()
+            preds = tuple(factory())
+            self._sentence_preds[question] = preds
+            self._grown()
+        return preds
+
+    def prediction(self, name: str | None, question: str, factory):
+        """The model's final prediction for ``question``, memoized.
+
+        ``factory`` runs the real span scoring at most once per (model
+        name, question); the table is bounded like the prep table and
+        rides the snapshot, so a worker's first predict over a known
+        (question, paragraph) pair is a dictionary lookup.
+        """
+        key = (name, question)
+        pred = self._predictions.get(key, MISSING)
+        if pred is MISSING:
+            if len(self._predictions) > _MAX_PREPS:
+                self._predictions.clear()
+            pred = factory()
+            self._predictions[key] = pred
+            self._grown()
+        return pred
 
     # ------------------------------------------------- per-model artifacts
     def prep(self, model, profile):
@@ -126,15 +225,22 @@ class CompiledContext:
 
         Preps are pure functions of (model, question terms, tokens) —
         answer type never enters span scoring — so one table serves every
-        re-ask of the same question against this paragraph.
+        re-ask of the same question against this paragraph.  A miss first
+        consults preps imported from a pipeline snapshot (keyed by the
+        model's stable ``name``) before paying the derivation.
         """
         key = (model.prep_key, profile.terms)
         prep = self._preps.get(key, MISSING)
         if prep is MISSING:
             if len(self._preps) > _MAX_PREPS:
                 self._preps.clear()
-            prep = model.span_prep(profile, self.tokens, compiled=self)
+            name = getattr(model, "name", None)
+            prep = self._imported_preps.get((name, profile.terms), MISSING)
+            if prep is MISSING:
+                prep = model.span_prep(profile, self.tokens, compiled=self)
             self._preps[key] = prep
+            self._prep_names[key[0]] = name
+            self._grown()
         return prep
 
     def derive(self, key, factory):
@@ -144,18 +250,155 @@ class CompiledContext:
         if value is MISSING:
             value = factory()
             self._derived[key] = value
+            self._grown()
         return value
+
+    # -------------------------------------------------------- snapshot plane
+    def export_state(self) -> dict:
+        """A picklable state dict for the pipeline snapshot plane.
+
+        Span sets export as sorted lists (frozenset pickles are
+        iteration-order dependent) and preps re-key from the
+        process-local ``prep_key`` to the owning model's stable name;
+        preps that fail to pickle are dropped (the worker re-derives
+        them).  Derived slots are skipped — their keys embed process-
+        local identities and their values rebuild from exported preps.
+        Export→import→export is byte-identical, which the snapshot tests
+        assert.
+        """
+        preps: dict = {}
+        preps.update(self._imported_preps)
+        for (prep_key, terms), value in self._preps.items():
+            name = self._prep_names.get(prep_key)
+            if name is not None:
+                preps[(name, terms)] = value
+        safe_preps: dict = {}
+        for key, value in preps.items():
+            if _picklable(value):
+                safe_preps[key] = value
+        return {
+            "text": self.text,
+            "tokens": list(self.tokens),
+            "sentence_bounds": self._sentence_bounds,
+            "tags": self._tags,
+            "span_kinds": {
+                kind: sorted(spans)
+                for kind, spans in sorted(self._span_kinds.items())
+            },
+            "sentences": self._sentences,
+            "sentence_preds": {
+                question: preds
+                for question, preds in self._sentence_preds.items()
+                if _picklable(preds)
+            },
+            "predictions": {
+                key: pred
+                for key, pred in self._predictions.items()
+                if _picklable(pred)
+            },
+            "preps": safe_preps,
+        }
+
+    @classmethod
+    def import_state(cls, state: dict) -> "CompiledContext":
+        """Rebuild a compiled artifact from :meth:`export_state` output."""
+        compiled = cls.__new__(cls)
+        compiled.text = state["text"]
+        compiled.tokens = list(state["tokens"])
+        compiled._sentence_bounds = state["sentence_bounds"]
+        compiled._tags = state["tags"]
+        compiled._span_kinds = {
+            kind: frozenset(tuple(span) for span in spans)
+            for kind, spans in state["span_kinds"].items()
+        }
+        compiled._span_sets = {}
+        compiled._preps = {}
+        compiled._derived = {}
+        compiled._prep_names = {}
+        compiled._imported_preps = dict(state["preps"])
+        sentences = state["sentences"]
+        compiled._sentences = tuple(sentences) if sentences is not None else None
+        compiled._sentence_preds = dict(state["sentence_preds"])
+        compiled._predictions = dict(state["predictions"])
+        compiled._accounting = None
+        return compiled
+
+
+def _picklable(value) -> bool:
+    try:
+        pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return False
+    return True
+
+
+def _opaque_bytes(value, depth: int = 0) -> int:
+    """Measured footprint of an opaque prep/derived value.
+
+    Recurses through the container shapes preps actually use (tuples of
+    arrays, dicts of floats) with array buffers measured exactly via
+    ``nbytes``; unknown leaves get a flat object charge.
+    """
+    nbytes = getattr(value, "nbytes", None)
+    if isinstance(nbytes, int):
+        return 16 + nbytes
+    if isinstance(value, str):
+        return 49 + len(value)
+    if isinstance(value, bytes):
+        return 33 + len(value)
+    if value is None or isinstance(value, (int, float, bool)):
+        return 28
+    if depth >= 4:
+        return 64
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return 56 + sum(_opaque_bytes(item, depth + 1) for item in value)
+    if isinstance(value, dict):
+        return 64 + sum(
+            _opaque_bytes(k, depth + 1) + _opaque_bytes(v, depth + 1)
+            for k, v in value.items()
+        )
+    return 128
 
 
 def estimate_compiled_bytes(compiled: CompiledContext) -> int:
-    """Estimated steady-state footprint of one compiled context.
+    """Measured footprint of one compiled context's materialized tables.
 
-    Taken at insert time, before the lazy tables exist, so it charges a
-    per-token amortized constant covering tokens, tags, bounds, span sets
-    and a typical prep population (the embedding matrix — 64 float64
-    dims per word — dominates).
+    Pure function of the tables currently present: called at insert time
+    *and* re-run by :meth:`LRUCache.reaccount` after every lazy fill (see
+    :meth:`CompiledContext.bind_accounting`), so the owning cache's byte
+    accounting always equals this measure over its current values.
     """
-    return 256 + len(compiled.text) + 700 * len(compiled.tokens)
+    total = 256 + len(compiled.text)
+    total += 72 * len(compiled.tokens) + sum(
+        len(token.text) for token in compiled.tokens
+    )
+    if compiled._sentence_bounds is not None:
+        total += 64 + 16 * len(compiled._sentence_bounds)
+    if compiled._tags is not None:
+        total += 64 + 24 * len(compiled._tags)
+    for spans in compiled._span_kinds.values():
+        total += 64 + 80 * len(spans)
+    for typed, spans in compiled._span_sets.values():
+        # The pair usually aliases the kind sets; a distinct union
+        # (ENTITY fallback) is a new frozenset and charged as one.
+        total += 32 if spans is typed else 64 + 80 * len(spans)
+    if compiled._sentences is not None:
+        total += 64 + sum(
+            88 + len(sentence.text) for sentence in compiled._sentences
+        )
+    for question, preds in compiled._sentence_preds.items():
+        total += 56 + len(question) + sum(
+            112 + len(pred.text) for pred in preds
+        )
+    for (name, question), pred in compiled._predictions.items():
+        total += 56 + len(name or "") + len(question) + 112 + len(pred.text)
+    for prep in compiled._preps.values():
+        total += 96 + _opaque_bytes(prep)
+    for key, prep in compiled._imported_preps.items():
+        total += 96 + _opaque_bytes(prep)
+    for value in compiled._derived.values():
+        total += 96 + _opaque_bytes(value)
+    return total
 
 
 class ContextCompiler:
@@ -245,12 +488,45 @@ class ContextCompiler:
                 return compiled
             compiled = CompiledContext(context)
             self.scratch.put(context, compiled)
+            compiled.bind_accounting(self.scratch, context)
             return compiled
         compiled = self.cache.get(context, MISSING)
         if compiled is MISSING:
             compiled = CompiledContext(context)
             self.cache.put(context, compiled)
+            compiled.bind_accounting(self.cache, context)
         return compiled
+
+    # -------------------------------------------------------- snapshot plane
+    def export_states(self) -> dict[str, dict]:
+        """Exported states of every cached paragraph artifact, by text."""
+        states: dict[str, dict] = {}
+        for text, compiled in self.cache.items():
+            try:
+                states[text] = compiled.export_state()
+            except Exception:
+                continue
+        return states
+
+    def attach_snapshot(self, lookup) -> None:
+        """Install a read-through loader hydrating from snapshot states.
+
+        ``lookup(text)`` returns an :meth:`CompiledContext.export_state`
+        dict or ``MISSING``.  Hydrated artifacts enter the main cache
+        with accounting bound, exactly like locally-compiled ones;
+        hydration traffic shows up as the cache's ``loader_hits`` /
+        ``loader_misses``.
+        """
+
+        def loader(text):
+            state = lookup(text)
+            if state is MISSING:
+                return MISSING
+            compiled = CompiledContext.import_state(state)
+            compiled.bind_accounting(self.cache, text)
+            return compiled
+
+        self.cache.loader = loader
 
     def snapshot(self):
         """Hit/miss/size/bytes counters of the main (paragraph) LRU."""

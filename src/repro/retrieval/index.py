@@ -18,6 +18,7 @@ retrieval layer.
 
 from __future__ import annotations
 
+import json
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
@@ -102,6 +103,63 @@ class InvertedIndex:
                 doc_freq[term] = doc_freq.get(term, 0) + len(postings)
         self._doc_freq = doc_freq
         self._total_len = total_len
+
+    # -------------------------------------------------------- snapshot plane
+    def __getstate__(self) -> dict:
+        from repro.engine.snapshot import externalizing
+
+        if externalizing():
+            # Shards and docs ride the snapshot's shared segment (the
+            # canonical JSON bytes, one copy for all workers); the pickle
+            # carries a hollow shell that re-attaches on first lookup.
+            return {"metadata": dict(self.metadata), "_hollow": True}
+        return self.__dict__.copy()
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    def __getattr__(self, name: str):
+        # Reached only for *missing* attributes: a hollow instance lazily
+        # rehydrates its data plane from the active snapshot.
+        if name in ("shards", "docs", "_doc_freq", "_total_len") and self.__dict__.get(
+            "_hollow"
+        ):
+            self._rehydrate()
+            return self.__dict__[name]
+        raise AttributeError(name)
+
+    def _rehydrate(self) -> None:
+        from repro.engine.snapshot import load_active_section
+
+        blob = load_active_section("index")
+        if blob is None:
+            raise RuntimeError(
+                "inverted index was externalized to a pipeline snapshot, "
+                "but no snapshot is active in this process"
+            )
+        loaded = InvertedIndex.from_snapshot_bytes(blob)
+        self.__dict__.update(
+            shards=loaded.shards,
+            docs=loaded.docs,
+            _doc_freq=loaded._doc_freq,
+            _total_len=loaded._total_len,
+            _hollow=False,
+        )
+
+    def to_snapshot_bytes(self) -> bytes:
+        """Canonical serialized form for the snapshot's ``index`` section.
+
+        Reuses :meth:`to_dict` (the byte-identity reference form) encoded
+        as deterministic JSON, so snapshot round trips are byte-identical
+        and workers parse postings only if their traffic retrieves.
+        """
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+
+    @classmethod
+    def from_snapshot_bytes(cls, blob: bytes) -> "InvertedIndex":
+        return cls.from_dict(json.loads(blob.decode("utf-8")))
 
     # ------------------------------------------------------------ building
     @classmethod

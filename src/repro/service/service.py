@@ -359,6 +359,10 @@ class DistillService:
                 ),
             },
             "scheduler": self.scheduler.stats().to_dict(),
+            # Pipeline-snapshot plane (None unless the distiller runs
+            # snapshot-spawned process workers): build cost, segment
+            # size, per-worker load times, and hydration hit rate.
+            "snapshot": self.distiller.snapshot_info(),
             "batch": {
                 "n_distilled": batch_stats.n_distilled,
                 "n_cache_hits": batch_stats.n_cache_hits,

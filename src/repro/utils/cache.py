@@ -59,17 +59,26 @@ class LRUCache:
     shared by the threads of a
     :class:`~repro.engine.executor.ParallelExecutor`.
 
-    Besides the entry-count ``capacity``, a cache may be bounded by an
-    approximate *byte budget*: pass ``size_estimator`` (a callable
-    ``value -> int`` giving the estimated byte footprint of one cached
-    value) together with ``max_bytes``, and the least-recently-used
-    entries are evicted until the estimated total fits the budget.  The
-    estimate is taken once, at :meth:`put` time — values that grow
-    afterwards (lazily compiled artifacts) are *under*-counted, so treat
-    the budget as a guideline, not an invariant.  The most recent entry
-    is never evicted on byte pressure, so a single oversized value still
-    caches (a cache that rejects its own inserts would silently degrade
-    to a 0% hit rate).
+    Besides the entry-count ``capacity``, a cache may be bounded by a
+    *byte budget*: pass ``size_estimator`` (a callable ``value -> int``
+    giving the byte footprint of one cached value) together with
+    ``max_bytes``, and the least-recently-used entries are evicted until
+    the measured total fits the budget.  The measurement is taken at
+    :meth:`put` time; values that grow afterwards (lazily compiled
+    artifacts) call :meth:`reaccount` so the accounted total tracks the
+    estimator exactly — with cooperating values the budget is an
+    invariant, not a guideline.  The most recent entry is never evicted
+    on byte pressure, so a single oversized value still caches (a cache
+    that rejects its own inserts would silently degrade to a 0% hit
+    rate).
+
+    A cache may also carry a read-through ``loader`` (installed after
+    construction, e.g. by the pipeline-snapshot plane): on a :meth:`get`
+    miss the loader is consulted with the key and, when it yields a value
+    (anything but ``MISSING``), the value is inserted and returned.
+    Loader traffic is counted separately (``loader_hits`` /
+    ``loader_misses``) so hit rates keep measuring real cache behaviour.
+    Loaders never pickle with the cache.
 
     >>> cache = LRUCache(capacity=2)
     >>> cache.put("a", 1); cache.put("b", 2); cache.put("c", 3)
@@ -101,15 +110,40 @@ class LRUCache:
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.loader: Callable[[Hashable], Any] | None = None
+        self.loader_hits = 0
+        self.loader_misses = 0
         self._lock = threading.RLock()
 
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         del state["_lock"]
+        # Loaders close over process-local resources (snapshot segments)
+        # and never travel; the receiving process re-attaches its own.
+        state["loader"] = None
+        from repro.engine.snapshot import externalizing
+
+        if externalizing():
+            # Snapshot-plane pickling: the warm entries ride the shared
+            # snapshot segment instead of the payload, so the pickled
+            # cache is an empty shell that rehydrates read-through.
+            state["_data"] = OrderedDict()
+            if state["_sizes"] is not None:
+                state["_sizes"] = {}
+            state["_bytes"] = 0
+            state["hits"] = 0
+            state["misses"] = 0
+            state["loader_hits"] = 0
+            state["loader_misses"] = 0
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
+        # Pickles from before the read-through loader existed lack the
+        # loader fields; default them so hydration wiring stays optional.
+        self.__dict__.setdefault("loader", None)
+        self.__dict__.setdefault("loader_hits", 0)
+        self.__dict__.setdefault("loader_misses", 0)
         self._lock = threading.RLock()
 
     def __len__(self) -> int:
@@ -124,16 +158,29 @@ class LRUCache:
         """Return the cached value, refreshing its recency, or ``default``.
 
         Pass ``default=MISSING`` to tell a cached ``None`` (a hit) apart
-        from an absent key (a miss).
+        from an absent key (a miss).  Misses consult the read-through
+        ``loader`` (if installed) before giving up; the lock is released
+        around the loader call, so a slow load never blocks other
+        threads' lookups.
         """
         with self._lock:
             value = self._data.get(key, MISSING)
-            if value is MISSING:
-                self.misses += 1
-                return default
-            self.hits += 1
-            self._data.move_to_end(key)
-            return value
+            if value is not MISSING:
+                self.hits += 1
+                self._data.move_to_end(key)
+                return value
+            self.misses += 1
+            loader = self.loader
+        if loader is not None:
+            loaded = loader(key)
+            if loaded is not MISSING:
+                with self._lock:
+                    self.loader_hits += 1
+                self.put(key, loaded)
+                return loaded
+            with self._lock:
+                self.loader_misses += 1
+        return default
 
     def peek(self, key: Hashable, default: Any = None) -> Any:
         """Stats-free lookup: no hit/miss counting, no recency refresh.
@@ -168,6 +215,43 @@ class LRUCache:
                 if self._sizes is not None:
                     self._bytes -= self._sizes.pop(evicted, 0)
 
+    def items(self) -> list[tuple[Hashable, Any]]:
+        """A point-in-time list of ``(key, value)`` pairs, LRU-first.
+
+        Taken under the lock (safe against concurrent mutation); used by
+        the snapshot plane to export warm entries without recency churn.
+        """
+        with self._lock:
+            return list(self._data.items())
+
+    def reaccount(self, key: Hashable) -> int:
+        """Re-measure one entry's byte footprint after it grew in place.
+
+        Lazily-materialized values (compiled-context tables) call this
+        through their owning cache binding whenever a new table fills in,
+        so the accounted total always equals the estimator applied to the
+        *current* values — making ``max_bytes`` a real invariant.  Runs
+        the same eviction loop as :meth:`put`; returns the new size (0 if
+        the key is absent or the cache has no estimator).
+        """
+        if self._sizes is None:
+            return 0
+        with self._lock:
+            value = self._data.get(key, MISSING)
+            if value is MISSING:
+                return 0
+            size = int(self._estimate(value))
+            self._bytes += size - self._sizes.get(key, 0)
+            self._sizes[key] = size
+            while (
+                self.max_bytes is not None
+                and self._bytes > self.max_bytes
+                and len(self._data) > 1
+            ):
+                evicted, _ = self._data.popitem(last=False)
+                self._bytes -= self._sizes.pop(evicted, 0)
+            return size
+
     def record_hits(self, n: int = 1) -> None:
         """Credit ``n`` hits that were served without a :meth:`get` lookup.
 
@@ -194,6 +278,8 @@ class LRUCache:
             self._bytes = 0
             self.hits = 0
             self.misses = 0
+            self.loader_hits = 0
+            self.loader_misses = 0
 
 
 def memoize_method(maxsize: int = 1024) -> Callable:
