@@ -49,6 +49,7 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 SOURCE_FILES = (
     "batch_throughput.json",
     "service_latency.json",
+    "service_saturation.json",
     "retrieval.json",
     "distill_profile.json",
     "snapshot.json",

@@ -177,6 +177,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the full ranked outcome as JSON",
     )
+    p_ask.add_argument(
+        "--page-size",
+        type=int,
+        default=0,
+        help="page the ranked candidates (0 = one fat response); pages "
+        "use the same stateless cursors the /ask endpoint serves",
+    )
 
     p_serve = sub.add_parser(
         "serve", help="run the evidence service (JSON over HTTP)"
@@ -209,6 +216,26 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=5.0,
         help="flush at the latest this long after the oldest queued request",
+    )
+    p_serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=256,
+        help="shed requests (429 + Retry-After) past this many pending "
+        "in the admission queue (0 = unbounded)",
+    )
+    p_serve.add_argument(
+        "--client-rate",
+        type=float,
+        default=0.0,
+        help="per-client token-bucket refill in engine triples/second "
+        "(X-Client-Id header; 0 disables rate limiting)",
+    )
+    p_serve.add_argument(
+        "--client-burst",
+        type=float,
+        default=0.0,
+        help="token-bucket capacity (0 = max(1, client rate))",
     )
     p_serve.add_argument(
         "--self-test",
@@ -384,6 +411,21 @@ def _run_ask(args: argparse.Namespace) -> int:
         top_k=args.k,
     ) as distiller:
         outcome = distiller.ask(args.question, args.answer)
+    if args.page_size > 0:
+        # Same page envelopes the /ask endpoint serves, built offline.
+        from repro.service.paging import paginate_ask
+
+        outcome_dict = outcome.to_dict()
+        offset = 0
+        while True:
+            page = paginate_ask(
+                outcome_dict, args.k, offset, args.page_size
+            )
+            print(json.dumps(page, indent=2, sort_keys=True))
+            if page["next_cursor"] is None:
+                break
+            offset += args.page_size
+        return 0 if outcome.best is not None else 1
     if args.json:
         print(json.dumps(outcome.to_dict(), indent=2, sort_keys=True))
         # Same exit-code contract as the plain-text mode below.
@@ -421,6 +463,9 @@ def _run_serve(args: argparse.Namespace) -> int:
         backend=args.backend,
         max_batch_size=args.max_batch_size,
         max_wait_ms=args.max_wait_ms,
+        max_queue_depth=args.max_queue_depth,
+        client_rate=args.client_rate,
+        client_burst=args.client_burst,
     )
     print(f"building service resources for {args.dataset} ...", file=sys.stderr)
     service = DistillService.build(config)
@@ -431,7 +476,9 @@ def _run_serve(args: argparse.Namespace) -> int:
     print(
         f"serving GCED on http://{host}:{port} "
         f"(workers={args.workers}, max_batch_size={args.max_batch_size}, "
-        f"max_wait_ms={args.max_wait_ms:g}) — Ctrl-C to stop",
+        f"max_wait_ms={args.max_wait_ms:g}, "
+        f"max_queue_depth={args.max_queue_depth}, "
+        f"client_rate={args.client_rate:g}) — Ctrl-C to stop",
         file=sys.stderr,
     )
     try:
@@ -533,6 +580,18 @@ def _serve_self_test(service) -> int:
                 failures.append(
                     "served /ask diverged from inline open-context distillation"
                 )
+            paged = list(
+                client.ask_pages(
+                    example.question, example.primary_answer, k=2, page_size=1
+                )
+            )
+            stitched = [c for page in paged for c in page["candidates"]]
+            if json.dumps(stitched, sort_keys=True) != json.dumps(
+                served_ask["candidates"], sort_keys=True
+            ):
+                failures.append(
+                    "paged /ask candidates did not concatenate to the fat response"
+                )
 
         stats = client.stats()
         for key in ("service", "scheduler", "batch", "stages", "caches"):
@@ -552,8 +611,8 @@ def _serve_self_test(service) -> int:
     print(
         f"self-test ok: {len(served)} concurrent /distill requests "
         "byte-identical to single-shot GCED.distill; /ask matched inline "
-        "open-context distillation; /batch isolated the poisoned request; "
-        "/healthz and /stats healthy"
+        "open-context distillation (fat and paged); /batch isolated the "
+        "poisoned request; /healthz and /stats healthy"
     )
     return 0
 

@@ -7,13 +7,29 @@ every invocation; this package keeps them alive in a long-lived process:
   resources once and serves distillations from them;
 * :class:`~repro.service.scheduler.MicroBatchScheduler` — coalesces
   concurrent requests into engine micro-batches (max-batch-size /
-  max-wait-ms flush policy, FIFO, per-request error isolation);
+  max-wait-ms flush policy, FIFO, per-request error isolation), attaches
+  identical in-flight requests to one computation, and bounds admission
+  at ``max_queue_depth``;
+* :mod:`~repro.service.admission` — per-client token buckets and the
+  :class:`~repro.service.admission.ShedError` family the HTTP layer maps
+  to ``429 + Retry-After``;
+* :mod:`~repro.service.paging` — stateless cursors for paged ``/ask``;
 * :mod:`~repro.service.server` — stdlib JSON-over-HTTP front end
   (``/distill``, ``/batch``, ``/ask``, ``/healthz``, ``/stats``);
 * :class:`~repro.service.client.ServiceClient` — matching stdlib client.
+
+Operational reference: ``docs/operations.md``.
 """
 
+from repro.service.admission import (
+    AdmissionController,
+    QueueFullError,
+    RateLimitedError,
+    ShedError,
+    TokenBucket,
+)
 from repro.service.client import ServiceClient, ServiceError
+from repro.service.paging import decode_cursor, encode_cursor, paginate_ask
 from repro.service.scheduler import (
     DistillRequest,
     MicroBatchScheduler,
@@ -27,14 +43,22 @@ from repro.service.server import (
 from repro.service.service import DistillService, ServiceConfig
 
 __all__ = [
+    "AdmissionController",
     "DistillHTTPServer",
     "DistillRequest",
     "DistillService",
     "MicroBatchScheduler",
+    "QueueFullError",
+    "RateLimitedError",
     "SchedulerStats",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
+    "ShedError",
+    "TokenBucket",
+    "decode_cursor",
+    "encode_cursor",
     "make_server",
+    "paginate_ask",
     "start_server",
 ]

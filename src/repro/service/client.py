@@ -1,8 +1,12 @@
 """Tiny stdlib HTTP client for the GCED evidence service.
 
-Used by the test suite, the latency benchmark, and ``repro serve
---self-test``; also a reference for how to talk to the service from any
-language (it is plain JSON over HTTP).
+Used by the test suite, the latency/saturation benchmarks, and ``repro
+serve --self-test``; also a reference for how to talk to the service
+from any language (it is plain JSON over HTTP).
+
+Load-shed responses (``429``) surface as :class:`ServiceError` with
+``status == 429`` and ``retry_after`` populated from the ``Retry-After``
+header — callers decide whether to back off and retry or give up.
 """
 
 from __future__ import annotations
@@ -10,32 +14,73 @@ from __future__ import annotations
 import json
 import urllib.error
 import urllib.request
+from typing import Iterator
 
 __all__ = ["ServiceClient", "ServiceError"]
 
 
 class ServiceError(RuntimeError):
-    """An HTTP error response from the service, with its parsed body."""
+    """An HTTP error response from the service, with its parsed body.
 
-    def __init__(self, status: int, payload: dict) -> None:
+    Attributes:
+        status: the HTTP status code (400 invalid input, 404 unknown
+            path, 405 wrong method, 429 shed by admission control,
+            503 endpoint unavailable).
+        payload: the parsed JSON error body.
+        retry_after: seconds to wait before retrying, from the
+            ``Retry-After`` header (precise float from the body when
+            present); ``None`` for non-shed errors.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        payload: dict,
+        retry_after: float | None = None,
+    ) -> None:
         message = payload.get("error") if isinstance(payload, dict) else None
         super().__init__(f"HTTP {status}: {message or payload}")
         self.status = status
         self.payload = payload
+        precise = (
+            payload.get("retry_after_seconds")
+            if isinstance(payload, dict)
+            else None
+        )
+        self.retry_after = precise if precise is not None else retry_after
 
 
 class ServiceClient:
-    """Blocking JSON client bound to one service base URL."""
+    """Blocking JSON client bound to one service base URL.
 
-    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+    Args:
+        base_url: e.g. ``http://127.0.0.1:8080``.
+        timeout: per-request socket timeout in seconds.
+        client_id: sent as ``X-Client-Id`` on every request so the
+            service's per-client token buckets can account this caller;
+            ``None`` shares the anonymous default bucket.
+
+    Thread safety: the client keeps no mutable state, so one instance
+    may be shared across any number of threads.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 60.0,
+        client_id: str | None = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.client_id = client_id
 
     # ----------------------------------------------------------- plumbing
     def _request(self, path: str, payload: dict | None = None) -> dict:
         url = f"{self.base_url}{path}"
         data = None
         headers = {"Accept": "application/json"}
+        if self.client_id:
+            headers["X-Client-Id"] = self.client_id
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -48,7 +93,14 @@ class ServiceClient:
                 body = json.loads(exc.read())
             except (json.JSONDecodeError, UnicodeDecodeError):
                 body = {"error": exc.reason}
-            raise ServiceError(exc.code, body) from None
+            retry_after = None
+            header = exc.headers.get("Retry-After") if exc.headers else None
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    pass
+            raise ServiceError(exc.code, body, retry_after) from None
 
     # ---------------------------------------------------------- endpoints
     def healthz(self) -> dict:
@@ -58,17 +110,60 @@ class ServiceClient:
         return self._request("/stats")
 
     def distill(self, question: str, answer: str, context: str) -> dict:
+        """One distillation; raises :class:`ServiceError` on 4xx/5xx."""
         return self._request(
             "/distill",
             {"question": question, "answer": answer, "context": context},
         )
 
     def distill_batch(self, items: list[dict]) -> dict:
+        """Batch distillation with per-item error isolation (one 429 sheds
+        the whole batch — admission is all-or-nothing)."""
         return self._request("/batch", {"items": items})
 
-    def ask(self, question: str, answer: str, k: int | None = None) -> dict:
-        """Open-context ask: no context — the service retrieves its own."""
-        payload: dict = {"question": question, "answer": answer}
+    def ask(
+        self,
+        question: str | None = None,
+        answer: str | None = None,
+        k: int | None = None,
+        page_size: int | None = None,
+        cursor: str | None = None,
+    ) -> dict:
+        """Open-context ask: no context — the service retrieves its own.
+
+        Fat mode (default) returns every ranked candidate in one
+        response.  Pass ``page_size`` for the first page of a paged
+        response, then ``cursor=`` (from ``next_cursor``) for the rest;
+        :meth:`ask_pages` wraps that loop.
+        """
+        payload: dict = {}
+        if question is not None:
+            payload["question"] = question
+        if answer is not None:
+            payload["answer"] = answer
         if k is not None:
             payload["k"] = k
+        if page_size is not None:
+            payload["page_size"] = page_size
+        if cursor is not None:
+            payload["cursor"] = cursor
         return self._request("/ask", payload)
+
+    def ask_pages(
+        self,
+        question: str,
+        answer: str,
+        k: int | None = None,
+        page_size: int = 3,
+    ) -> Iterator[dict]:
+        """Iterate every page of a paged ask, following ``next_cursor``.
+
+        Concatenating the ``candidates`` of all yielded pages reproduces
+        the fat response's candidate list exactly (stateless cursors over
+        a deterministic ranking).
+        """
+        page = self.ask(question, answer, k, page_size=page_size)
+        yield page
+        while page.get("next_cursor"):
+            page = self.ask(cursor=page["next_cursor"])
+            yield page

@@ -1,0 +1,124 @@
+"""Paged ``/ask`` responses: a stateless cursor over ranked candidates.
+
+A fat ``/ask`` response serializes every distilled candidate in one
+monolithic payload — fine for ``k=3``, hostile at large ``k`` or on slow
+links.  Paged mode returns a slice of the re-ranked candidate list plus
+a **self-contained cursor** encoding ``(question, answer, k, offset,
+page_size)``; the next page is requested with the cursor alone.
+
+The cursor is *stateless on purpose*: the server keeps no per-cursor
+session, so pages survive server restarts and load-balancer hops.
+Fetching a page re-runs the ask, which is cheap and — crucially —
+deterministic: distillation results come from the content-keyed memo
+(or byte-identical recomputation on a memo miss), and the ranking is a
+pure sort of those results, so every page of one logical ask is a slice
+of the *same* ordering.  Concatenating all pages therefore reproduces
+the fat response exactly.
+
+Cursors are base64url-encoded JSON, not encrypted: they carry exactly
+the fields the original request already contained, and tampering at
+worst changes which public query the cursor names.  Garbage cursors
+raise :class:`ValueError` (the HTTP layer answers 400).
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+
+__all__ = ["decode_cursor", "encode_cursor", "paginate_ask"]
+
+# Bumped if cursor fields ever change shape; decode rejects other versions.
+CURSOR_VERSION = 1
+
+
+def encode_cursor(
+    question: str, answer: str, k: int, offset: int, page_size: int
+) -> str:
+    """Pack a page position into an opaque, URL-safe token."""
+    payload = {
+        "v": CURSOR_VERSION,
+        "q": question,
+        "a": answer,
+        "k": k,
+        "o": offset,
+        "s": page_size,
+    }
+    raw = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return base64.urlsafe_b64encode(raw.encode("utf-8")).decode("ascii")
+
+
+def decode_cursor(cursor: str) -> dict:
+    """Unpack a cursor; raises :class:`ValueError` on anything malformed."""
+    try:
+        raw = base64.urlsafe_b64decode(cursor.encode("ascii"))
+        payload = json.loads(raw)
+    except (binascii.Error, UnicodeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"malformed cursor: {exc}") from None
+    if not isinstance(payload, dict) or payload.get("v") != CURSOR_VERSION:
+        raise ValueError("malformed cursor: unknown version")
+    question, answer = payload.get("q"), payload.get("a")
+    k, offset, size = payload.get("k"), payload.get("o"), payload.get("s")
+    if not isinstance(question, str) or not isinstance(answer, str):
+        raise ValueError("malformed cursor: missing question/answer")
+    for name, value in (("k", k), ("offset", offset), ("page_size", size)):
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+            raise ValueError(f"malformed cursor: bad {name}")
+    if k < 1 or size < 1:
+        raise ValueError("malformed cursor: bad k/page_size")
+    return {
+        "question": question,
+        "answer": answer,
+        "k": k,
+        "offset": offset,
+        "page_size": size,
+    }
+
+
+def paginate_ask(
+    outcome_dict: dict, k: int, offset: int, page_size: int
+) -> dict:
+    """Slice a fat ask payload into one page envelope.
+
+    ``outcome_dict`` is :meth:`AskOutcome.to_dict` output.  The envelope
+    keeps the summary fields (``question``/``answer``/``retrieved``/
+    ``errors``/``best_evidence`` — the best candidate is reported even on
+    pages that do not contain it), replaces ``candidates`` with the
+    requested slice, and adds a ``page`` block plus ``next_cursor``
+    (``None`` on the last page).  An offset at or past the end returns an
+    empty page with no cursor rather than an error, so clients can
+    blindly follow cursors.
+    """
+    if page_size < 1:
+        raise ValueError("page_size must be at least 1")
+    if offset < 0:
+        raise ValueError("offset must be non-negative")
+    candidates = outcome_dict["candidates"]
+    page = candidates[offset : offset + page_size]
+    next_offset = offset + len(page)
+    next_cursor = (
+        encode_cursor(
+            outcome_dict["question"],
+            outcome_dict["answer"],
+            k,
+            next_offset,
+            page_size,
+        )
+        if next_offset < len(candidates)
+        else None
+    )
+    return {
+        "question": outcome_dict["question"],
+        "answer": outcome_dict["answer"],
+        "retrieved": outcome_dict["retrieved"],
+        "errors": outcome_dict["errors"],
+        "best_evidence": outcome_dict["best_evidence"],
+        "page": {
+            "offset": offset,
+            "size": page_size,
+            "returned": len(page),
+        },
+        "candidates": page,
+        "next_cursor": next_cursor,
+    }

@@ -1,4 +1,4 @@
-"""Async micro-batching scheduler for the serving layer.
+"""Async micro-batching scheduler with coalescing and bounded admission.
 
 A long-lived service receives distillation requests one at a time, but
 the engine is at its best on *batches*: :class:`~repro.core.batch.BatchDistiller`
@@ -20,10 +20,31 @@ Requests flush strictly in arrival order (FIFO), so no request can be
 starved by later arrivals.  Errors are isolated per request: if a batch
 fails, every request in it is retried individually and only the poisoned
 ones receive the exception.
+
+Two production-traffic behaviours sit in front of the queue:
+
+* **In-flight coalescing** — a submit whose ``(question, answer,
+  context)`` triple is already queued *or executing* attaches to that
+  computation instead of enqueuing a duplicate: the attached request's
+  future resolves with (a reference to) the same result, and on failure
+  every attached request receives the same exception.  Results are safe
+  to share because distillation is a pure function of the triple (the
+  same contract the distiller's content-keyed memo relies on); the memo
+  covers *finished* triples, coalescing covers *in-flight* ones.
+* **Bounded admission** — with ``max_queue_depth`` set, a submit that
+  would grow the queue past the bound is shed with
+  :class:`~repro.service.admission.QueueFullError` carrying a
+  ``retry_after`` hint derived from the observed batch latency (an EWMA
+  over flushes) and the current backlog.  Coalesced submits never count
+  against the bound: attaching to in-flight work adds no queue pressure.
+
+Thread safety: any number of threads may submit concurrently; one
+condition lock guards the queue, the in-flight table, and all counters.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from collections import deque
@@ -32,13 +53,28 @@ from dataclasses import dataclass, field
 
 from repro.core.batch import BatchDistiller
 from repro.core.result import DistillationResult
+from repro.service.admission import QueueFullError
 
-__all__ = ["DistillRequest", "MicroBatchScheduler", "SchedulerStats"]
+__all__ = [
+    "DistillRequest",
+    "MicroBatchScheduler",
+    "QueueFullError",
+    "SchedulerStats",
+]
+
+# EWMA smoothing for observed batch latency: 0.25 weighs the last few
+# batches heavily enough to track load shifts while ignoring one outlier.
+_EWMA_ALPHA = 0.25
 
 
 @dataclass
 class DistillRequest:
-    """One queued (question, answer, context) distillation."""
+    """One queued (question, answer, context) distillation.
+
+    A *coalesced* request (``coalesced=True``) was attached to an
+    identical in-flight computation at submit time: it owns no queue
+    slot, and its future resolves when the primary request's does.
+    """
 
     question: str
     answer: str
@@ -48,6 +84,12 @@ class DistillRequest:
     )
     enqueued_at: float = field(
         default_factory=time.monotonic, repr=False, compare=False
+    )
+    coalesced: bool = field(default=False, compare=False)
+    # Futures of requests coalesced onto this (primary) request; resolved
+    # together with `future` by the flusher.
+    attached: list[Future] = field(
+        default_factory=list, repr=False, compare=False
     )
 
     @property
@@ -61,7 +103,14 @@ class DistillRequest:
 
 @dataclass(frozen=True)
 class SchedulerStats:
-    """Counters describing the scheduler's batching behaviour so far."""
+    """Counters describing the scheduler's batching behaviour so far.
+
+    ``submitted``/``completed``/``failed`` count *requests* (coalesced
+    ones included); ``flushed`` counts queue slots that went through
+    batches, so ``mean_batch_size`` stays an engine-side measure.
+    ``coalesced`` requests attached to in-flight work, ``shed`` were
+    refused because the queue was at ``max_queue_depth``.
+    """
 
     queue_depth: int
     submitted: int
@@ -70,11 +119,19 @@ class SchedulerStats:
     batches: int
     size_flushes: int
     timeout_flushes: int
+    coalesced: int = 0
+    shed: int = 0
+    flushed: int = 0
+    inflight: int = 0
+    ewma_batch_ms: float = 0.0
 
     @property
     def mean_batch_size(self) -> float:
-        done = self.completed + self.failed
-        return done / self.batches if self.batches else 0.0
+        return self.flushed / self.batches if self.batches else 0.0
+
+    @property
+    def coalesce_hit_rate(self) -> float:
+        return self.coalesced / self.submitted if self.submitted else 0.0
 
     def to_dict(self) -> dict:
         return {
@@ -85,6 +142,12 @@ class SchedulerStats:
             "batches": self.batches,
             "size_flushes": self.size_flushes,
             "timeout_flushes": self.timeout_flushes,
+            "coalesced": self.coalesced,
+            "coalesce_hit_rate": self.coalesce_hit_rate,
+            "shed": self.shed,
+            "flushed": self.flushed,
+            "inflight": self.inflight,
+            "ewma_batch_ms": self.ewma_batch_ms,
             "mean_batch_size": self.mean_batch_size,
         }
 
@@ -100,6 +163,19 @@ class MicroBatchScheduler:
         max_wait_ms: flush at the latest this long after the *oldest*
             queued request arrived; ``0`` flushes immediately (no
             batching beyond what is already queued).
+        max_queue_depth: admission bound — a submit that would grow the
+            queue past this many pending requests raises
+            :class:`QueueFullError` (with a ``retry_after`` hint) instead
+            of enqueuing.  ``0`` (default) leaves admission unbounded.
+
+    Thread safety: :meth:`submit`, :meth:`submit_many`, :meth:`distill`,
+    :meth:`stats`, and :meth:`close` may be called from any thread.
+
+    Error modes: submits raise :class:`RuntimeError` after
+    :meth:`close`, and :class:`QueueFullError` when shed; a request
+    future raises the per-request distillation error (poisoned triples
+    only — batch-mates are unaffected) or :class:`RuntimeError` if the
+    scheduler was closed with ``drain=False`` while it was queued.
     """
 
     def __init__(
@@ -107,15 +183,22 @@ class MicroBatchScheduler:
         distiller: BatchDistiller,
         max_batch_size: int = 16,
         max_wait_ms: float = 5.0,
+        max_queue_depth: int = 0,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be at least 1")
         if max_wait_ms < 0:
             raise ValueError("max_wait_ms must be non-negative")
+        if max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be non-negative")
         self.distiller = distiller
         self.max_batch_size = max_batch_size
         self.max_wait_ms = max_wait_ms
+        self.max_queue_depth = max_queue_depth
         self._queue: deque[DistillRequest] = deque()
+        # Primary request per triple, from enqueue until its future
+        # resolves; identical submits attach here instead of queueing.
+        self._inflight: dict[tuple[str, str, str], DistillRequest] = {}
         self._cond = threading.Condition()
         self._closed = False
         self._submitted = 0
@@ -123,6 +206,10 @@ class MicroBatchScheduler:
         self._failed = 0
         self._size_flushes = 0
         self._timeout_flushes = 0
+        self._coalesced = 0
+        self._shed = 0
+        self._flushed = 0
+        self._ewma_batch_s = 0.0
         self.batch_sizes: list[int] = []
         self._thread = threading.Thread(
             target=self._run, name="gced-scheduler", daemon=True
@@ -133,28 +220,83 @@ class MicroBatchScheduler:
     def submit(
         self, question: str, answer: str, context: str
     ) -> DistillRequest:
-        """Queue one request; returns immediately with its future."""
+        """Queue one request (or attach to an identical in-flight one).
+
+        Returns immediately with the request holding a pending future.
+
+        Raises:
+            RuntimeError: the scheduler is closed.
+            QueueFullError: the queue is at ``max_queue_depth`` and the
+                triple could not coalesce onto in-flight work.
+        """
         request = DistillRequest(question, answer, context)
         with self._cond:
-            if self._closed:
-                raise RuntimeError("scheduler is closed")
-            self._queue.append(request)
-            self._submitted += 1
-            self._cond.notify_all()
+            self._admit_locked(request)
+            if not request.coalesced:
+                self._cond.notify_all()
         return request
 
     def submit_many(
         self, triples: list[tuple[str, str, str]]
     ) -> list[DistillRequest]:
-        """Queue several triples atomically, preserving their order."""
+        """Queue several triples atomically, preserving their order.
+
+        Duplicate triples within the call (and triples identical to
+        in-flight work) coalesce onto one computation.  Admission is
+        all-or-nothing: if the non-coalescable remainder does not fit
+        under ``max_queue_depth``, the whole call is shed with
+        :class:`QueueFullError` and nothing is enqueued.
+        """
         requests = [DistillRequest(*triple) for triple in triples]
         with self._cond:
             if self._closed:
                 raise RuntimeError("scheduler is closed")
-            self._queue.extend(requests)
-            self._submitted += len(requests)
+            if self.max_queue_depth:
+                fresh = {
+                    request.triple
+                    for request in requests
+                    if request.triple not in self._inflight
+                }
+                if len(self._queue) + len(fresh) > self.max_queue_depth:
+                    self._shed += len(requests)
+                    raise QueueFullError(
+                        f"admission queue is full ({len(self._queue)}/"
+                        f"{self.max_queue_depth} pending; batch of "
+                        f"{len(fresh)} does not fit)",
+                        retry_after=self._retry_after_locked(extra=len(fresh)),
+                    )
+            for request in requests:
+                self._admit_locked(request, checked=True)
             self._cond.notify_all()
         return requests
+
+    def _admit_locked(
+        self, request: DistillRequest, checked: bool = False
+    ) -> None:
+        """Coalesce, bound-check (unless ``checked``), and enqueue."""
+        if self._closed:
+            raise RuntimeError("scheduler is closed")
+        primary = self._inflight.get(request.triple)
+        if primary is not None:
+            primary.attached.append(request.future)
+            request.coalesced = True
+            self._coalesced += 1
+            self._submitted += 1
+            return
+        if (
+            not checked
+            and self.max_queue_depth
+            and len(self._queue) >= self.max_queue_depth
+        ):
+            self._shed += 1
+            raise QueueFullError(
+                f"admission queue is full "
+                f"({len(self._queue)}/{self.max_queue_depth} pending)",
+                retry_after=self._retry_after_locked(extra=1),
+            )
+        self._inflight[request.triple] = request
+        self._queue.append(request)
+        self._submitted += 1
 
     def distill(
         self,
@@ -170,6 +312,19 @@ class MicroBatchScheduler:
     def queue_depth(self) -> int:
         with self._cond:
             return len(self._queue)
+
+    def retry_after_hint(self) -> float:
+        """Seconds a shed client should wait: backlog x observed batch latency."""
+        with self._cond:
+            return self._retry_after_locked(extra=1)
+
+    def _retry_after_locked(self, extra: int = 0) -> float:
+        """Expected time (s) to drain the backlog plus ``extra`` requests."""
+        batch_s = self._ewma_batch_s or (self.max_wait_ms / 1000.0 + 0.05)
+        batches_ahead = math.ceil(
+            (len(self._queue) + extra) / self.max_batch_size
+        )
+        return round(max(0.05, batches_ahead * batch_s), 3)
 
     # -------------------------------------------------------------- flush
     def _run(self) -> None:
@@ -204,7 +359,34 @@ class MicroBatchScheduler:
             ]
             return batch, reason
 
+    def _resolve(
+        self,
+        request: DistillRequest,
+        result: DistillationResult | None = None,
+        error: Exception | None = None,
+    ) -> tuple[int, int]:
+        """Complete a request and everything coalesced onto it.
+
+        The in-flight entry is removed *before* the futures resolve, so a
+        new identical submit either attached in time (and resolves here)
+        or starts a fresh computation — never observes a done primary.
+        Returns ``(completed, failed)`` request counts.
+        """
+        with self._cond:
+            self._inflight.pop(request.triple, None)
+            attached = list(request.attached)
+            request.attached.clear()
+        futures = [request.future, *attached]
+        if error is not None:
+            for future in futures:
+                future.set_exception(error)
+            return 0, len(futures)
+        for future in futures:
+            future.set_result(result)
+        return len(futures), 0
+
     def _flush(self, batch: list[DistillRequest], reason: str) -> None:
+        flush_started = time.monotonic()
         try:
             results = self.distiller.distill_many(
                 [request.triple for request in batch]
@@ -216,22 +398,31 @@ class MicroBatchScheduler:
         completed = failed = 0
         if results is not None:
             for request, result in zip(batch, results):
-                request.future.set_result(result)
-                completed += 1
+                done, bad = self._resolve(request, result=result)
+                completed += done
+                failed += bad
         else:
             for request in batch:
                 try:
                     result = self.distiller.distill_one(*request.triple)
                 except Exception as exc:
-                    request.future.set_exception(exc)
-                    failed += 1
+                    done, bad = self._resolve(request, error=exc)
                 else:
-                    request.future.set_result(result)
-                    completed += 1
+                    done, bad = self._resolve(request, result=result)
+                completed += done
+                failed += bad
+        elapsed = time.monotonic() - flush_started
         with self._cond:
             self._completed += completed
             self._failed += failed
+            self._flushed += len(batch)
             self.batch_sizes.append(len(batch))
+            self._ewma_batch_s = (
+                elapsed
+                if not self._ewma_batch_s
+                else _EWMA_ALPHA * elapsed
+                + (1.0 - _EWMA_ALPHA) * self._ewma_batch_s
+            )
             if reason == "size":
                 self._size_flushes += 1
             else:
@@ -248,14 +439,44 @@ class MicroBatchScheduler:
                 batches=len(self.batch_sizes),
                 size_flushes=self._size_flushes,
                 timeout_flushes=self._timeout_flushes,
+                coalesced=self._coalesced,
+                shed=self._shed,
+                flushed=self._flushed,
+                inflight=len(self._inflight),
+                ewma_batch_ms=round(1000.0 * self._ewma_batch_s, 3),
             )
 
     # ------------------------------------------------------------ closing
-    def close(self, timeout: float | None = 10.0) -> None:
-        """Stop accepting requests, drain the queue, and join the thread."""
+    def close(self, timeout: float | None = 10.0, drain: bool = True) -> None:
+        """Stop accepting requests and join the flusher thread.
+
+        With ``drain=True`` (default) everything already queued still
+        flushes through the engine before the thread exits.  With
+        ``drain=False`` the queue is abandoned: every queued request (and
+        everything coalesced onto it) fails promptly with
+        :class:`RuntimeError` — nothing hangs, nothing silently drops.
+        A batch already executing completes either way.  Subsequent
+        submits raise :class:`RuntimeError`; ``close`` is idempotent.
+        """
+        abandoned: list[DistillRequest] = []
         with self._cond:
             self._closed = True
+            if not drain:
+                abandoned = list(self._queue)
+                self._queue.clear()
             self._cond.notify_all()
+        failed = 0
+        for request in abandoned:
+            _done, bad = self._resolve(
+                request,
+                error=RuntimeError(
+                    "scheduler closed before this request was flushed"
+                ),
+            )
+            failed += bad
+        if failed:
+            with self._cond:
+                self._failed += failed
         self._thread.join(timeout)
 
     def __enter__(self) -> "MicroBatchScheduler":

@@ -16,21 +16,35 @@ Endpoints:
   ``{"results": [...], "errors": n}``, errors isolated per item.
 * ``POST /ask`` — body ``{"question", "answer", "k"?}``; open-context:
   retrieves top-k paragraphs from the corpus index, distills each, and
-  responds with candidates ranked by hybrid evidence score.
+  responds with candidates ranked by hybrid evidence score.  Add
+  ``"page_size"`` for a paged response, and follow its ``next_cursor``
+  with ``{"cursor": ...}`` bodies for the remaining pages.
 * ``GET /healthz`` — liveness probe.
-* ``GET /stats`` — per-stage timings, queue depth, cache hit rates.
+* ``GET /stats`` — per-stage timings, queue/admission counters, cache
+  hit rates (see ``docs/operations.md`` for the field reference).
 
-Hitting a known path with the wrong HTTP method answers ``405`` with an
-``Allow`` header; only unknown paths answer ``404``.
+Error modes: invalid input answers ``400``; a known path hit with the
+wrong HTTP method answers ``405`` with an ``Allow`` header; only unknown
+paths answer ``404``; ``/ask`` without a retriever answers ``503``; a
+request shed by admission control (empty client token bucket or full
+scheduler queue) answers ``429`` with a ``Retry-After`` header (whole
+seconds, rounded up) and ``retry_after_seconds`` (exact float) in the
+body.  Clients identify themselves with an ``X-Client-Id`` header;
+anonymous requests share one default token bucket.
+
+Thread safety: ``ThreadingHTTPServer`` gives every connection its own
+handler thread; handlers only touch the service's thread-safe surface.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import urlsplit
 
+from repro.service.admission import ShedError
 from repro.service.service import DistillService
 
 __all__ = ["DistillHTTPServer", "make_server", "start_server"]
@@ -109,6 +123,19 @@ class _DistillHandler(BaseHTTPRequestHandler):
             return
         try:
             handler(payload)
+        except ShedError as exc:
+            # Load shed: tell the client when to come back.  Retry-After
+            # is whole seconds per RFC 9110; the body keeps the float.
+            self._send_json(
+                429,
+                {
+                    "error": str(exc),
+                    "retry_after_seconds": exc.retry_after,
+                },
+                extra_headers={
+                    "Retry-After": str(max(1, math.ceil(exc.retry_after)))
+                },
+            )
         except ValueError as exc:
             # Invalid inputs (e.g. empty context) are the client's fault.
             self._send_json(400, {"error": str(exc)})
@@ -124,7 +151,13 @@ class _DistillHandler(BaseHTTPRequestHandler):
         )
 
     # ----------------------------------------------------------- handlers
+    @property
+    def client_id(self) -> str | None:
+        """The caller's self-declared identity for token-bucket accounting."""
+        return self.headers.get("X-Client-Id") or None
+
     def _handle_distill(self, payload: dict) -> None:
+        """``POST /distill``: 200 result; 400 invalid; 429 shed."""
         missing = [
             key
             for key in ("question", "answer", "context")
@@ -139,39 +172,88 @@ class _DistillHandler(BaseHTTPRequestHandler):
         self._send_json(
             200,
             self.service.distill_dict(
-                payload["question"], payload["answer"], payload["context"]
+                payload["question"],
+                payload["answer"],
+                payload["context"],
+                client_id=self.client_id,
             ),
         )
 
     def _handle_batch(self, payload: dict) -> None:
+        """``POST /batch``: per-item error isolation; shed whole (429)."""
         items = payload.get("items")
         if not isinstance(items, list) or not all(
             isinstance(item, dict) for item in items
         ):
             self._send_json(400, {"error": "'items' must be a list of objects"})
             return
-        self._send_json(200, self.service.distill_batch_dicts(items))
+        self._send_json(
+            200,
+            self.service.distill_batch_dicts(items, client_id=self.client_id),
+        )
 
     def _handle_ask(self, payload: dict) -> None:
+        """``POST /ask``: fat by default; paged with page_size/cursor.
+
+        503 when the service has no retriever; 400 on malformed cursors
+        or fields; 429 when shed.
+        """
+        cursor = payload.get("cursor")
+        if cursor is not None and not isinstance(cursor, str):
+            self._send_json(400, {"error": "'cursor' must be a string"})
+            return
         missing = [
             key
             for key in ("question", "answer")
             if not isinstance(payload.get(key), str)
         ]
-        if missing:
+        if missing and cursor is None:
             self._send_json(
                 400,
                 {"error": f"missing string field(s): {', '.join(missing)}"},
             )
             return
-        k = payload.get("k")
-        if k is not None and (isinstance(k, bool) or not isinstance(k, int) or k < 1):
-            self._send_json(400, {"error": "'k' must be a positive integer"})
+        invalid = [
+            key
+            for key in ("k", "page_size")
+            if payload.get(key) is not None
+            and (
+                isinstance(payload[key], bool)
+                or not isinstance(payload[key], int)
+                or payload[key] < 1
+            )
+        ]
+        if invalid:
+            self._send_json(
+                400,
+                {
+                    "error": ", ".join(
+                        f"'{key}' must be a positive integer" for key in invalid
+                    )
+                },
+            )
             return
         try:
-            response = self.service.ask_dict(
-                payload["question"], payload["answer"], k
-            )
+            if cursor is not None or payload.get("page_size") is not None:
+                response = self.service.ask_page_dict(
+                    payload.get("question"),
+                    payload.get("answer"),
+                    payload.get("k"),
+                    page_size=payload.get("page_size"),
+                    cursor=cursor,
+                    client_id=self.client_id,
+                )
+            else:
+                response = self.service.ask_dict(
+                    payload["question"],
+                    payload["answer"],
+                    payload.get("k"),
+                    client_id=self.client_id,
+                )
+        except ShedError:
+            # A RuntimeError subclass, but it means 429 — let the central
+            # shed handler in do_POST answer it, not the 503 below.
+            raise
         except RuntimeError as exc:
             # No retriever attached: the endpoint is unavailable, not broken.
             self._send_json(503, {"error": str(exc)})

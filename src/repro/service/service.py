@@ -16,6 +16,15 @@ Concurrency model: any number of threads may call :meth:`distill` /
 that); all pipeline execution is funnelled through the scheduler's single
 flusher thread onto the engine executor, so the pipeline itself is never
 re-entered from two caller threads.
+
+Admission model: every serving method accepts a ``client_id`` and
+charges that client's token bucket (see
+:mod:`repro.service.admission`) *before* any engine work is scheduled —
+cost 1 for a distill, ``len(items)`` for a batch, ``k`` for a fresh ask,
+1 for a cursor page.  An admitted request can still be shed by the
+scheduler's bounded queue.  Both layers raise a
+:class:`~repro.service.admission.ShedError` subclass carrying
+``retry_after`` seconds, which the HTTP front end maps to ``429``.
 """
 
 from __future__ import annotations
@@ -29,6 +38,8 @@ from repro.core.open_context import AskOutcome, build_outcome
 from repro.core.pipeline import GCED, DistillationResult
 from repro.core.serialize import result_to_dict
 from repro.retrieval.retriever import CorpusRetriever
+from repro.service.admission import AdmissionController
+from repro.service.paging import decode_cursor, paginate_ask
 from repro.service.scheduler import DistillRequest, MicroBatchScheduler
 
 __all__ = ["DistillService", "ServiceConfig"]
@@ -45,6 +56,12 @@ class ServiceConfig:
         backend: ``"thread"`` or ``"process"`` executor backend.
         cache_size: memoized finished results kept by the distiller.
         max_batch_size / max_wait_ms: micro-batching flush policy.
+        max_queue_depth: scheduler admission bound — submits past this
+            many pending requests are shed with 429/Retry-After
+            (``0`` = unbounded admission, the pre-hardening behaviour).
+        client_rate: per-client token-bucket refill, engine triples per
+            second (``0`` disables rate limiting).
+        client_burst: token-bucket capacity (``0`` = ``max(1, rate)``).
         retrieval_shards: inverted-index shard count for ``/ask``.
         top_k: default number of paragraphs an ask considers.
     """
@@ -58,6 +75,9 @@ class ServiceConfig:
     cache_size: int = 4096
     max_batch_size: int = 16
     max_wait_ms: float = 5.0
+    max_queue_depth: int = 256
+    client_rate: float = 0.0
+    client_burst: float = 0.0
     retrieval_shards: int = 4
     top_k: int = 3
 
@@ -71,6 +91,11 @@ class DistillService:
     Build one with :meth:`build` (from a synthetic dataset key) or
     :meth:`from_corpus` (from raw context paragraphs), or pass a
     pre-configured :class:`GCED` directly.
+
+    Thread safety: every serving method may be called from any number of
+    threads concurrently; admission, scheduling, and the distiller's
+    memo are internally locked, and the pipeline only ever runs on the
+    scheduler's flusher thread.
     """
 
     def __init__(
@@ -82,6 +107,9 @@ class DistillService:
         cache_size: int = 4096,
         max_batch_size: int = 16,
         max_wait_ms: float = 5.0,
+        max_queue_depth: int = 256,
+        client_rate: float = 0.0,
+        client_burst: float = 0.0,
         corpus_info: str = "custom",
         config: ServiceConfig | None = None,
         retriever: CorpusRetriever | None = None,
@@ -104,14 +132,21 @@ class DistillService:
             cache_size=cache_size,
             max_batch_size=max_batch_size,
             max_wait_ms=max_wait_ms,
+            max_queue_depth=max_queue_depth,
+            client_rate=client_rate,
+            client_burst=client_burst,
+        )
+        self.admission = AdmissionController(
+            rate=self.config.client_rate, burst=self.config.client_burst
         )
         self.distiller = BatchDistiller(
             gced, cache_size=cache_size, workers=workers, backend=backend
         )
         self.scheduler = MicroBatchScheduler(
             self.distiller,
-            max_batch_size=max_batch_size,
-            max_wait_ms=max_wait_ms,
+            max_batch_size=self.config.max_batch_size,
+            max_wait_ms=self.config.max_wait_ms,
+            max_queue_depth=self.config.max_queue_depth,
         )
         self.dataset = None  # set by build()
         self._started = time.monotonic()
@@ -189,6 +224,9 @@ class DistillService:
                     "cache_size",
                     "max_batch_size",
                     "max_wait_ms",
+                    "max_queue_depth",
+                    "client_rate",
+                    "client_burst",
                 )
                 if key in kwargs
             },
@@ -202,34 +240,56 @@ class DistillService:
         answer: str,
         context: str,
         timeout: float | None = None,
+        client_id: str | None = None,
     ) -> DistillationResult:
-        """Distill one triple through the micro-batching scheduler."""
+        """Distill one triple through the micro-batching scheduler.
+
+        Identical concurrent requests coalesce onto one computation.
+
+        Raises:
+            RateLimitedError: ``client_id``'s token bucket is empty.
+            QueueFullError: the scheduler's admission queue is full.
+            ValueError: invalid inputs (e.g. blank context).
+        """
+        self.admission.admit(client_id, cost=1.0)
         return self.scheduler.distill(question, answer, context, timeout)
 
     def distill_dict(
-        self, question: str, answer: str, context: str
+        self,
+        question: str,
+        answer: str,
+        context: str,
+        client_id: str | None = None,
     ) -> dict:
         """JSON-safe single distillation, as served by ``/distill``."""
-        result = self.distill(question, answer, context)
+        result = self.distill(question, answer, context, client_id=client_id)
         return result_to_dict(result, question, answer)
 
     def submit(
         self, question: str, answer: str, context: str
     ) -> DistillRequest:
-        """Fire-and-forget submission; returns the pending request."""
+        """Fire-and-forget submission; returns the pending request.
+
+        Bypasses token buckets (there is no client), but not the
+        scheduler's queue bound — may raise :class:`QueueFullError`.
+        """
         return self.scheduler.submit(question, answer, context)
 
     def distill_batch(
         self,
         triples: list[tuple[str, str, str]],
         timeout: float | None = None,
+        client_id: str | None = None,
     ) -> list[DistillationResult | Exception]:
         """Distill many triples; failures come back per-item, not raised.
 
         The returned list is aligned with ``triples``; a poisoned triple
         yields its exception object while its batch-mates still yield
-        results (the scheduler's error-isolation contract).
+        results (the scheduler's error-isolation contract).  Admission is
+        all-or-nothing and charged at ``len(triples)`` tokens: a shed
+        batch raises (it never partially enqueues).
         """
+        self.admission.admit(client_id, cost=float(len(triples)) or 1.0)
         requests = self.scheduler.submit_many(triples)
         outcomes: list[DistillationResult | Exception] = []
         for request in requests:
@@ -246,22 +306,39 @@ class DistillService:
         answer: str,
         k: int | None = None,
         timeout: float | None = None,
+        client_id: str | None = None,
     ) -> AskOutcome:
         """Open-context distillation: retrieve top-k, distill, re-rank.
 
         Every candidate paragraph is submitted through the micro-batching
         scheduler, so one ask's candidates coalesce into engine batches
-        with whatever else is in flight.  Per-candidate failures are
+        with whatever else is in flight (and identical concurrent asks
+        share one computation per candidate).  Per-candidate failures are
         isolated (a failed paragraph ranks last with its error recorded)
-        rather than failing the ask.
+        rather than failing the ask.  Charged at ``k`` tokens.
+
+        Raises:
+            RuntimeError: the service has no retriever attached.
+            RateLimitedError / QueueFullError: shed by admission control.
         """
+        if k is None:
+            k = self.top_k
+        self.admission.admit(client_id, cost=float(k))
+        return self._ask_outcome(question, answer, k, timeout)
+
+    def _ask_outcome(
+        self,
+        question: str,
+        answer: str,
+        k: int,
+        timeout: float | None = None,
+    ) -> AskOutcome:
+        """The retrieve -> distill -> re-rank body, past admission."""
         if self.retriever is None:
             raise RuntimeError(
                 "service has no retriever; build it from a dataset/corpus "
                 "or pass retriever= explicitly"
             )
-        if k is None:
-            k = self.top_k
         hits = self.retriever.retrieve_for_qa(question, answer, k=k)
         results: list[DistillationResult | Exception] = []
         if hits:
@@ -276,13 +353,70 @@ class DistillService:
         return build_outcome(question, answer, hits, results)
 
     def ask_dict(
-        self, question: str, answer: str, k: int | None = None
+        self,
+        question: str,
+        answer: str,
+        k: int | None = None,
+        client_id: str | None = None,
     ) -> dict:
-        """JSON-safe open-context ask, as served by ``/ask``."""
-        return self.ask(question, answer, k).to_dict()
+        """JSON-safe open-context ask, as served by fat-mode ``/ask``."""
+        return self.ask(question, answer, k, client_id=client_id).to_dict()
+
+    def ask_page_dict(
+        self,
+        question: str | None = None,
+        answer: str | None = None,
+        k: int | None = None,
+        page_size: int | None = None,
+        cursor: str | None = None,
+        client_id: str | None = None,
+    ) -> dict:
+        """One page of an open-context ask, as served by paged ``/ask``.
+
+        Two entry points: a *fresh* paged ask names ``question`` /
+        ``answer`` (+ optional ``k``) with a ``page_size``; a
+        *continuation* passes the previous page's ``cursor`` (which
+        carries the query and offset; ``page_size`` may override the
+        cursor's).  Cursors are stateless — the ask re-runs and slices,
+        with the distiller's content-keyed memo making continuation
+        pages cheap (they are charged 1 token vs ``k`` for a fresh ask)
+        and the deterministic ranking making every page a slice of the
+        same ordering.
+
+        Raises:
+            ValueError: malformed cursor, or missing question/answer on
+                a fresh paged ask, or ``page_size < 1``.
+            RateLimitedError / QueueFullError: shed by admission control.
+        """
+        if cursor is not None:
+            position = decode_cursor(cursor)
+            question = position["question"]
+            answer = position["answer"]
+            k = position["k"]
+            offset = position["offset"]
+            page_size = page_size or position["page_size"]
+            cost = 1.0
+        else:
+            if question is None or answer is None:
+                raise ValueError(
+                    "paged ask needs question and answer (or a cursor)"
+                )
+            if page_size is None:
+                raise ValueError("paged ask needs page_size (or a cursor)")
+            k = k if k is not None else self.top_k
+            offset = 0
+            cost = float(k)
+        if page_size < 1:
+            raise ValueError("page_size must be at least 1")
+        self.admission.admit(client_id, cost=cost)
+        outcome = self._ask_outcome(question, answer, k)
+        return paginate_ask(outcome.to_dict(), k, offset, page_size)
 
     def distill_batch_dicts(
-        self, items: list[dict], timeout: float | None = None
+        self,
+        items: list[dict],
+        timeout: float | None = None,
+        client_id: str | None = None,
     ) -> dict:
         """JSON-safe batch distillation, as served by ``/batch``."""
         triples = [
@@ -293,7 +427,7 @@ class DistillService:
             )
             for item in items
         ]
-        outcomes = self.distill_batch(triples, timeout)
+        outcomes = self.distill_batch(triples, timeout, client_id=client_id)
         results = []
         errors = 0
         for (question, answer, _context), outcome in zip(triples, outcomes):
@@ -319,7 +453,9 @@ class DistillService:
         :class:`~repro.engine.instrumentation.PipelineProfile` collected;
         ``caches`` the hit rates of the shared parser/scorer caches plus
         the distiller's ``results`` memo; ``scheduler`` the micro-batching
-        counters including the live queue depth.
+        counters including the live queue depth, coalescing, and shed
+        counts; ``admission`` the per-client token-bucket counters.  See
+        ``docs/operations.md`` for the field-by-field reference.
         """
         batch_stats = self.distiller.stats()
         profile = batch_stats.profile.to_dict()
@@ -358,6 +494,7 @@ class DistillService:
                     else None
                 ),
             },
+            "admission": self.admission.stats(),
             "scheduler": self.scheduler.stats().to_dict(),
             # Pipeline-snapshot plane (None unless the distiller runs
             # snapshot-spawned process workers): build cost, segment
@@ -376,9 +513,10 @@ class DistillService:
         }
 
     # ------------------------------------------------------------ closing
-    def close(self) -> None:
-        """Drain the scheduler and shut the executor pool down."""
-        self.scheduler.close()
+    def close(self, drain: bool = True) -> None:
+        """Shut down: drain (or fail, with ``drain=False``) queued
+        requests, then stop the executor pool.  Idempotent."""
+        self.scheduler.close(drain=drain)
         self.distiller.close()
 
     def __enter__(self) -> "DistillService":

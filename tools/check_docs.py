@@ -1,0 +1,174 @@
+"""Docs health check: relative links, heading anchors, live quickstart.
+
+Two passes over ``README.md`` + ``docs/*.md``:
+
+1. **Links** — every relative markdown link must point at a file that
+   exists, and every ``#fragment`` (in-page or cross-file) must match a
+   real heading under GitHub's slugification (lowercase, spaces to
+   dashes, punctuation stripped).  Links that resolve outside the repo
+   (the CI badge's ``../../actions/...`` site-relative URL) and absolute
+   ``scheme://`` URLs are skipped — this check is offline.
+2. **Quickstart** — the first fenced ``bash`` block under the README's
+   ``## Quickstart`` heading is executed verbatim (with ``src`` on
+   ``PYTHONPATH`` so no install step is required), so the front-door
+   example can never rot.
+
+Exit 0 when everything passes; 1 with one line per problem otherwise.
+Run as ``python tools/check_docs.py [--no-quickstart]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import re
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+FENCE_RE = re.compile(r"^(```|~~~)", re.MULTILINE)
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$", re.MULTILINE)
+# Inline markdown links: [text](target).  Images share the syntax; the
+# badge image resolves outside the repo and is skipped like any other.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+QUICKSTART_RE = re.compile(
+    r"^##\s+Quickstart\s*$.*?^```bash\s*$(.*?)^```\s*$",
+    re.MULTILINE | re.DOTALL,
+)
+
+
+def doc_files() -> list[pathlib.Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def strip_fenced_code(text: str) -> str:
+    """Blank out fenced code blocks so ``# comments`` aren't headings."""
+    out: list[str] = []
+    in_fence = False
+    fence = ""
+    for line in text.splitlines():
+        stripped = line.lstrip()
+        if not in_fence and (
+            stripped.startswith("```") or stripped.startswith("~~~")
+        ):
+            in_fence, fence = True, stripped[:3]
+            out.append("")
+        elif in_fence and stripped.startswith(fence):
+            in_fence = False
+            out.append("")
+        else:
+            out.append("" if in_fence else line)
+    return "\n".join(out)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces->dashes."""
+    # Inline markup contributes its text, not its syntax.
+    heading = re.sub(r"[`*_]", "", heading)
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def anchors_for(path: pathlib.Path, cache: dict) -> set[str]:
+    if path not in cache:
+        slugs: set[str] = set()
+        seen: dict[str, int] = {}
+        for match in HEADING_RE.finditer(strip_fenced_code(path.read_text())):
+            slug = github_slug(match.group(2))
+            count = seen.get(slug, 0)
+            seen[slug] = count + 1
+            slugs.add(slug if count == 0 else f"{slug}-{count}")
+        cache[path] = slugs
+    return cache[path]
+
+
+def check_links(files: list[pathlib.Path]) -> list[str]:
+    problems: list[str] = []
+    anchor_cache: dict[pathlib.Path, set[str]] = {}
+    for source in files:
+        rel_source = source.relative_to(REPO_ROOT)
+        for match in LINK_RE.finditer(strip_fenced_code(source.read_text())):
+            target = match.group(1)
+            if "://" in target or target.startswith("mailto:"):
+                continue
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                resolved = (source.parent / path_part).resolve()
+                if not resolved.is_relative_to(REPO_ROOT):
+                    continue  # site-relative (badge) — not a repo file
+                if not resolved.exists():
+                    problems.append(
+                        f"{rel_source}: broken link '{target}' "
+                        f"({path_part} does not exist)"
+                    )
+                    continue
+            else:
+                resolved = source
+            if fragment and resolved.suffix == ".md":
+                if fragment not in anchors_for(resolved, anchor_cache):
+                    problems.append(
+                        f"{rel_source}: anchor '#{fragment}' not found in "
+                        f"{resolved.relative_to(REPO_ROOT)}"
+                    )
+    return problems
+
+
+def run_quickstart() -> list[str]:
+    readme = (REPO_ROOT / "README.md").read_text()
+    match = QUICKSTART_RE.search(readme)
+    if not match:
+        return ["README.md: no bash block found under '## Quickstart'"]
+    script = match.group(1)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(REPO_ROOT / "src"), env.get("PYTHONPATH", "")])
+    )
+    print("running README quickstart:")
+    print("\n".join(f"  | {line}" for line in script.strip().splitlines()))
+    proc = subprocess.run(
+        ["bash", "-euo", "pipefail", "-c", script],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    if proc.returncode != 0:
+        tail = "\n".join((proc.stdout + proc.stderr).splitlines()[-20:])
+        return [
+            f"README.md: quickstart exited {proc.returncode}:\n{tail}"
+        ]
+    return []
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--no-quickstart",
+        action="store_true",
+        help="only check links/anchors; skip executing the README quickstart",
+    )
+    args = parser.parse_args(argv)
+
+    files = doc_files()
+    problems = check_links(files)
+    checked = ", ".join(str(f.relative_to(REPO_ROOT)) for f in files)
+    print(f"checked links/anchors in: {checked}")
+    if not args.no_quickstart and not problems:
+        problems.extend(run_quickstart())
+    if problems:
+        for problem in problems:
+            print(f"docs check FAILED: {problem}", file=sys.stderr)
+        return 1
+    print("docs check: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
