@@ -1,0 +1,167 @@
+"""Telemetry overhead — gates the cost of the obs plane on the hot path.
+
+Two questions, answered separately because they need different
+instruments:
+
+1. **Does tracing change results?**  One traced and one untraced leg
+   distill the same squad11 dev triples through fresh pipelines; the
+   evidence outputs must be byte-identical.  Tracing observes the
+   pipeline, it never steers it.
+2. **What does tracing cost?**  Naive A/B wall-clock legs cannot answer
+   this on shared hardware: identical ~100ms legs vary by tens of
+   percent under CPU steal and frequency scaling, drowning a ~1%
+   effect.  Instead the bench measures *floors* — ``timeit``-style
+   minimums of tight loops, which converge on the true cost because
+   interference only ever adds time:
+
+   * the enabled per-span cost (enter + exit + record, min over several
+     windows of thousands of spans);
+   * the disabled per-span cost (the null-span fast path: one
+     contextvar read);
+   * spans recorded per distill (deterministic — counted, not timed);
+   * the per-distill floor (median across triples of each triple's
+     fastest cold-pipeline run).
+
+   ``overhead = spans_per_distill * enabled_span_cost / distill_floor``
+   then resolves to a fraction of a percent even on a noisy box.
+
+JSON metrics feed ``benchmarks/perf_gate.py``:
+
+* ``obs.overhead_pct`` — traced-path overhead per distill, as above.
+  Gated against an *absolute* ceiling of a few percent in
+  ``perf_gate.py`` rather than relative to a baseline — a near-zero
+  noisy number would flake any ratio-based comparison.
+
+The component floors and the disabled-path overhead (which should be an
+order of magnitude smaller still) ride along as context.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.common import emit, emit_json, get_context, sample_size
+
+N_EXAMPLES = sample_size("BENCH_OBS_EXAMPLES", 12)
+N_ROUNDS = sample_size("BENCH_OBS_ROUNDS", 5)
+SPAN_LOOP = sample_size("BENCH_OBS_SPAN_LOOP", 20_000)
+SPAN_WINDOWS = sample_size("BENCH_OBS_SPAN_WINDOWS", 5)
+
+
+def _fresh_pipeline(ctx):
+    """A pipeline with cold caches sharing only the trained artifacts."""
+    from repro.core.pipeline import GCED
+    from repro.parsing.dependency import SyntacticParser
+
+    return GCED(
+        qa_model=ctx.artifacts.reader,
+        artifacts=ctx.artifacts,
+        parser=SyntacticParser(),
+    )
+
+
+def _distill_all(ctx, triples, traced):
+    """Distill every triple through one cold pipeline.
+
+    Returns ``(evidence_outputs, span_count)``; the traced leg opens a
+    real trace so every span on the distill path records.
+    """
+    from repro.obs import start_trace
+
+    gced = _fresh_pipeline(ctx)
+    if traced:
+        with start_trace("bench.obs_overhead") as handle:
+            results = [gced.distill(*triple) for triple in triples]
+        return [r.evidence for r in results], len(handle.trace.spans)
+    results = [gced.distill(*triple) for triple in triples]
+    return [r.evidence for r in results], 0
+
+
+def _span_floor_us(traced):
+    """Per-span cost floor: min over windows of a tight span loop."""
+    from repro.obs import start_trace
+    from repro.obs.trace import span
+
+    best = float("inf")
+    for _ in range(SPAN_WINDOWS):
+        if traced:
+            with start_trace("bench.span_floor"):
+                started = time.perf_counter()
+                for _ in range(SPAN_LOOP):
+                    with span("bench.span"):
+                        pass
+                elapsed = time.perf_counter() - started
+        else:
+            started = time.perf_counter()
+            for _ in range(SPAN_LOOP):
+                with span("bench.span"):
+                    pass
+            elapsed = time.perf_counter() - started
+        best = min(best, 1e6 * elapsed / SPAN_LOOP)
+    return best
+
+
+def _distill_floor_ms(ctx, triples):
+    """Typical per-distill floor: median across triples of each
+    triple's fastest run over ``N_ROUNDS`` cold pipelines."""
+    per_triple = [float("inf")] * len(triples)
+    for _ in range(N_ROUNDS):
+        gced = _fresh_pipeline(ctx)
+        for index, triple in enumerate(triples):
+            started = time.perf_counter()
+            gced.distill(*triple)
+            per_triple[index] = min(
+                per_triple[index], time.perf_counter() - started
+            )
+    ordered = sorted(per_triple)
+    return 1000.0 * ordered[len(ordered) // 2]
+
+
+def test_obs_overhead():
+    ctx = get_context("squad11")
+    examples = ctx.dataset.answerable_dev()[:N_EXAMPLES]
+    triples = [(e.question, e.primary_answer, e.context) for e in examples]
+
+    # Byte-identity: traced and untraced legs must produce the same
+    # evidence (and this doubles as warmup for shared per-model state).
+    untraced_out, _ = _distill_all(ctx, triples, traced=False)
+    traced_out, total_spans = _distill_all(ctx, triples, traced=True)
+    assert traced_out == untraced_out, (
+        "distill outputs diverged between traced and untraced legs"
+    )
+    assert total_spans > 0, "traced leg recorded no spans"
+    # Root span excluded: it belongs to the whole leg, not to a distill.
+    spans_per_distill = (total_spans - 1) / len(triples)
+
+    enabled_span_us = _span_floor_us(traced=True)
+    disabled_span_us = _span_floor_us(traced=False)
+    distill_floor_ms = _distill_floor_ms(ctx, triples)
+
+    distill_floor_us = 1000.0 * distill_floor_ms
+    overhead_pct = 100.0 * enabled_span_us * spans_per_distill / distill_floor_us
+    disabled_pct = (
+        100.0 * disabled_span_us * spans_per_distill / distill_floor_us
+    )
+
+    emit(
+        "obs_overhead",
+        "telemetry overhead: "
+        f"{spans_per_distill:.1f} spans/distill x {enabled_span_us:.2f}us "
+        f"enabled ({disabled_span_us:.3f}us disabled) over a "
+        f"{distill_floor_ms:.2f}ms distill floor -> "
+        f"{overhead_pct:.2f}% traced, {disabled_pct:.3f}% untraced "
+        f"(outputs byte-identical over {len(triples)} triples)",
+    )
+    emit_json(
+        "obs_overhead",
+        {
+            "examples": len(triples),
+            "rounds": N_ROUNDS,
+            "spans_per_distill": round(spans_per_distill, 2),
+            "enabled_span_us": round(enabled_span_us, 3),
+            "disabled_span_us": round(disabled_span_us, 4),
+            "distill_floor_ms": round(distill_floor_ms, 3),
+            "disabled_overhead_pct": round(disabled_pct, 4),
+            "metrics": {"obs.overhead_pct": round(overhead_pct, 3)},
+        },
+    )

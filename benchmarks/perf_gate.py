@@ -20,6 +20,13 @@ gate downward like throughput: losing cross-call session reuse halves
 the hit rate long before wall-clock regressions become visible on small
 CI samples.
 
+A few metrics gate against an *absolute* ceiling instead of the
+baseline (``ABSOLUTE_CEILINGS``): telemetry overhead
+(``obs.overhead_pct`` from ``bench_obs_overhead.py``) hovers near zero,
+so any ratio-vs-baseline comparison would flake — it simply must stay
+under a few percent.  These keys are excluded from baseline writes and
+comparisons.
+
 With ``PERF_GATE_MULTICORE=1`` the gate additionally enforces a hard
 floor of 1.3x on ``batch.parallel_speedup`` regardless of the baseline —
 only set it on runners with >= 2 CPUs.  On single-CPU runners (where the
@@ -53,10 +60,17 @@ SOURCE_FILES = (
     "retrieval.json",
     "distill_profile.json",
     "snapshot.json",
+    "obs_overhead.json",
 )
 # Hard floor on multi-core batch speedup, enforced only when the runner
 # opts in via PERF_GATE_MULTICORE=1 (a single-CPU runner cannot meet it).
 MULTICORE_FLOOR = 1.3
+# Metrics gated against an absolute ceiling instead of the baseline:
+# near-zero noisy numbers (telemetry overhead hovers around 0-1%) would
+# flake any ratio comparison, so they are excluded from the baseline and
+# fail outright when they cross the ceiling.  Enforced whenever the
+# metric was measured.
+ABSOLUTE_CEILINGS = {"obs.overhead_pct": 5.0}
 # Context-only payload keys carried into the artifact, keyed by source so
 # two benchmarks reporting latencies never clobber each other.
 CONTEXT_KEYS = ("latency_ms", "query_latency_ms", "cold_first_request_ms")
@@ -100,6 +114,8 @@ def compare(
     failures: list[str] = []
     report: list[str] = []
     for key in sorted(baseline):
+        if key in ABSOLUTE_CEILINGS:
+            continue  # gated against a fixed ceiling, not the baseline
         if key not in current:
             report.append(f"  {key:<36} baseline-only (not measured)")
             continue
@@ -171,8 +187,13 @@ def main(argv: list[str] | None = None) -> int:
     print(f"perf gate: wrote {args.out} ({len(current['metrics'])} metrics)")
 
     if args.write_baseline:
+        baseline_metrics = {
+            key: value
+            for key, value in current["metrics"].items()
+            if key not in ABSOLUTE_CEILINGS
+        }
         args.baseline.write_text(
-            json.dumps({"metrics": current["metrics"]}, indent=2, sort_keys=True)
+            json.dumps({"metrics": baseline_metrics}, indent=2, sort_keys=True)
             + "\n"
         )
         print(f"perf gate: baseline refreshed at {args.baseline}")
@@ -198,6 +219,19 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(
                 f"batch.parallel_speedup: {float(speedup):.2f} is below the "
                 f"multi-core floor {MULTICORE_FLOOR} (PERF_GATE_MULTICORE=1)"
+            )
+    for key, ceiling in ABSOLUTE_CEILINGS.items():
+        value = current["metrics"].get(key)
+        if value is None:
+            continue  # benchmark not run; nothing to enforce
+        report.append(
+            f"  {key:<36} {float(value):>9.2f} vs ceiling  {ceiling:>9.2f} "
+            f"{'REGRESSED' if float(value) > ceiling else 'ok'}"
+        )
+        if float(value) > ceiling:
+            failures.append(
+                f"{key}: {float(value):.2f} exceeds the absolute ceiling "
+                f"{ceiling:.2f}"
             )
     print(
         "perf gate: metrics vs baseline "

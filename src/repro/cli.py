@@ -8,6 +8,8 @@ Commands:
 * ``ask`` — open-context distillation: retrieve top-k paragraphs from a
   persisted index, distill each, rank by hybrid evidence score.
 * ``serve`` — run the long-lived evidence service (JSON over HTTP).
+* ``trace`` — pretty-print a running service's ``/debug/traces`` ring
+  (or a saved trace JSON file) as span trees.
 * ``dataset`` — generate a synthetic dataset and write SQuAD-schema JSON.
 * ``experiment`` — run one of the paper's experiments and print the table.
 * ``errors`` — triage weak evidences (Sec. IV-G error analysis).
@@ -184,6 +186,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="page the ranked candidates (0 = one fat response); pages "
         "use the same stateless cursors the /ask endpoint serves",
     )
+    p_ask.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a request trace and print the span tree "
+        "(retrieval, engine stages, process-worker spans)",
+    )
 
     p_serve = sub.add_parser(
         "serve", help="run the evidence service (JSON over HTTP)"
@@ -238,10 +246,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="token-bucket capacity (0 = max(1, client rate))",
     )
     p_serve.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        help="fraction of requests to trace (deterministic every-Nth; "
+        "0 disables tracing, X-Trace-Id requests always trace)",
+    )
+    p_serve.add_argument(
+        "--slow-trace-ms",
+        type=float,
+        default=250.0,
+        help="traces at/above this latency enter GET /debug/traces",
+    )
+    p_serve.add_argument(
+        "--log-level",
+        default="info",
+        choices=("debug", "info", "warning", "error"),
+        help="JSON access/structured log level on stderr",
+    )
+    p_serve.add_argument(
         "--self-test",
         action="store_true",
         help="serve on an ephemeral port, exercise every endpoint "
         "concurrently, verify byte-identity with single-shot distill, exit",
+    )
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="pretty-print slow-trace exemplars from a running service",
+    )
+    p_trace.add_argument(
+        "--url",
+        default="http://127.0.0.1:8080",
+        help="service base URL to fetch GET /debug/traces from",
+    )
+    p_trace.add_argument(
+        "--file",
+        type=pathlib.Path,
+        help="read a /debug/traces JSON snapshot (or one trace dict) "
+        "from this file instead of a running service",
+    )
+    p_trace.add_argument(
+        "--limit", type=int, default=5, help="newest traces to print"
+    )
+    p_trace.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw snapshot JSON instead of span trees",
     )
 
     p_dataset = sub.add_parser("dataset", help="generate a synthetic dataset")
@@ -307,10 +358,15 @@ def _run_distill(args: argparse.Namespace) -> int:
     context = args.context or corpus[0]
     artifacts = QATrainer(seed=args.seed).train(corpus)
     gced = GCED(qa_model=artifacts.reader, artifacts=artifacts)
-    result = gced.distill(args.question, args.answer, context)
     if args.trace:
+        from repro.obs import render_trace, start_trace
+
+        with start_trace("cli.distill") as handle:
+            result = gced.distill(args.question, args.answer, context)
         print(result.explain())
+        print(render_trace(handle.to_dict()))
     else:
+        result = gced.distill(args.question, args.answer, context)
         print(result.evidence)
     if args.profile:
         print(gced.snapshot_caches().report())
@@ -405,12 +461,23 @@ def _run_ask(args: argparse.Namespace) -> int:
     seed = int(retriever.index.metadata.get("seed", 0))
     artifacts = QATrainer(seed=seed).train(retriever.corpus)
     gced = GCED(qa_model=artifacts.reader, artifacts=artifacts)
+    trace_handle = None
     with OpenContextDistiller(
         BatchDistiller(gced, workers=args.workers, backend=args.backend),
         retriever,
         top_k=args.k,
     ) as distiller:
-        outcome = distiller.ask(args.question, args.answer)
+        if args.trace:
+            from repro.obs import start_trace
+
+            with start_trace("cli.ask", k=args.k) as trace_handle:
+                outcome = distiller.ask(args.question, args.answer)
+        else:
+            outcome = distiller.ask(args.question, args.answer)
+    if trace_handle is not None:
+        from repro.obs import render_trace
+
+        print(render_trace(trace_handle.to_dict()), file=sys.stderr)
     if args.page_size > 0:
         # Same page envelopes the /ask endpoint serves, built offline.
         from repro.service.paging import paginate_ask
@@ -452,8 +519,10 @@ def _run_ask(args: argparse.Namespace) -> int:
 
 
 def _run_serve(args: argparse.Namespace) -> int:
+    from repro.obs import configure_logging
     from repro.service import DistillService, ServiceConfig, make_server
 
+    configure_logging(level=args.log_level)
     config = ServiceConfig(
         dataset=args.dataset,
         seed=args.seed,
@@ -466,6 +535,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         max_queue_depth=args.max_queue_depth,
         client_rate=args.client_rate,
         client_burst=args.client_burst,
+        trace_sample=args.trace_sample,
+        slow_trace_ms=args.slow_trace_ms,
     )
     print(f"building service resources for {args.dataset} ...", file=sys.stderr)
     service = DistillService.build(config)
@@ -594,11 +665,64 @@ def _serve_self_test(service) -> int:
                 )
 
         stats = client.stats()
-        for key in ("service", "scheduler", "batch", "stages", "caches"):
+        for key in ("service", "scheduler", "batch", "stages", "caches", "obs"):
             if key not in stats:
                 failures.append(f"stats missing {key!r}")
         if stats.get("scheduler", {}).get("completed", 0) < len(examples):
             failures.append("stats did not count served requests")
+
+        # Telemetry plane: /metrics must be valid Prometheus exposition
+        # and agree with /stats on the shared counters.
+        from repro.obs.metrics import (
+            lint_exposition,
+            parse_exposition,
+            sample_value,
+        )
+
+        metrics_text = client.metrics_text()
+        problems = lint_exposition(metrics_text)
+        if problems:
+            failures.append(f"/metrics failed exposition lint: {problems[:3]}")
+        families = parse_exposition(metrics_text)
+        stats_after = client.stats()
+        for metric, block, field in (
+            ("gced_scheduler_submitted_total", "scheduler", "submitted"),
+            ("gced_scheduler_completed_total", "scheduler", "completed"),
+            ("gced_scheduler_coalesced_total", "scheduler", "coalesced"),
+            ("gced_scheduler_shed_total", "scheduler", "shed"),
+            ("gced_admission_admitted_total", "admission", "admitted"),
+        ):
+            exposed = sample_value(families, metric)
+            reported = stats_after.get(block, {}).get(field)
+            if exposed is None or reported is None or exposed != reported:
+                failures.append(
+                    f"{metric}={exposed} disagrees with "
+                    f"/stats {block}.{field}={reported}"
+                )
+
+        # An explicit X-Trace-Id must be honored and echoed back.
+        import urllib.request
+
+        example = examples[0]
+        request = urllib.request.Request(
+            f"http://{host}:{port}/distill",
+            data=json.dumps(
+                {
+                    "question": example.question,
+                    "answer": example.primary_answer,
+                    "context": example.context,
+                }
+            ).encode("utf-8"),
+            headers={
+                "Content-Type": "application/json",
+                "X-Trace-Id": "cafef00dcafef00d",
+            },
+        )
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            echoed = resp.headers.get("X-Trace-Id")
+            resp.read()
+        if echoed != "cafef00dcafef00d":
+            failures.append(f"X-Trace-Id not echoed (got {echoed!r})")
     finally:
         server.shutdown()
         server.server_close()
@@ -612,8 +736,56 @@ def _serve_self_test(service) -> int:
         f"self-test ok: {len(served)} concurrent /distill requests "
         "byte-identical to single-shot GCED.distill; /ask matched inline "
         "open-context distillation (fat and paged); /batch isolated the "
-        "poisoned request; /healthz and /stats healthy"
+        "poisoned request; /healthz and /stats healthy; /metrics valid "
+        "and consistent with /stats; X-Trace-Id honored and echoed"
     )
+    return 0
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import render_trace
+
+    if args.file is not None:
+        snapshot = json.loads(args.file.read_text())
+        # Accept either a full /debug/traces snapshot or one trace dict.
+        if "spans" in snapshot:
+            snapshot = {
+                "traces": [
+                    {
+                        "duration_ms": snapshot.get("duration_ms", 0.0),
+                        "trace": snapshot,
+                    }
+                ]
+            }
+    else:
+        from repro.service import ServiceClient, ServiceError
+
+        try:
+            snapshot = ServiceClient(args.url).debug_traces()
+        except (ServiceError, OSError) as exc:
+            print(f"error: cannot fetch {args.url}/debug/traces: {exc}",
+                  file=sys.stderr)
+            return 2
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    traces = snapshot.get("traces", [])
+    if not traces:
+        threshold = snapshot.get("threshold_ms")
+        seen = snapshot.get("seen", 0)
+        print(
+            f"no slow traces captured yet "
+            f"({seen} traces seen, threshold {threshold}ms)"
+        )
+        return 0
+    for entry in traces[: args.limit]:
+        print(f"--- {entry['duration_ms']:.1f}ms ---")
+        print(render_trace(entry["trace"]))
+    remaining = len(traces) - args.limit
+    if remaining > 0:
+        print(f"... {remaining} older trace(s) not shown (--limit)")
     return 0
 
 
@@ -696,6 +868,7 @@ def main(argv: list[str] | None = None) -> int:
         "index": _run_index,
         "ask": _run_ask,
         "serve": _run_serve,
+        "trace": _run_trace,
         "dataset": _run_dataset,
         "experiment": _run_experiment,
         "errors": _run_errors,

@@ -20,6 +20,7 @@ exposed through :meth:`BatchDistiller.stats` / :meth:`profile`.
 
 from __future__ import annotations
 
+import functools
 import operator
 import os
 import pickle
@@ -31,6 +32,7 @@ from typing import Iterable, Sequence
 from repro.core.pipeline import GCED, DistillationResult
 from repro.engine.executor import Executor, WarmupReport, build_executor
 from repro.engine.instrumentation import CacheStats, PipelineProfile
+from repro.obs import trace as obs_trace
 from repro.utils.cache import LRUCache, MISSING
 from repro.utils.timing import Timer
 
@@ -39,6 +41,11 @@ __all__ = ["BatchDistiller", "BatchStats"]
 Triple = tuple[str, str, str]
 
 _by_context = operator.itemgetter(2)
+
+
+def _traced_task_context(task) -> str:
+    """Context-locality key for ``(triple, trace_id, parent_id)`` tasks."""
+    return task[0][2]
 
 # Per-process pipeline installed by the process-pool initializer, so each
 # task ships a (question, answer, context) triple instead of the pipeline.
@@ -118,6 +125,26 @@ def _worker_distill(triple: Triple) -> tuple[DistillationResult, PipelineProfile
         if misses - misses0:
             delta.count(f"hydration_misses.{name}", misses - misses0)
     return result, delta
+
+
+def _worker_distill_traced(
+    task: tuple[Triple, str, str | None],
+) -> tuple[DistillationResult, PipelineProfile, list[obs_trace.Span]]:
+    """Traced variant of :func:`_worker_distill` for pool workers.
+
+    The worker opens its own trace joined to the coordinator's
+    ``trace_id``, rooted under the coordinator-side ``parent_id``, and
+    ships the finished (picklable) span list back with the result so the
+    parent folds it into the live trace — the span analogue of the
+    profile delta.
+    """
+    triple, trace_id, parent_id = task
+    with obs_trace.start_trace(
+        "worker.distill", trace_id=trace_id, parent_id=parent_id,
+        pid=os.getpid(),
+    ) as handle:
+        result, delta = _worker_distill(triple)
+    return result, delta, list(handle.trace.spans)
 
 
 @dataclass(frozen=True)
@@ -317,13 +344,44 @@ class BatchDistiller:
         return results  # type: ignore[return-value]
 
     def _execute(self, jobs: list[Triple]) -> list[DistillationResult]:
-        """Run unique jobs on the executor, folding back worker profiles."""
+        """Run unique jobs on the executor, folding back worker profiles.
+
+        When the calling thread is being traced, the trace crosses the
+        pool boundary explicitly (context variables do not): thread
+        workers re-activate the caller's ``(trace, parent_id)``, process
+        workers open a joined trace and ship their span buffer back with
+        the result exactly like the profile delta.
+        """
+        active = obs_trace.current()
         if self.backend == "process" and self.executor.workers > 1:
+            if active is not None:
+                trace, parent_id = active
+                tasks = [(job, trace.trace_id, parent_id) for job in jobs]
+                rows = self.executor.map(
+                    _worker_distill_traced, tasks, key=_traced_task_context
+                )
+                for _result, delta, spans in rows:
+                    self._worker_profile.merge(delta)
+                    trace.extend(spans)
+                return [result for result, _delta, _spans in rows]
             pairs = self.executor.map(_worker_distill, jobs, key=_by_context)
             for _result, delta in pairs:
                 self._worker_profile.merge(delta)
             return [result for result, _delta in pairs]
+        if active is not None:
+            fn = functools.partial(self._distill_in_context, *active)
+            return self.executor.map(fn, jobs, key=_by_context)
         return self.executor.map(self._distill_uncached, jobs, key=_by_context)
+
+    def _distill_in_context(
+        self, trace, parent_id: str | None, triple: Triple
+    ) -> DistillationResult:
+        """Distill with the submitter's trace re-activated (pool threads)."""
+        token = obs_trace.activate(trace, parent_id)
+        try:
+            return self.gced.distill(*triple)
+        finally:
+            obs_trace.deactivate(token)
 
     def _distill_uncached(self, triple: Triple) -> DistillationResult:
         return self.gced.distill(*triple)

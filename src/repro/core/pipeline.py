@@ -28,6 +28,7 @@ from repro.core.wsptc import WeightedTreeConstructor
 from repro.engine.instrumentation import CacheStats, PipelineProfile
 from repro.engine.registry import StageRegistry, default_registry
 from repro.engine.stage import PipelineResources, StageContext
+from repro.obs.trace import span as obs_span
 from repro.lexicon.wordnet import MiniWordNet
 from repro.metrics.hybrid import HybridScorer
 from repro.metrics.informativeness import InformativenessScorer
@@ -180,7 +181,8 @@ class GCED:
             # contract mirrors Eq. 2's discard rule — no valid evidence.
             self.profile.count("unanswerable")
             return empty_result(ctx)
-        return self.run_stages(ctx)
+        with obs_span("engine.distill"):
+            return self.run_stages(ctx)
 
     def run_stages(self, ctx: StageContext) -> DistillationResult:
         """Execute the stage plan over ``ctx``, timing each stage."""
@@ -188,7 +190,10 @@ class GCED:
         last = len(self.stages) - 1
         for position, stage in enumerate(self.stages):
             started = time.perf_counter()
-            stage.run(ctx)
+            with obs_span(f"stage.{stage.name}") as stage_span:
+                stage.run(ctx)
+                if ctx.halted and position < last:
+                    stage_span.tag(halted=True)
             self.profile.record_stage(
                 stage.name,
                 time.perf_counter() - started,

@@ -11,20 +11,33 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import TimingAccumulator
+
 __all__ = ["CacheStats", "PipelineProfile", "StageTiming"]
 
 
-@dataclass
-class StageTiming:
-    """Accumulated wall-clock of one stage."""
+class StageTiming(TimingAccumulator):
+    """Accumulated wall-clock of one stage.
 
-    calls: int = 0
-    seconds: float = 0.0
-    halts: int = 0
+    The shared :class:`~repro.obs.metrics.TimingAccumulator` (calls +
+    seconds + ``mean_ms``) extended with a halt counter for stages that
+    short-circuit the pipeline.
+    """
 
-    @property
-    def mean_ms(self) -> float:
-        return 1000.0 * self.seconds / self.calls if self.calls else 0.0
+    __slots__ = ("halts",)
+
+    def __init__(
+        self, calls: int = 0, seconds: float = 0.0, halts: int = 0
+    ) -> None:
+        super().__init__(calls, seconds)
+        self.halts = halts
+
+    def merge(self, other: "StageTiming") -> None:
+        super().merge(other)
+        self.halts += getattr(other, "halts", 0)
+
+    def __eq__(self, other) -> bool:
+        return super().__eq__(other) and self.halts == other.halts
 
     def to_dict(self) -> dict:
         return {

@@ -1,0 +1,56 @@
+"""Slow-trace exemplars: a bounded ring of the last N slow traces.
+
+The serving path offers every finished trace to a :class:`SlowTraceRing`
+with its duration; traces at or above the threshold are kept (newest
+evicting oldest beyond ``capacity``).  ``GET /debug/traces`` serves the
+ring's snapshot and ``repro trace`` pretty-prints it — the production
+answer to "why was that one request slow?" without rerunning anything.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+__all__ = ["SlowTraceRing"]
+
+
+class SlowTraceRing:
+    """Keep the newest ``capacity`` trace dicts that exceeded a threshold."""
+
+    def __init__(self, capacity: int = 32, threshold_ms: float = 250.0) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.threshold_ms = float(threshold_ms)
+        self._ring: deque = deque(maxlen=capacity)
+        self._seen = 0
+        self._kept = 0
+        self._lock = threading.Lock()
+
+    def offer(self, trace_dict: dict, duration_ms: float) -> bool:
+        """Consider one finished trace; returns True if it was kept."""
+        with self._lock:
+            self._seen += 1
+            if duration_ms < self.threshold_ms:
+                return False
+            self._kept += 1
+            self._ring.append(
+                {"duration_ms": round(duration_ms, 3), "trace": trace_dict}
+            )
+            return True
+
+    def snapshot(self) -> dict:
+        """The ring newest-first, plus offer/keep counters."""
+        with self._lock:
+            return {
+                "threshold_ms": self.threshold_ms,
+                "capacity": self.capacity,
+                "seen": self._seen,
+                "kept": self._kept,
+                "traces": list(reversed(self._ring)),
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)

@@ -1,0 +1,149 @@
+"""Structured JSON logging on stdlib ``logging``.
+
+One line of JSON per record: timestamp, level, logger, message, the
+active trace id (when the request is being traced), plus any extra
+fields passed via ``logger.info(..., extra={"fields": {...}})`` or the
+:func:`get_logger` convenience wrapper.  A :class:`RateLimitFilter`
+caps bursts per logger so a hot shed path cannot flood stderr — dropped
+records are counted and reported on the next emitted line.
+
+:func:`configure_logging` is idempotent and scoped to the ``"repro"``
+logger tree; it never touches the root logger, so embedding
+applications keep their own logging untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+
+from repro.obs.trace import current_trace_id
+
+__all__ = [
+    "JsonFormatter",
+    "RateLimitFilter",
+    "configure_logging",
+    "get_logger",
+]
+
+_RESERVED = ("fields",)
+
+
+class JsonFormatter(logging.Formatter):
+    """Render each record as one compact JSON object."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        trace_id = getattr(record, "trace_id", None) or current_trace_id()
+        if trace_id:
+            payload["trace_id"] = trace_id
+        fields = getattr(record, "fields", None)
+        if fields:
+            for key, value in fields.items():
+                if key not in payload:
+                    payload[key] = value
+        dropped = getattr(record, "rate_limited_dropped", 0)
+        if dropped:
+            payload["dropped"] = dropped
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str, separators=(",", ":"))
+
+
+class RateLimitFilter(logging.Filter):
+    """Token-bucket rate limit per handler; counts what it drops.
+
+    Allows ``burst`` records instantly and refills at ``rate`` records
+    per second.  When a record passes after any were dropped, the drop
+    count rides along as ``rate_limited_dropped`` so the JSON line
+    records the gap.
+    """
+
+    def __init__(self, rate: float = 50.0, burst: int = 100) -> None:
+        super().__init__()
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._last = time.monotonic()
+        self._dropped = 0
+        self._lock = threading.Lock()
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        now = time.monotonic()
+        with self._lock:
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._last) * self.rate
+            )
+            self._last = now
+            if self._tokens < 1.0:
+                self._dropped += 1
+                return False
+            self._tokens -= 1.0
+            if self._dropped:
+                record.rate_limited_dropped = self._dropped
+                self._dropped = 0
+        return True
+
+    @property
+    def dropped(self) -> int:
+        with self._lock:
+            return self._dropped
+
+
+def configure_logging(
+    level: int | str = logging.INFO,
+    stream=None,
+    rate: float = 50.0,
+    burst: int = 100,
+) -> logging.Logger:
+    """Attach one JSON handler to the ``"repro"`` logger tree (idempotent).
+
+    Repeat calls update the level of the existing handler instead of
+    stacking new ones.  Returns the configured logger.
+    """
+    logger = logging.getLogger("repro")
+    if isinstance(level, str):
+        level = logging.getLevelName(level.upper())
+    handler = None
+    for existing in logger.handlers:
+        if getattr(existing, "_repro_json", False):
+            handler = existing
+            break
+    if handler is None:
+        handler = logging.StreamHandler(stream)
+        handler._repro_json = True
+        handler.setFormatter(JsonFormatter())
+        handler.addFilter(RateLimitFilter(rate=rate, burst=burst))
+        logger.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger
+
+
+class _FieldsAdapter(logging.LoggerAdapter):
+    """Lets callers pass flat keyword fields: ``log.info("msg", a=1)``."""
+
+    def process(self, msg, kwargs):
+        fields = kwargs.pop("fields", None) or {}
+        extra = kwargs.setdefault("extra", {})
+        for key in list(kwargs):
+            if key not in ("exc_info", "stack_info", "stacklevel", "extra"):
+                fields[key] = kwargs.pop(key)
+        if fields:
+            extra["fields"] = fields
+        return msg, kwargs
+
+
+def get_logger(name: str) -> _FieldsAdapter:
+    """A ``repro.<name>`` logger whose methods accept keyword fields."""
+    qualified = name if name.startswith("repro") else f"repro.{name}"
+    return _FieldsAdapter(logging.getLogger(qualified), {})

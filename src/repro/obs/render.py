@@ -1,0 +1,77 @@
+"""Span-tree pretty printer for trace dicts (``repro trace``, ``--trace``).
+
+Takes the ``Trace.to_dict()`` shape — a flat span list with
+``parent_id`` links — and renders an indented tree with durations and
+tags::
+
+    trace 9f2c41d0aa113322 (3 spans, 41.2ms)
+    └─ http.request                              41.2ms  path=/ask
+       └─ scheduler.batch                        35.0ms  size=4
+          └─ engine.distill                      30.1ms
+
+Spans whose parent is missing from the dict (e.g. a worker span whose
+parent lives in another process's buffer that was never merged) are
+shown as additional roots rather than dropped.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_trace"]
+
+
+def _format_tags(tags: dict | None) -> str:
+    if not tags:
+        return ""
+    return "  " + " ".join(f"{key}={value}" for key, value in sorted(tags.items()))
+
+
+def render_trace(trace_dict: dict) -> str:
+    """Render a ``Trace.to_dict()`` payload as an indented span tree."""
+    spans = trace_dict.get("spans", [])
+    by_id = {span["span_id"]: span for span in spans}
+    children: dict = {}
+    roots = []
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is not None and parent in by_id:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append(span)
+
+    name_width = max((len(s["name"]) + 3 * _depth(s, by_id) for s in spans), default=0)
+    name_width = min(max(name_width + 2, 24), 60)
+
+    lines = [
+        f"trace {trace_dict.get('trace_id', '?')} "
+        f"({len(spans)} span{'s' if len(spans) != 1 else ''})"
+    ]
+
+    def walk(span: dict, prefix: str, is_last: bool) -> None:
+        connector = "└─ " if is_last else "├─ "
+        label = f"{prefix}{connector}{span['name']}"
+        duration = f"{span.get('duration_ms', 0.0):.1f}ms"
+        pad = max(1, name_width - len(label))
+        lines.append(f"{label}{' ' * pad}{duration:>9}{_format_tags(span.get('tags'))}")
+        kids = sorted(
+            children.get(span["span_id"], []),
+            key=lambda child: (child.get("start", 0.0), child["span_id"]),
+        )
+        child_prefix = prefix + ("   " if is_last else "│  ")
+        for index, child in enumerate(kids):
+            walk(child, child_prefix, index == len(kids) - 1)
+
+    roots.sort(key=lambda span: (span.get("start", 0.0), span["span_id"]))
+    for index, root in enumerate(roots):
+        walk(root, "", index == len(roots) - 1)
+    return "\n".join(lines)
+
+
+def _depth(span: dict, by_id: dict) -> int:
+    depth = 0
+    parent = span.get("parent_id")
+    # Cap the walk: trace span counts are small and cycles impossible in
+    # well-formed traces, but a malformed payload must not hang the CLI.
+    while parent is not None and parent in by_id and depth < 64:
+        depth += 1
+        parent = by_id[parent].get("parent_id")
+    return depth

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from repro.engine.executor import build_executor
+from repro.obs.trace import span as obs_span
 from repro.retrieval.bm25 import BM25Scorer, RankingScorer
 from repro.retrieval.index import InvertedIndex
 from repro.retrieval.store import load_index, save_index
@@ -94,7 +95,9 @@ class CorpusRetriever:
     # ----------------------------------------------------------- retrieval
     def retrieve(self, query: str, k: int = 3) -> list[RetrievedParagraph]:
         """The ``k`` paragraphs most relevant to ``query``, best first."""
-        hits = self.scorer.top_k(self.index, query, k)
+        with obs_span("retrieval.search", k=k) as search_span:
+            hits = self.scorer.top_k(self.index, query, k)
+            search_span.tag(hits=len(hits))
         return [
             RetrievedParagraph(
                 doc_id=doc_id,

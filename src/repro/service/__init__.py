@@ -15,10 +15,15 @@ every invocation; this package keeps them alive in a long-lived process:
   to ``429 + Retry-After``;
 * :mod:`~repro.service.paging` — stateless cursors for paged ``/ask``;
 * :mod:`~repro.service.server` — stdlib JSON-over-HTTP front end
-  (``/distill``, ``/batch``, ``/ask``, ``/healthz``, ``/stats``);
+  (``/distill``, ``/batch``, ``/ask``, ``/healthz``, ``/stats``,
+  ``/metrics``, ``/debug/traces``);
+* :class:`~repro.service.telemetry.ServiceTelemetry` — the
+  :mod:`repro.obs` wiring: metrics registry behind ``/metrics``, trace
+  sampling policy, and the slow-trace exemplar ring;
 * :class:`~repro.service.client.ServiceClient` — matching stdlib client.
 
-Operational reference: ``docs/operations.md``.
+Operational reference: ``docs/operations.md`` and
+``docs/observability.md``.
 """
 
 from repro.service.admission import (
@@ -41,6 +46,7 @@ from repro.service.server import (
     start_server,
 )
 from repro.service.service import DistillService, ServiceConfig
+from repro.service.telemetry import ServiceTelemetry
 
 __all__ = [
     "AdmissionController",
@@ -54,6 +60,7 @@ __all__ = [
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
+    "ServiceTelemetry",
     "ShedError",
     "TokenBucket",
     "decode_cursor",

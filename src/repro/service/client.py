@@ -69,25 +69,34 @@ class ServiceClient:
         base_url: str,
         timeout: float = 60.0,
         client_id: str | None = None,
+        trace_id: str | None = None,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.client_id = client_id
+        # Sent as X-Trace-Id on every request: forces tracing server-side
+        # and correlates this client's requests in logs and /debug/traces.
+        self.trace_id = trace_id
 
     # ----------------------------------------------------------- plumbing
-    def _request(self, path: str, payload: dict | None = None) -> dict:
+    def _request(
+        self, path: str, payload: dict | None = None, raw: bool = False
+    ):
         url = f"{self.base_url}{path}"
         data = None
         headers = {"Accept": "application/json"}
         if self.client_id:
             headers["X-Client-Id"] = self.client_id
+        if self.trace_id:
+            headers["X-Trace-Id"] = self.trace_id
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
         request = urllib.request.Request(url, data=data, headers=headers)
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as resp:
-                return json.loads(resp.read())
+                body = resp.read()
+                return body.decode("utf-8") if raw else json.loads(body)
         except urllib.error.HTTPError as exc:
             try:
                 body = json.loads(exc.read())
@@ -108,6 +117,14 @@ class ServiceClient:
 
     def stats(self) -> dict:
         return self._request("/stats")
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus text exposition from ``GET /metrics``."""
+        return self._request("/metrics", raw=True)
+
+    def debug_traces(self) -> dict:
+        """The slow-trace exemplar ring from ``GET /debug/traces``."""
+        return self._request("/debug/traces")
 
     def distill(self, question: str, answer: str, context: str) -> dict:
         """One distillation; raises :class:`ServiceError` on 4xx/5xx."""

@@ -53,6 +53,7 @@ from dataclasses import dataclass, field
 
 from repro.core.batch import BatchDistiller
 from repro.core.result import DistillationResult
+from repro.obs import trace as obs_trace
 from repro.service.admission import QueueFullError
 
 __all__ = [
@@ -91,6 +92,20 @@ class DistillRequest:
     attached: list[Future] = field(
         default_factory=list, repr=False, compare=False
     )
+    # The submitter's active trace, captured at construction so the
+    # flusher thread can record scheduler/engine spans into it.
+    trace: obs_trace.Trace | None = field(
+        default=None, repr=False, compare=False
+    )
+    parent_span_id: str | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.trace is None:
+            active = obs_trace.current()
+            if active is not None:
+                self.trace, self.parent_span_id = active
 
     @property
     def triple(self) -> tuple[str, str, str]:
@@ -211,6 +226,9 @@ class MicroBatchScheduler:
         self._flushed = 0
         self._ewma_batch_s = 0.0
         self.batch_sizes: list[int] = []
+        # Optional telemetry hook: called after every flush (outside the
+        # lock) as ``on_batch(seconds, size, reason, ok)``.
+        self.on_batch = None
         self._thread = threading.Thread(
             target=self._run, name="gced-scheduler", daemon=True
         )
@@ -282,6 +300,18 @@ class MicroBatchScheduler:
             request.coalesced = True
             self._coalesced += 1
             self._submitted += 1
+            if request.trace is not None:
+                # Tag the coalesced request's trace with the primary's
+                # trace id so the two traces can be joined offline.
+                tags = {}
+                if primary.trace is not None:
+                    tags["primary_trace"] = primary.trace.trace_id
+                obs_trace.record_event(
+                    request.trace,
+                    "scheduler.coalesced",
+                    parent_id=request.parent_span_id,
+                    **tags,
+                )
             return
         if (
             not checked
@@ -385,48 +415,111 @@ class MicroBatchScheduler:
             future.set_result(result)
         return len(futures), 0
 
+    def _begin_batch_trace(
+        self, batch: list[DistillRequest], reason: str
+    ):
+        """Open the batch span on the first traced request's trace.
+
+        The flusher thread runs on its own context, so the primary
+        request's ``(trace, parent_id)`` is re-activated explicitly.
+        Every *other* traced request in the batch gets (a) a
+        ``scheduler.queue`` span covering its time in the queue and
+        (b) a ``scheduler.batch`` link event naming the primary's trace
+        id — one batch span linking N request traces.  Returns
+        ``(context_token, flush_span)`` for :meth:`_end_batch_trace`.
+        """
+        traced = [request for request in batch if request.trace is not None]
+        if not traced:
+            return None, None
+        now = time.time()
+        monotonic_now = time.monotonic()
+        for request in traced:
+            waited = max(0.0, monotonic_now - request.enqueued_at)
+            request.trace.add(
+                obs_trace.Span(
+                    "scheduler.queue",
+                    request.trace.trace_id,
+                    parent_id=request.parent_span_id,
+                    start=now - waited,
+                    end=now,
+                )
+            )
+        primary = traced[0]
+        token = obs_trace.activate(primary.trace, primary.parent_span_id)
+        flush_span = obs_trace.span(
+            "scheduler.flush", size=len(batch), reason=reason
+        )
+        flush_span.__enter__()
+        if len(traced) > 1:
+            flush_span.tag(linked_traces=len(traced) - 1)
+        for request in traced[1:]:
+            obs_trace.record_event(
+                request.trace,
+                "scheduler.batch",
+                parent_id=request.parent_span_id,
+                batch_trace=primary.trace.trace_id,
+                size=len(batch),
+            )
+        return token, flush_span
+
     def _flush(self, batch: list[DistillRequest], reason: str) -> None:
         flush_started = time.monotonic()
+        token, flush_span = self._begin_batch_trace(batch, reason)
         try:
-            results = self.distiller.distill_many(
-                [request.triple for request in batch]
-            )
-        except Exception:
-            # Error isolation: re-run the batch one request at a time so a
-            # single poisoned triple cannot fail its batch-mates.
-            results = None
-        completed = failed = 0
-        if results is not None:
-            for request, result in zip(batch, results):
-                done, bad = self._resolve(request, result=result)
-                completed += done
-                failed += bad
-        else:
-            for request in batch:
-                try:
-                    result = self.distiller.distill_one(*request.triple)
-                except Exception as exc:
-                    done, bad = self._resolve(request, error=exc)
-                else:
+            try:
+                results = self.distiller.distill_many(
+                    [request.triple for request in batch]
+                )
+            except Exception:
+                # Error isolation: re-run the batch one request at a time
+                # so a single poisoned triple cannot fail its batch-mates.
+                results = None
+            completed = failed = 0
+            if results is not None:
+                for request, result in zip(batch, results):
                     done, bad = self._resolve(request, result=result)
-                completed += done
-                failed += bad
+                    completed += done
+                    failed += bad
+            else:
+                for request in batch:
+                    try:
+                        result = self.distiller.distill_one(*request.triple)
+                    except Exception as exc:
+                        done, bad = self._resolve(request, error=exc)
+                    else:
+                        done, bad = self._resolve(request, result=result)
+                    completed += done
+                    failed += bad
+        finally:
+            if flush_span is not None:
+                flush_span.__exit__(None, None, None)
+            if token is not None:
+                obs_trace.deactivate(token)
         elapsed = time.monotonic() - flush_started
+        batch_ok = results is not None
         with self._cond:
             self._completed += completed
             self._failed += failed
             self._flushed += len(batch)
             self.batch_sizes.append(len(batch))
-            self._ewma_batch_s = (
-                elapsed
-                if not self._ewma_batch_s
-                else _EWMA_ALPHA * elapsed
-                + (1.0 - _EWMA_ALPHA) * self._ewma_batch_s
-            )
+            if batch_ok:
+                # Only successful batches inform the Retry-After hint: a
+                # failed batch's duration includes the serial per-request
+                # fallback, which would skew the EWMA far above the
+                # latency a retrying client will actually observe.
+                self._ewma_batch_s = (
+                    elapsed
+                    if not self._ewma_batch_s
+                    else _EWMA_ALPHA * elapsed
+                    + (1.0 - _EWMA_ALPHA) * self._ewma_batch_s
+                )
             if reason == "size":
                 self._size_flushes += 1
             else:
                 self._timeout_flushes += 1
+        on_batch = self.on_batch
+        if on_batch is not None:
+            on_batch(elapsed, len(batch), reason, batch_ok)
 
     # ------------------------------------------------------ observability
     def stats(self) -> SchedulerStats:

@@ -22,6 +22,18 @@ Endpoints:
 * ``GET /healthz`` — liveness probe.
 * ``GET /stats`` — per-stage timings, queue/admission counters, cache
   hit rates (see ``docs/operations.md`` for the field reference).
+* ``GET /metrics`` — the same counters as Prometheus text exposition
+  (see ``docs/observability.md`` for the name reference).
+* ``GET /debug/traces`` — the slow-trace exemplar ring, newest first.
+
+Tracing: serving requests (``/distill``, ``/batch``, ``/ask``) may carry
+an ``X-Trace-Id`` header to force a trace under that id; otherwise the
+service's ``trace_sample`` policy decides.  Traced responses echo the
+id in an ``X-Trace-Id`` response header, and traces slower than the
+service's ``slow_trace_ms`` land in ``/debug/traces``.  Each finished
+request also emits one structured JSON access-log line (trace-id
+correlated, rate-limited) on the ``repro.server.access`` logger when
+:func:`repro.obs.logs.configure_logging` has been called.
 
 Error modes: invalid input answers ``400``; a known path hit with the
 wrong HTTP method answers ``405`` with an ``Allow`` header; only unknown
@@ -41,10 +53,16 @@ from __future__ import annotations
 import json
 import math
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import urlsplit
 
-from repro.service.admission import ShedError
+from repro.obs.logs import get_logger
+from repro.service.admission import (
+    QueueFullError,
+    RateLimitedError,
+    ShedError,
+)
 from repro.service.service import DistillService
 
 __all__ = ["DistillHTTPServer", "make_server", "start_server"]
@@ -59,7 +77,17 @@ ROUTES: dict[str, tuple[str, ...]] = {
     "/ask": ("POST",),
     "/healthz": ("GET",),
     "/stats": ("GET",),
+    "/metrics": ("GET",),
+    "/debug/traces": ("GET",),
 }
+
+# Serving routes get request traces; observability/health probes do not
+# (tracing a metrics scrape would pollute the slow-trace ring).
+_TRACED_ROUTES = frozenset(("/distill", "/batch", "/ask"))
+
+_PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_access_log = get_logger("server.access")
 
 
 class DistillHTTPServer(ThreadingHTTPServer):
@@ -92,18 +120,89 @@ class _DistillHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------ routing
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        """Route one request under telemetry: trace, metrics, access log.
+
+        Serving routes (see ``_TRACED_ROUTES``) open a request trace when
+        the service's sampling policy says so — always when the client
+        sent ``X-Trace-Id``.  Every request, traced or not, lands in the
+        metrics registry and (rate-limited) in the access log.
+        """
+        started = time.perf_counter()
         path = urlsplit(self.path).path
+        self._status = 0
+        self._shed_reason: str | None = None
+        self._trace_id: str | None = None
+        telemetry = getattr(self.service, "telemetry", None)
+        handle = None
+        if telemetry is not None and path in _TRACED_ROUTES:
+            handle = telemetry.maybe_trace(
+                "http.request",
+                trace_id=self.headers.get("X-Trace-Id") or None,
+                route=path,
+                method=method,
+            )
+        if handle is not None:
+            self._trace_id = handle.trace_id
+            with handle:
+                self._route(method, path)
+        else:
+            self._route(method, path)
+        elapsed = time.perf_counter() - started
+        if telemetry is not None:
+            telemetry.observe_request(
+                route=path if path in ROUTES else "unknown",
+                status=self._status,
+                seconds=elapsed,
+                shed_reason=self._shed_reason,
+            )
+            if handle is not None:
+                handle.tag(status=self._status)
+                telemetry.finish_trace(handle)
+        log_fields = {
+            "method": method,
+            "path": path,
+            "status": self._status,
+            "ms": round(elapsed * 1000.0, 3),
+        }
+        if self._shed_reason is not None:
+            log_fields["shed"] = self._shed_reason
+        if self.client_id is not None:
+            log_fields["client"] = self.client_id
+        if self._trace_id is not None:
+            log_fields["trace_id"] = self._trace_id
+        _access_log.info("access", fields=log_fields)
+
+    def _route(self, method: str, path: str) -> None:
+        if method == "GET":
+            self._route_get(path)
+        else:
+            self._route_post(path)
+
+    def _route_get(self, path: str) -> None:
         if path == "/healthz":
             self._send_json(200, self.service.healthz())
         elif path == "/stats":
             self._send_json(200, self.service.stats())
+        elif path == "/metrics":
+            self._send_text(
+                200,
+                self.service.telemetry.metrics_text(),
+                content_type=_PROMETHEUS_CONTENT_TYPE,
+            )
+        elif path == "/debug/traces":
+            self._send_json(200, self.service.telemetry.slow_ring.snapshot())
         elif path in ROUTES:
             self._send_method_not_allowed(path)
         else:
             self._send_json(404, {"error": f"unknown path {path!r}"})
 
-    def do_POST(self) -> None:  # noqa: N802 - http.server API
-        path = urlsplit(self.path).path
+    def _route_post(self, path: str) -> None:
         handler = {
             "/distill": self._handle_distill,
             "/batch": self._handle_batch,
@@ -126,6 +225,13 @@ class _DistillHandler(BaseHTTPRequestHandler):
         except ShedError as exc:
             # Load shed: tell the client when to come back.  Retry-After
             # is whole seconds per RFC 9110; the body keeps the float.
+            self._shed_reason = (
+                "rate_limited"
+                if isinstance(exc, RateLimitedError)
+                else "queue_full"
+                if isinstance(exc, QueueFullError)
+                else "shed"
+            )
             self._send_json(
                 429,
                 {
@@ -285,10 +391,37 @@ class _DistillHandler(BaseHTTPRequestHandler):
         payload: dict,
         extra_headers: dict[str, str] | None = None,
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        self._send_bytes(
+            status,
+            json.dumps(payload).encode("utf-8"),
+            "application/json",
+            extra_headers,
+        )
+
+    def _send_text(
+        self,
+        status: int,
+        text: str,
+        content_type: str = "text/plain; charset=utf-8",
+    ) -> None:
+        self._send_bytes(status, text.encode("utf-8"), content_type)
+
+    def _send_bytes(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
+        self._status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id is not None:
+            # Echo the (received or assigned) trace id so clients can
+            # fish the request out of /debug/traces or their own logs.
+            self.send_header("X-Trace-Id", trace_id)
         for name, value in (extra_headers or {}).items():
             self.send_header(name, value)
         if self.close_connection:

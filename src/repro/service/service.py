@@ -37,10 +37,12 @@ from repro.core.batch import BatchDistiller
 from repro.core.open_context import AskOutcome, build_outcome
 from repro.core.pipeline import GCED, DistillationResult
 from repro.core.serialize import result_to_dict
+from repro.obs.trace import span as obs_span
 from repro.retrieval.retriever import CorpusRetriever
 from repro.service.admission import AdmissionController
 from repro.service.paging import decode_cursor, paginate_ask
 from repro.service.scheduler import DistillRequest, MicroBatchScheduler
+from repro.service.telemetry import ServiceTelemetry
 
 __all__ = ["DistillService", "ServiceConfig"]
 
@@ -64,6 +66,11 @@ class ServiceConfig:
         client_burst: token-bucket capacity (``0`` = ``max(1, rate)``).
         retrieval_shards: inverted-index shard count for ``/ask``.
         top_k: default number of paragraphs an ask considers.
+        trace_sample: fraction of HTTP requests that get a full trace
+            (deterministic every-Nth sampling, never random; ``0``
+            disables tracing, requests with ``X-Trace-Id`` always trace).
+        slow_trace_ms: traces at/above this duration enter the
+            ``/debug/traces`` exemplar ring.
     """
 
     dataset: str = "squad11"
@@ -80,6 +87,8 @@ class ServiceConfig:
     client_burst: float = 0.0
     retrieval_shards: int = 4
     top_k: int = 3
+    trace_sample: float = 1.0
+    slow_trace_ms: float = 250.0
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -114,6 +123,8 @@ class DistillService:
         config: ServiceConfig | None = None,
         retriever: CorpusRetriever | None = None,
         top_k: int = 3,
+        trace_sample: float = 1.0,
+        slow_trace_ms: float = 250.0,
     ) -> None:
         self.gced = gced
         self.corpus_info = corpus_info
@@ -135,6 +146,8 @@ class DistillService:
             max_queue_depth=max_queue_depth,
             client_rate=client_rate,
             client_burst=client_burst,
+            trace_sample=trace_sample,
+            slow_trace_ms=slow_trace_ms,
         )
         self.admission = AdmissionController(
             rate=self.config.client_rate, burst=self.config.client_burst
@@ -150,6 +163,11 @@ class DistillService:
         )
         self.dataset = None  # set by build()
         self._started = time.monotonic()
+        self.telemetry = ServiceTelemetry(
+            self,
+            trace_sample=self.config.trace_sample,
+            slow_trace_ms=self.config.slow_trace_ms,
+        )
 
     # ------------------------------------------------------- construction
     @classmethod
@@ -227,6 +245,8 @@ class DistillService:
                     "max_queue_depth",
                     "client_rate",
                     "client_burst",
+                    "trace_sample",
+                    "slow_trace_ms",
                 )
                 if key in kwargs
             },
@@ -251,8 +271,11 @@ class DistillService:
             QueueFullError: the scheduler's admission queue is full.
             ValueError: invalid inputs (e.g. blank context).
         """
-        self.admission.admit(client_id, cost=1.0)
-        return self.scheduler.distill(question, answer, context, timeout)
+        with obs_span("admission.admit", cost=1.0):
+            self.admission.admit(client_id, cost=1.0)
+        request = self.scheduler.submit(question, answer, context)
+        with obs_span("scheduler.wait"):
+            return request.result(timeout)
 
     def distill_dict(
         self,
@@ -289,14 +312,17 @@ class DistillService:
         all-or-nothing and charged at ``len(triples)`` tokens: a shed
         batch raises (it never partially enqueues).
         """
-        self.admission.admit(client_id, cost=float(len(triples)) or 1.0)
+        cost = float(len(triples)) or 1.0
+        with obs_span("admission.admit", cost=cost):
+            self.admission.admit(client_id, cost=cost)
         requests = self.scheduler.submit_many(triples)
         outcomes: list[DistillationResult | Exception] = []
-        for request in requests:
-            try:
-                outcomes.append(request.result(timeout))
-            except Exception as exc:
-                outcomes.append(exc)
+        with obs_span("scheduler.wait", n=len(requests)):
+            for request in requests:
+                try:
+                    outcomes.append(request.result(timeout))
+                except Exception as exc:
+                    outcomes.append(exc)
         return outcomes
 
     # ------------------------------------------------------- open context
@@ -323,7 +349,8 @@ class DistillService:
         """
         if k is None:
             k = self.top_k
-        self.admission.admit(client_id, cost=float(k))
+        with obs_span("admission.admit", cost=float(k)):
+            self.admission.admit(client_id, cost=float(k))
         return self._ask_outcome(question, answer, k, timeout)
 
     def _ask_outcome(
@@ -345,11 +372,12 @@ class DistillService:
             requests = self.scheduler.submit_many(
                 [(question, answer, hit.text) for hit in hits]
             )
-            for request in requests:
-                try:
-                    results.append(request.result(timeout))
-                except Exception as exc:
-                    results.append(exc)
+            with obs_span("scheduler.wait", n=len(requests)):
+                for request in requests:
+                    try:
+                        results.append(request.result(timeout))
+                    except Exception as exc:
+                        results.append(exc)
         return build_outcome(question, answer, hits, results)
 
     def ask_dict(
@@ -408,7 +436,8 @@ class DistillService:
             cost = float(k)
         if page_size < 1:
             raise ValueError("page_size must be at least 1")
-        self.admission.admit(client_id, cost=cost)
+        with obs_span("admission.admit", cost=cost):
+            self.admission.admit(client_id, cost=cost)
         outcome = self._ask_outcome(question, answer, k)
         return paginate_ask(outcome.to_dict(), k, offset, page_size)
 
@@ -510,6 +539,7 @@ class DistillService:
             "stages": profile["stages"],
             "counters": profile["counters"],
             "caches": profile["caches"],
+            "obs": self.telemetry.stats_block(),
         }
 
     # ------------------------------------------------------------ closing

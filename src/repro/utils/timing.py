@@ -1,14 +1,19 @@
 """Lightweight wall-clock timing for the experiment harness.
 
-Accumulators are lock-guarded and the in-flight measurement state is
-thread-local, so one :class:`Timer` can be shared by the serving layer's
-scheduler thread and any callers reading :attr:`totals` concurrently.
+:class:`Timer` keeps one :class:`~repro.obs.metrics.TimingAccumulator`
+per label — the repo's single timing primitive, shared with the
+engine's stage profiling.  Accumulators are lock-guarded and the
+in-flight measurement state is thread-local, so one :class:`Timer` can
+be shared by the serving layer's scheduler thread and any callers
+reading :attr:`totals` concurrently.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+
+from repro.obs.metrics import TimingAccumulator
 
 __all__ = ["Timer"]
 
@@ -24,8 +29,7 @@ class Timer:
     """
 
     def __init__(self) -> None:
-        self.totals: dict[str, float] = {}
-        self.counts: dict[str, int] = {}
+        self._acc: dict[str, TimingAccumulator] = {}
         self._lock = threading.Lock()
         self._local = threading.local()
 
@@ -41,22 +45,50 @@ class Timer:
         elapsed = time.perf_counter() - getattr(self._local, "start", 0.0)
         label = getattr(self._local, "label", None) or "unlabeled"
         with self._lock:
-            self.totals[label] = self.totals.get(label, 0.0) + elapsed
-            self.counts[label] = self.counts.get(label, 0) + 1
+            acc = self._acc.get(label)
+            if acc is None:
+                acc = self._acc[label] = TimingAccumulator()
+            acc.observe(elapsed)
         self._local.label = None
+
+    @property
+    def totals(self) -> dict[str, float]:
+        """Accumulated seconds per label (snapshot)."""
+        with self._lock:
+            return {label: acc.seconds for label, acc in self._acc.items()}
+
+    @property
+    def counts(self) -> dict[str, int]:
+        """Measurement counts per label (snapshot)."""
+        with self._lock:
+            return {label: acc.calls for label, acc in self._acc.items()}
+
+    def accumulator(self, label: str) -> TimingAccumulator:
+        """A copy of one label's accumulator (zeroed if never measured)."""
+        with self._lock:
+            acc = self._acc.get(label)
+            return (
+                TimingAccumulator(acc.calls, acc.seconds)
+                if acc is not None
+                else TimingAccumulator()
+            )
 
     def mean(self, label: str) -> float:
         """Mean duration of a label, or 0.0 if it was never measured."""
-        if self.counts.get(label, 0) == 0:
-            return 0.0
-        return self.totals[label] / self.counts[label]
+        with self._lock:
+            acc = self._acc.get(label)
+            return acc.seconds / acc.calls if acc and acc.calls else 0.0
 
     def report(self) -> str:
         """Human-readable summary, slowest stages first."""
-        lines = ["stage                 total(s)   calls    mean(ms)"]
-        for label in sorted(self.totals, key=self.totals.get, reverse=True):
-            lines.append(
-                f"{label:<20} {self.totals[label]:>9.3f} {self.counts[label]:>7d} "
-                f"{1000.0 * self.mean(label):>11.3f}"
+        with self._lock:
+            rows = sorted(
+                self._acc.items(), key=lambda item: item[1].seconds, reverse=True
             )
+            lines = ["stage                 total(s)   calls    mean(ms)"]
+            for label, acc in rows:
+                lines.append(
+                    f"{label:<20} {acc.seconds:>9.3f} {acc.calls:>7d} "
+                    f"{acc.mean_ms:>11.3f}"
+                )
         return "\n".join(lines)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from benchmarks.perf_gate import compare
+from benchmarks.perf_gate import ABSOLUTE_CEILINGS, compare
 
 
 class TestCompareDirections:
@@ -54,3 +54,21 @@ class TestCompareDirections:
         )
         assert failures == []
         assert any("baseline-only" in line for line in report)
+
+
+class TestAbsoluteCeilings:
+    def test_overhead_pct_has_a_ceiling(self):
+        assert ABSOLUTE_CEILINGS["obs.overhead_pct"] == 5.0
+
+    def test_ceiling_metrics_skip_baseline_comparison(self):
+        # obs.overhead_pct floats near zero, so a ratio comparison
+        # against a stale baseline would flake in both directions; it is
+        # gated against its fixed ceiling instead and must never enter
+        # the relative compare, even with a wildly different baseline.
+        failures, report = compare(
+            {"obs.overhead_pct": 4.9},
+            {"obs.overhead_pct": 0.01},
+            tolerance=0.30,
+        )
+        assert failures == []
+        assert not any("obs.overhead_pct" in line for line in report)
