@@ -61,6 +61,7 @@ SOURCE_FILES = (
     "distill_profile.json",
     "snapshot.json",
     "obs_overhead.json",
+    "fault_recovery.json",
 )
 # Hard floor on multi-core batch speedup, enforced only when the runner
 # opts in via PERF_GATE_MULTICORE=1 (a single-CPU runner cannot meet it).

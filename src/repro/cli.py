@@ -259,6 +259,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="traces at/above this latency enter GET /debug/traces",
     )
     p_serve.add_argument(
+        "--breaker-failures",
+        type=int,
+        default=3,
+        help="consecutive failures that trip the process-pool and "
+        "retrieval circuit breakers open (degraded mode)",
+    )
+    p_serve.add_argument(
+        "--breaker-reset-s",
+        type=float,
+        default=30.0,
+        help="cooldown before an open breaker admits a half-open trial",
+    )
+    p_serve.add_argument(
         "--log-level",
         default="info",
         choices=("debug", "info", "warning", "error"),
@@ -519,10 +532,14 @@ def _run_ask(args: argparse.Namespace) -> int:
 
 
 def _run_serve(args: argparse.Namespace) -> int:
+    from repro.faults import install_from_env
     from repro.obs import configure_logging
     from repro.service import DistillService, ServiceConfig, make_server
 
     configure_logging(level=args.log_level)
+    # Honor a REPRO_FAULTS plan in the coordinator too (workers install
+    # it in their own initializer) — the chaos CI leg's entry point.
+    install_from_env()
     config = ServiceConfig(
         dataset=args.dataset,
         seed=args.seed,
@@ -537,6 +554,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         client_burst=args.client_burst,
         trace_sample=args.trace_sample,
         slow_trace_ms=args.slow_trace_ms,
+        breaker_failures=args.breaker_failures,
+        breaker_reset_s=args.breaker_reset_s,
     )
     print(f"building service resources for {args.dataset} ...", file=sys.stderr)
     service = DistillService.build(config)
@@ -723,6 +742,28 @@ def _serve_self_test(service) -> int:
             resp.read()
         if echoed != "cafef00dcafef00d":
             failures.append(f"X-Trace-Id not echoed (got {echoed!r})")
+
+        # A request whose X-Deadline-Ms budget is already spent must
+        # answer 504 with a parseable JSON body, without engine work.
+        try:
+            client.distill(
+                example.question,
+                example.primary_answer,
+                example.context + " (deadline probe)",
+                deadline_ms=0,
+            )
+            failures.append("expired deadline was not rejected")
+        except ServiceError as exc:
+            if exc.status != 504:
+                failures.append(
+                    f"expected 504 for expired deadline, got {exc.status}"
+                )
+            elif not (
+                isinstance(exc.payload, dict) and exc.payload.get("error")
+            ):
+                failures.append(
+                    f"504 body was not parseable JSON: {exc.payload!r}"
+                )
     finally:
         server.shutdown()
         server.server_close()
@@ -737,7 +778,8 @@ def _serve_self_test(service) -> int:
         "byte-identical to single-shot GCED.distill; /ask matched inline "
         "open-context distillation (fat and paged); /batch isolated the "
         "poisoned request; /healthz and /stats healthy; /metrics valid "
-        "and consistent with /stats; X-Trace-Id honored and echoed"
+        "and consistent with /stats; X-Trace-Id honored and echoed; "
+        "expired X-Deadline-Ms answered 504 with a parseable body"
     )
     return 0
 

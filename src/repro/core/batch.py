@@ -26,15 +26,20 @@ import os
 import pickle
 import threading
 import time
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.core.pipeline import GCED, DistillationResult
 from repro.engine.executor import Executor, WarmupReport, build_executor
 from repro.engine.instrumentation import CacheStats, PipelineProfile
+from repro.faults import CircuitBreaker, fault_point, install_from_env
 from repro.obs import trace as obs_trace
+from repro.obs.logs import get_logger
 from repro.utils.cache import LRUCache, MISSING
 from repro.utils.timing import Timer
+
+_log = get_logger("batch")
 
 __all__ = ["BatchDistiller", "BatchStats"]
 
@@ -65,6 +70,9 @@ def _init_worker(gced, handle=None) -> None:
     every later lazy rehydration can read it.
     """
     global _WORKER_GCED, _WORKER_INIT
+    # Re-read the fault plan in every (re)spawned worker: respawn after a
+    # crash starts fresh processes, and chaos plans must reach them too.
+    install_from_env()
     started = time.perf_counter()
     snap = None
     if handle is not None:
@@ -95,6 +103,7 @@ def _worker_distill(triple: Triple) -> tuple[DistillationResult, PipelineProfile
     the parent can aggregate observability across processes."""
     gced = _WORKER_GCED
     assert gced is not None, "process pool initializer did not run"
+    fault_point("worker.distill", detail=triple[2])
     delta = PipelineProfile()
     parent_profile, gced.profile = gced.profile, delta
     before = {
@@ -195,6 +204,11 @@ class BatchDistiller:
             ``gced.config``); ``False`` disables the snapshot plane and
             ships the full pipeline through the initializer (cold
             workers, the pre-snapshot behaviour).
+        breaker_failures / breaker_reset_s: circuit-breaker tuning for
+            the process pool — after ``breaker_failures`` consecutive
+            unrecovered pool breaks, batches run serially in the
+            coordinator (degraded but correct) until a half-open trial
+            succeeds ``breaker_reset_s`` seconds later.
     """
 
     def __init__(
@@ -205,6 +219,8 @@ class BatchDistiller:
         backend: str = "thread",
         executor: Executor | None = None,
         snapshot=None,
+        breaker_failures: int = 3,
+        breaker_reset_s: float = 30.0,
     ) -> None:
         self.gced = gced
         self._snapshot = None
@@ -277,6 +293,14 @@ class BatchDistiller:
         self._n_distilled = 0
         self._n_hits = 0
         self._reductions: list[float] = []
+        # Trips open after repeated unrecovered pool breaks; while open,
+        # _execute() degrades to serial in-parent execution.
+        self.pool_breaker = CircuitBreaker(
+            name="process_pool",
+            failure_threshold=breaker_failures,
+            reset_after_s=breaker_reset_s,
+        )
+        self._degraded_batches = 0
 
     # ------------------------------------------------------------- single
     def distill_one(
@@ -354,24 +378,77 @@ class BatchDistiller:
         """
         active = obs_trace.current()
         if self.backend == "process" and self.executor.workers > 1:
-            if active is not None:
-                trace, parent_id = active
-                tasks = [(job, trace.trace_id, parent_id) for job in jobs]
-                rows = self.executor.map(
-                    _worker_distill_traced, tasks, key=_traced_task_context
-                )
-                for _result, delta, spans in rows:
-                    self._worker_profile.merge(delta)
-                    trace.extend(spans)
-                return [result for result, _delta, _spans in rows]
-            pairs = self.executor.map(_worker_distill, jobs, key=_by_context)
-            for _result, delta in pairs:
-                self._worker_profile.merge(delta)
-            return [result for result, _delta in pairs]
+            if self.pool_breaker.allow():
+                try:
+                    results = self._execute_process(jobs, active)
+                except BrokenProcessPool:
+                    # The executor already respawned and retried once;
+                    # landing here means the pool broke twice in a row.
+                    self.pool_breaker.record_failure()
+                    _log.warning(
+                        "process pool unrecovered; running batch serially "
+                        "in the coordinator",
+                        exc_info=True,
+                        jobs=len(jobs),
+                        breaker=self.pool_breaker.state,
+                    )
+                else:
+                    self.pool_breaker.record_success()
+                    return results
+            return self._execute_degraded(jobs, active)
         if active is not None:
             fn = functools.partial(self._distill_in_context, *active)
             return self.executor.map(fn, jobs, key=_by_context)
         return self.executor.map(self._distill_uncached, jobs, key=_by_context)
+
+    def _execute_process(
+        self, jobs: list[Triple], active
+    ) -> list[DistillationResult]:
+        """The happy-path process-pool fan-out (traced or not)."""
+        if active is not None:
+            trace, parent_id = active
+            tasks = [(job, trace.trace_id, parent_id) for job in jobs]
+            rows = self.executor.map(
+                _worker_distill_traced, tasks, key=_traced_task_context
+            )
+            for _result, delta, spans in rows:
+                self._worker_profile.merge(delta)
+                trace.extend(spans)
+            return [result for result, _delta, _spans in rows]
+        pairs = self.executor.map(_worker_distill, jobs, key=_by_context)
+        for _result, delta in pairs:
+            self._worker_profile.merge(delta)
+        return [result for result, _delta in pairs]
+
+    def _execute_degraded(
+        self, jobs: list[Triple], active
+    ) -> list[DistillationResult]:
+        """Serial in-parent fallback when the process pool is unusable.
+
+        Same outputs as the pool path (the pipeline is deterministic per
+        triple), just slower.  If one job genuinely fails mid-batch, the
+        completed batch-mates are memoized *before* the error propagates,
+        so the scheduler's per-request retry serves them from the memo
+        and only the poisoned item surfaces an error.
+        """
+        with self._stats_lock:
+            self._degraded_batches += 1
+        results: list[DistillationResult | None] = [None] * len(jobs)
+        done: list[tuple[Triple, DistillationResult]] = []
+        token = obs_trace.activate(*active) if active is not None else None
+        try:
+            for i in sorted(range(len(jobs)), key=lambda i: jobs[i][2]):
+                try:
+                    results[i] = self.gced.distill(*jobs[i])
+                except Exception:
+                    for key, result in done:
+                        self._record(key, result)
+                    raise
+                done.append((jobs[i], results[i]))
+        finally:
+            if token is not None:
+                obs_trace.deactivate(token)
+        return results  # type: ignore[return-value]
 
     def _distill_in_context(
         self, trace, parent_id: str | None, triple: Triple
@@ -393,6 +470,28 @@ class BatchDistiller:
         )
 
     # ------------------------------------------------------ observability
+    @property
+    def degraded(self) -> bool:
+        """True while the pool breaker is open/half-open (serial fallback)."""
+        return self.pool_breaker.degraded
+
+    def recovery_info(self) -> dict:
+        """Crash-recovery state for ``/stats``, ``/metrics``, and benches."""
+        recovery = getattr(self.executor, "recovery_stats", None)
+        executor_stats = (
+            recovery()
+            if callable(recovery)
+            else {"pool_breaks": 0, "chunk_retries": 0, "last_recovery_ms": 0.0}
+        )
+        with self._stats_lock:
+            degraded_batches = self._degraded_batches
+        return {
+            "degraded": self.degraded,
+            "degraded_batches": degraded_batches,
+            "breaker": self.pool_breaker.stats(),
+            "executor": executor_stats,
+        }
+
     def snapshot_info(self) -> dict | None:
         """Snapshot-plane observability (None when no snapshot is used).
 

@@ -24,8 +24,14 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
+
+from repro.faults import fault_point
+from repro.obs.logs import get_logger
+
+_log = get_logger("executor")
 
 __all__ = [
     "Executor",
@@ -106,6 +112,7 @@ class SerialExecutor(Executor):
         key: Callable[[Any], Any] | None = None,
     ) -> list:
         items = list(items)
+        fault_point("executor.map", detail=f"serial:{len(items)}")
         results: list[Any] = [None] * len(items)
         for idx in _locality_order(items, key):
             results[idx] = fn(items[idx])
@@ -154,6 +161,12 @@ class ParallelExecutor(Executor):
         self._pool_lock = threading.Lock()
         self._closed = False
         self.last_warmup: WarmupReport | None = None
+        # Crash-recovery bookkeeping (see map()): how many times the
+        # process pool broke, how many chunks were re-run after a
+        # respawn, and the wall-clock of the most recent recovery.
+        self.pool_breaks = 0
+        self.chunk_retries = 0
+        self.last_recovery_ms = 0.0
 
     def _ensure_pool(self):
         # Double-checked under a lock: concurrent first maps (e.g. two
@@ -218,18 +231,102 @@ class ParallelExecutor(Executor):
         items = list(items)
         if not items:
             return []
+        fault_point("executor.map", detail=f"{self.backend}:{len(items)}")
         order = _locality_order(items, key)
         chunks = _chunk(order, self.workers * self.chunks_per_worker)
-        pool = self._ensure_pool()
-        futures: list[tuple[Future, list[int]]] = [
-            (pool.submit(_run_chunk, fn, [items[i] for i in chunk]), chunk)
-            for chunk in chunks
-        ]
         results: list[Any] = [None] * len(items)
-        for future, chunk in futures:
-            for idx, value in zip(chunk, future.result()):
-                results[idx] = value
+        failed = self._map_chunks(fn, items, chunks, results)
+        if failed:
+            # A dead worker (kill -9, OOM kill, hard crash) marks the
+            # whole ProcessPoolExecutor broken and fails every in-flight
+            # chunk, not just the one the victim was running.  Respawn
+            # the pool once — fresh workers re-run the initializer,
+            # re-hydrating the snapshot, whose segment the coordinator
+            # still owns — and retry only the failed chunks.
+            started = time.perf_counter()
+            self._respawn()
+            still_failed = self._map_chunks(fn, items, failed, results)
+            with self._pool_lock:
+                self.chunk_retries += len(failed) - len(still_failed)
+                self.last_recovery_ms = (time.perf_counter() - started) * 1000.0
+            if still_failed:
+                # Broke twice in a row: respawn again so the executor
+                # stays usable (the distiller falls back to serial
+                # in-parent execution), then surface the failure.
+                self._respawn()
+                raise BrokenProcessPool(
+                    f"process pool broke twice; {len(still_failed)} chunk(s) "
+                    "unrecovered"
+                )
         return results
+
+    def _map_chunks(
+        self,
+        fn: Callable[[Any], Any],
+        items: list,
+        chunks: list[list[int]],
+        results: list,
+    ) -> list[list[int]]:
+        """Run ``chunks`` on the pool, filling ``results`` in place.
+
+        Returns the chunks that failed with :class:`BrokenProcessPool`
+        (submit- or result-side) instead of raising, so the caller can
+        retry exactly those after a respawn.  Any other exception — a
+        genuine error from ``fn`` — propagates unchanged.
+        """
+        pool = self._ensure_pool()
+        futures: list[tuple[Future, list[int]]] = []
+        broken_at = len(chunks)
+        for pos, chunk in enumerate(chunks):
+            try:
+                futures.append(
+                    (pool.submit(_run_chunk, fn, [items[i] for i in chunk]), chunk)
+                )
+            except BrokenProcessPool:
+                broken_at = pos
+                break
+        failed = list(chunks[broken_at:])
+        for future, chunk in futures:
+            try:
+                values = future.result()
+            except BrokenProcessPool:
+                failed.append(chunk)
+                continue
+            for idx, value in zip(chunk, values):
+                results[idx] = value
+        return failed
+
+    def _respawn(self) -> None:
+        """Replace a broken pool with a fresh one (same initializer).
+
+        The snapshot handle in ``initargs`` is still valid — the
+        coordinator owns the shared-memory segment until :meth:`close`
+        — so respawned workers re-hydrate from it in their initializer.
+        Raises if the executor was closed meanwhile.
+        """
+        with self._pool_lock:
+            if self._closed:
+                raise RuntimeError("executor is closed")
+            pool, self._pool = self._pool, None
+            self.pool_breaks += 1
+            breaks = self.pool_breaks
+        if pool is not None:
+            pool.shutdown(wait=True)
+        _log.warning(
+            "process pool broken; respawning workers",
+            backend=self.backend,
+            workers=self.workers,
+            pool_breaks=breaks,
+        )
+
+    def recovery_stats(self) -> dict:
+        """Pool-break counters for ``/stats`` and the recovery bench."""
+        with self._pool_lock:
+            return {
+                "pool_breaks": self.pool_breaks,
+                "chunk_retries": self.chunk_retries,
+                "last_recovery_ms": round(self.last_recovery_ms, 3),
+            }
 
     def close(self) -> None:
         """Shut the pool down and mark the executor closed.

@@ -36,13 +36,18 @@ Everything here is stdlib-only and import-cycle safe: lower layers
 
 from __future__ import annotations
 
+import atexit
 import contextlib
+import os
 import pickle
 import secrets
+import signal
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping
+
+from repro.faults import fault_point
 
 __all__ = [
     "EntryMap",
@@ -156,6 +161,10 @@ class PipelineSnapshot:
                 )
                 shm.buf[: len(packed)] = packed
                 self._shm = shm
+                # The close() path unlinks on the happy path; this
+                # registry catches coordinator death by signal, which
+                # otherwise leaks the segment in /dev/shm.
+                _register_owned(shm)
             except (OSError, ValueError):
                 # No usable /dev/shm (restricted containers): ship the
                 # packed bytes inline through the initializer pickle.
@@ -183,6 +192,7 @@ class PipelineSnapshot:
     @classmethod
     def attach(cls, handle: SnapshotHandle) -> "PipelineSnapshot":
         """Open a worker-side view of the snapshot a handle describes."""
+        fault_point("snapshot.attach", detail=handle.shm_name or "inline")
         snapshot = cls.__new__(cls)
         snapshot.layout = handle.layout
         snapshot.fingerprint = handle.fingerprint
@@ -230,12 +240,99 @@ class PipelineSnapshot:
                     shm.unlink()
                 except FileNotFoundError:
                     pass
+                _discard_owned(shm.name)
 
     def __enter__(self) -> "PipelineSnapshot":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close(unlink=self._owner)
+
+
+# ---------------------------------------------- owned-segment leak guard
+#
+# The normal lifecycle unlinks owned segments in close(); this registry
+# covers the coordinator dying *by signal* (SIGTERM from an operator or
+# supervisor, SIGHUP from a lost terminal), which skips finally blocks
+# and would leave repro_snap_* segments pinned in /dev/shm.  The first
+# owned segment installs an atexit hook plus chaining signal handlers
+# that unlink everything still registered before re-delivering the
+# signal.  SIGKILL is uncatchable by design — nothing in-process can
+# cover it.
+#
+# Ownership is per-PID: fork-spawned pool workers inherit this module
+# state (registry, handlers, atexit hooks), and a worker terminated
+# with SIGTERM — exactly what ProcessPoolExecutor does when tearing
+# down a broken pool — must NOT unlink the segment the coordinator is
+# still serving from.  Cleanup runs only in the process that created
+# the segment.
+
+_OWNED: dict[str, Any] = {}
+_OWNED_PID: int | None = None
+_CLEANUP_LOCK = threading.Lock()
+_CLEANUP_INSTALLED = False
+_PREVIOUS_HANDLERS: dict[int, Any] = {}
+
+
+def _unlink_owned_segments() -> None:
+    """Unlink every still-registered owned segment (idempotent).
+
+    A no-op in forked children: only the creating process owns the
+    segments, even though children inherit a copy of the registry.
+    """
+    with _CLEANUP_LOCK:
+        if _OWNED_PID != os.getpid():
+            return
+        owned = list(_OWNED.values())
+        _OWNED.clear()
+    for shm in owned:
+        try:
+            shm.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+
+
+def _handle_fatal_signal(signum, frame) -> None:
+    _unlink_owned_segments()
+    previous = _PREVIOUS_HANDLERS.get(signum)
+    if callable(previous):
+        previous(signum, frame)
+    else:
+        # Restore the default disposition and re-deliver, so the exit
+        # status still says "killed by signal" to the supervisor.
+        signal.signal(signum, signal.SIG_DFL)
+        signal.raise_signal(signum)
+
+
+def _register_owned(shm) -> None:
+    global _CLEANUP_INSTALLED, _OWNED_PID
+    with _CLEANUP_LOCK:
+        if _OWNED_PID != os.getpid():
+            # First registration in this process — drop entries (and the
+            # installed-flag) inherited across a fork: they belong to
+            # the parent, which is still alive and serving from them.
+            _OWNED.clear()
+            _OWNED_PID = os.getpid()
+            _CLEANUP_INSTALLED = False
+        _OWNED[shm.name] = shm
+        if _CLEANUP_INSTALLED:
+            return
+        _CLEANUP_INSTALLED = True
+        atexit.register(_unlink_owned_segments)
+        for signum in (signal.SIGTERM, signal.SIGHUP):
+            try:
+                _PREVIOUS_HANDLERS[signum] = signal.signal(
+                    signum, _handle_fatal_signal
+                )
+            except (ValueError, OSError):
+                # Not the main thread (or an exotic platform): atexit
+                # still covers ordinary interpreter exits.
+                pass
+
+
+def _discard_owned(name: str) -> None:
+    with _CLEANUP_LOCK:
+        _OWNED.pop(name, None)
 
 
 # ------------------------------------------------- active-snapshot registry

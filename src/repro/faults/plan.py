@@ -1,0 +1,321 @@
+"""Deterministic fault injection at named sites.
+
+The serving stack registers *fault points* — named call sites such as
+``worker.distill`` or ``scheduler.flush`` — by calling
+:func:`fault_point` on their hot path.  With no plan installed the call
+costs one module-attribute read and a ``None`` check, mirroring the
+disabled path of :mod:`repro.obs.trace`; chaos tests and the ``chaos``
+CI leg install a :class:`FaultPlan` that makes chosen sites raise,
+sleep, or kill the whole worker process (a genuine ``SIGKILL``, the
+same failure a ``kill -9`` produces).
+
+Everything is deterministic: firing is decided by per-site pass
+counters (every-Nth with a seeded phase offset), never by ``random``,
+so a fixed call sequence always faults the same calls and recovery can
+be asserted byte-identical.  Cross-process one-shots — "kill exactly
+one worker, ever, no matter how many times the pool respawns" — use a
+*token file*: the spec only fires if it atomically consumes the token,
+so fresh worker processes (whose in-memory counters start over) cannot
+re-fire a consumed fault.
+
+Plans serialize to a compact one-line DSL carried by the
+``REPRO_FAULTS`` environment variable, which process-pool workers
+re-read in their initializer::
+
+    REPRO_FAULTS="worker.distill:die:times=1,token=/tmp/t;http.request:delay:delay_ms=5"
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import signal
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ENV_VAR",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "fault_point",
+    "install",
+    "install_from_env",
+    "installed",
+    "injected",
+    "uninstall",
+]
+
+ENV_VAR = "REPRO_FAULTS"
+
+_ACTIONS = ("raise", "delay", "die")
+
+
+class FaultInjected(RuntimeError):
+    """Raised by a fired ``raise`` fault; never raised by real code."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injection rule: *what* happens at *which* site, *when*.
+
+    ``every``/``skip``/``times`` select passes deterministically:
+    skip the first ``skip`` matching passes, then fire every
+    ``every``-th pass, at most ``times`` times (0 = unlimited).
+    ``match`` restricts the spec to passes whose ``detail`` string
+    contains the substring.  ``token`` names a file that must be
+    atomically consumed (unlinked) for the fault to fire — the
+    cross-process one-shot primitive.
+    """
+
+    site: str
+    action: str = "raise"
+    every: int = 1
+    skip: int = 0
+    times: int = 0
+    delay_ms: float = 0.0
+    message: str = ""
+    match: str = ""
+    token: str = ""
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ValueError(f"unknown fault action {self.action!r}")
+        if self.every < 1:
+            raise ValueError("every must be >= 1")
+        if self.skip < 0 or self.times < 0:
+            raise ValueError("skip and times must be >= 0")
+
+    def to_text(self) -> str:
+        parts = [self.site, self.action]
+        opts = []
+        if self.every != 1:
+            opts.append(f"every={self.every}")
+        if self.skip:
+            opts.append(f"skip={self.skip}")
+        if self.times:
+            opts.append(f"times={self.times}")
+        if self.delay_ms:
+            opts.append(f"delay_ms={self.delay_ms:g}")
+        if self.message:
+            opts.append(f"message={self.message}")
+        if self.match:
+            opts.append(f"match={self.match}")
+        if self.token:
+            opts.append(f"token={self.token}")
+        if opts:
+            parts.append(",".join(opts))
+        return ":".join(parts)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        head, sep, tail = text.strip().partition(":")
+        if not sep:
+            raise ValueError(f"fault spec needs 'site:action': {text!r}")
+        action, _, opt_text = tail.partition(":")
+        kwargs: dict = {"site": head.strip(), "action": action.strip()}
+        if opt_text:
+            for pair in opt_text.split(","):
+                key, sep, value = pair.partition("=")
+                if not sep:
+                    raise ValueError(f"fault option needs key=value: {pair!r}")
+                key = key.strip()
+                if key in ("every", "skip", "times"):
+                    kwargs[key] = int(value)
+                elif key == "delay_ms":
+                    kwargs[key] = float(value)
+                elif key in ("message", "match", "token"):
+                    kwargs[key] = value
+                else:
+                    raise ValueError(f"unknown fault option {key!r}")
+        return cls(**kwargs)
+
+
+@dataclass
+class _SpecState:
+    passes: int = 0
+    fired: int = 0
+
+
+class FaultPlan:
+    """An installable set of :class:`FaultSpec` rules with seeded phase.
+
+    ``seed`` deterministically offsets each spec's firing phase (a
+    different seed faults a different-but-reproducible subset of
+    passes), so chaos runs can be varied without ever touching
+    ``random``.
+    """
+
+    def __init__(self, specs, seed: int = 0) -> None:
+        self.specs = tuple(specs)
+        self.seed = int(seed)
+        self._states = [_SpecState() for _ in self.specs]
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------ firing
+    def _phase(self, spec: FaultSpec) -> int:
+        if self.seed == 0 or spec.every == 1:
+            return 0
+        mix = (self.seed * 2654435761 + zlib.crc32(spec.site.encode())) & 0xFFFFFFFF
+        return mix % spec.every
+
+    def perform(self, site: str, detail: str | None = None) -> None:
+        """Run every matching spec for one pass of ``site``.
+
+        Called via :func:`fault_point`; real code never calls this when
+        no plan is installed.
+        """
+        for spec, state in zip(self.specs, self._states):
+            if spec.site != site:
+                continue
+            if spec.match and (detail is None or spec.match not in detail):
+                continue
+            with self._lock:
+                state.passes += 1
+                due = (
+                    state.passes > spec.skip
+                    and (state.passes - spec.skip - 1 + self._phase(spec))
+                    % spec.every
+                    == 0
+                    and (spec.times == 0 or state.fired < spec.times)
+                )
+                if due and spec.token:
+                    due = _consume_token(spec.token)
+                if due:
+                    state.fired += 1
+            if due:
+                self._fire(spec, site, detail)
+
+    def _fire(self, spec: FaultSpec, site: str, detail: str | None) -> None:
+        if spec.action == "delay":
+            time.sleep(spec.delay_ms / 1000.0)
+            return
+        if spec.action == "die":
+            # A real kill -9: no atexit hooks, no finally blocks — the
+            # same signal an OOM-killer or operator would deliver.
+            os.kill(os.getpid(), signal.SIGKILL)
+            time.sleep(60.0)  # pragma: no cover - never survives the signal
+            return
+        message = spec.message or f"injected fault at {site}"
+        if detail:
+            message = f"{message} (detail={detail!r})"
+        raise FaultInjected(message)
+
+    # ------------------------------------------------------------- state
+    def stats(self) -> dict:
+        """Pass/fire counts per spec, for ``/stats`` and assertions."""
+        with self._lock:
+            return {
+                "seed": self.seed,
+                "specs": [
+                    {
+                        "spec": spec.to_text(),
+                        "site": spec.site,
+                        "action": spec.action,
+                        "passes": state.passes,
+                        "fired": state.fired,
+                    }
+                    for spec, state in zip(self.specs, self._states)
+                ],
+            }
+
+    def fired(self, site: str | None = None) -> int:
+        """Total fires, optionally restricted to one site."""
+        with self._lock:
+            return sum(
+                state.fired
+                for spec, state in zip(self.specs, self._states)
+                if site is None or spec.site == site
+            )
+
+    # ---------------------------------------------------------- plumbing
+    def to_env(self) -> str:
+        """The one-line DSL form carried by ``REPRO_FAULTS``."""
+        text = ";".join(spec.to_text() for spec in self.specs)
+        if self.seed:
+            text = f"seed={self.seed};{text}"
+        return text
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        seed = 0
+        specs = []
+        for chunk in text.split(";"):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            if chunk.startswith("seed="):
+                seed = int(chunk[5:])
+                continue
+            specs.append(FaultSpec.parse(chunk))
+        return cls(specs, seed=seed)
+
+
+def _consume_token(path: str) -> bool:
+    """Atomically claim a token file; at most one process ever wins."""
+    try:
+        os.unlink(path)
+        return True
+    except FileNotFoundError:
+        return False
+
+
+# The installed plan. ``None`` is the fast path: fault_point() then does
+# exactly one module-global read plus a None check (same budget as the
+# disabled path of obs.trace, and measured the same way).
+_PLAN: FaultPlan | None = None
+
+
+def fault_point(site: str, detail: str | None = None) -> None:
+    """Run the installed plan at ``site``; free when no plan is installed."""
+    plan = _PLAN
+    if plan is None:
+        return
+    plan.perform(site, detail)
+
+
+def install(plan: FaultPlan) -> FaultPlan:
+    """Install ``plan`` process-wide (replacing any previous plan)."""
+    global _PLAN
+    _PLAN = plan
+    return plan
+
+
+def uninstall() -> None:
+    global _PLAN
+    _PLAN = None
+
+
+def installed() -> FaultPlan | None:
+    return _PLAN
+
+
+def install_from_env(environ=None) -> FaultPlan | None:
+    """Install the ``REPRO_FAULTS`` plan, if the variable is set.
+
+    Called by process-pool worker initializers so a plan installed in
+    the coordinator's environment reaches every respawned worker; the
+    value ``"1"``/``"on"`` (the chaos CI leg's switch) is accepted as an
+    empty plan, which keeps the machinery on without injecting anything.
+    """
+    text = (environ if environ is not None else os.environ).get(ENV_VAR, "")
+    text = text.strip()
+    if not text:
+        return None
+    if text.lower() in ("1", "on", "true"):
+        return install(FaultPlan(()))
+    return install(FaultPlan.parse(text))
+
+
+@contextlib.contextmanager
+def injected(plan: FaultPlan):
+    """Scoped install for tests: restores the previous plan on exit."""
+    global _PLAN
+    previous = _PLAN
+    _PLAN = plan
+    try:
+        yield plan
+    finally:
+        _PLAN = previous

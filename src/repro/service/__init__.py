@@ -28,12 +28,13 @@ Operational reference: ``docs/operations.md`` and
 
 from repro.service.admission import (
     AdmissionController,
+    DeadlineExceededError,
     QueueFullError,
     RateLimitedError,
     ShedError,
     TokenBucket,
 )
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import RetryPolicy, ServiceClient, ServiceError
 from repro.service.paging import decode_cursor, encode_cursor, paginate_ask
 from repro.service.scheduler import (
     DistillRequest,
@@ -50,12 +51,14 @@ from repro.service.telemetry import ServiceTelemetry
 
 __all__ = [
     "AdmissionController",
+    "DeadlineExceededError",
     "DistillHTTPServer",
     "DistillRequest",
     "DistillService",
     "MicroBatchScheduler",
     "QueueFullError",
     "RateLimitedError",
+    "RetryPolicy",
     "SchedulerStats",
     "ServiceClient",
     "ServiceConfig",

@@ -32,6 +32,7 @@ from collections import OrderedDict
 
 __all__ = [
     "AdmissionController",
+    "DeadlineExceededError",
     "OverloadedError",
     "QueueFullError",
     "RateLimitedError",
@@ -67,6 +68,32 @@ class RateLimitedError(ShedError):
 # Back-compat alias: the generic name callers catch when they do not care
 # which admission layer shed the request.
 OverloadedError = ShedError
+
+
+class DeadlineExceededError(RuntimeError):
+    """A request's end-to-end deadline (``X-Deadline-Ms``) expired.
+
+    Not a :class:`ShedError`: the server answers ``504 Gateway Timeout``
+    (the budget ran out), not ``429`` (come back later).  Raised at
+    submit time when the budget is already spent, by the scheduler when
+    a queued request expires before its batch flushes (failing fast
+    instead of consuming engine work), and by the waiting handler when
+    the budget runs out mid-execution.
+
+    Attributes:
+        deadline_ms: the client's original budget, when known.
+        waited_ms: how long the request had been in the system.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        deadline_ms: float | None = None,
+        waited_ms: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.deadline_ms = deadline_ms
+        self.waited_ms = waited_ms
 
 
 class TokenBucket:

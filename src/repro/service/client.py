@@ -7,16 +7,31 @@ from any language (it is plain JSON over HTTP).
 Load-shed responses (``429``) surface as :class:`ServiceError` with
 ``status == 429`` and ``retry_after`` populated from the ``Retry-After``
 header — callers decide whether to back off and retry or give up.
+Transport failures (connection refused, socket timeout mid-body,
+malformed response JSON) surface as :class:`ServiceError` with
+``status == 0`` so callers handle every failure through one type.
+
+Retries are opt-in: pass a :class:`RetryPolicy` and the client retries
+retryable statuses (and transport failures) with capped exponential
+backoff.  The jitter is *deterministic* — derived from the client id and
+attempt number, never ``random`` — keeping the repo's reproducibility
+contract: the same client retrying the same request sleeps the same
+schedule every run.  A server ``Retry-After`` hint is honored (up to the
+policy's cap) in place of a shorter computed delay.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import time
 import urllib.error
 import urllib.request
+import zlib
+from dataclasses import dataclass
 from typing import Iterator
 
-__all__ = ["ServiceClient", "ServiceError"]
+__all__ = ["RetryPolicy", "ServiceClient", "ServiceError"]
 
 
 class ServiceError(RuntimeError):
@@ -25,11 +40,17 @@ class ServiceError(RuntimeError):
     Attributes:
         status: the HTTP status code (400 invalid input, 404 unknown
             path, 405 wrong method, 429 shed by admission control,
-            503 endpoint unavailable).
+            503 endpoint unavailable, 504 deadline expired) — or ``0``
+            for transport failures that never produced a status
+            (connection refused, timeout, malformed response body).
         payload: the parsed JSON error body.
         retry_after: seconds to wait before retrying, from the
             ``Retry-After`` header (precise float from the body when
             present); ``None`` for non-shed errors.
+        trace_id: the server's ``X-Trace-Id`` response header when the
+            failed request was traced — errors echo it exactly like
+            successes, so a failure can be fished out of
+            ``/debug/traces`` and the server logs.
     """
 
     def __init__(
@@ -37,6 +58,7 @@ class ServiceError(RuntimeError):
         status: int,
         payload: dict,
         retry_after: float | None = None,
+        trace_id: str | None = None,
     ) -> None:
         message = payload.get("error") if isinstance(payload, dict) else None
         super().__init__(f"HTTP {status}: {message or payload}")
@@ -48,6 +70,69 @@ class ServiceError(RuntimeError):
             else None
         )
         self.retry_after = precise if precise is not None else retry_after
+        self.trace_id = trace_id
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    Attributes:
+        retries: additional attempts after the first (3 → up to 4
+            requests total).
+        base_delay_s: delay before the first retry.
+        max_delay_s: ceiling on any single delay, including the
+            server's ``Retry-After`` hint.
+        backoff: multiplier between consecutive delays.
+        retry_statuses: HTTP statuses worth retrying — load shed (429)
+            and the transient 5xx family; 400/404/500 are not listed
+            because retrying them cannot succeed.
+        retry_transport: also retry ``status == 0`` transport failures
+            (connection refused, timeout, truncated body).
+    """
+
+    retries: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    backoff: float = 2.0
+    retry_statuses: tuple[int, ...] = (429, 502, 503, 504)
+    retry_transport: bool = True
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError("retries must be non-negative")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be at least 1.0")
+
+    def should_retry(self, error: ServiceError) -> bool:
+        if error.status == 0:
+            return self.retry_transport
+        return error.status in self.retry_statuses
+
+    def delay(
+        self,
+        attempt: int,
+        client_id: str | None = None,
+        retry_after: float | None = None,
+    ) -> float:
+        """Seconds to sleep before retry ``attempt`` (0-based).
+
+        Deterministic jitter: up to +25% of the base delay, derived
+        from ``crc32(client_id:attempt)`` so distinct clients desync
+        without any randomness.  A server ``Retry-After`` hint raises
+        the delay up to ``max_delay_s``.
+        """
+        base = min(
+            self.max_delay_s, self.base_delay_s * self.backoff**attempt
+        )
+        seed = zlib.crc32(f"{client_id or ''}:{attempt}".encode("utf-8"))
+        jitter = (seed / 2**32) * 0.25 * base
+        delay = base + jitter
+        if retry_after is not None:
+            delay = max(delay, retry_after)
+        return min(delay, self.max_delay_s)
 
 
 class ServiceClient:
@@ -58,7 +143,15 @@ class ServiceClient:
         timeout: per-request socket timeout in seconds.
         client_id: sent as ``X-Client-Id`` on every request so the
             service's per-client token buckets can account this caller;
-            ``None`` shares the anonymous default bucket.
+            ``None`` shares the anonymous default bucket.  Also the
+            jitter seed for retries.
+        trace_id: sent as ``X-Trace-Id`` to force tracing server-side.
+        retry: a :class:`RetryPolicy`, or ``None`` (default) to raise
+            on the first failure — the pre-retry behaviour.
+        deadline_ms: default end-to-end budget sent as ``X-Deadline-Ms``
+            on serving requests (overridable per call); the server
+            answers ``504`` when it runs out.
+        sleep: injectable sleep for tests; defaults to ``time.sleep``.
 
     Thread safety: the client keeps no mutable state, so one instance
     may be shared across any number of threads.
@@ -70,6 +163,9 @@ class ServiceClient:
         timeout: float = 60.0,
         client_id: str | None = None,
         trace_id: str | None = None,
+        retry: RetryPolicy | None = None,
+        deadline_ms: float | None = None,
+        sleep=time.sleep,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
@@ -77,10 +173,45 @@ class ServiceClient:
         # Sent as X-Trace-Id on every request: forces tracing server-side
         # and correlates this client's requests in logs and /debug/traces.
         self.trace_id = trace_id
+        self.retry = retry
+        self.deadline_ms = deadline_ms
+        self._sleep = sleep
 
     # ----------------------------------------------------------- plumbing
     def _request(
-        self, path: str, payload: dict | None = None, raw: bool = False
+        self,
+        path: str,
+        payload: dict | None = None,
+        raw: bool = False,
+        deadline_ms: float | None = None,
+    ):
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(path, payload, raw, deadline_ms)
+            except ServiceError as exc:
+                policy = self.retry
+                if (
+                    policy is None
+                    or attempt >= policy.retries
+                    or not policy.should_retry(exc)
+                ):
+                    raise
+                self._sleep(
+                    policy.delay(
+                        attempt,
+                        client_id=self.client_id,
+                        retry_after=exc.retry_after,
+                    )
+                )
+                attempt += 1
+
+    def _request_once(
+        self,
+        path: str,
+        payload: dict | None,
+        raw: bool,
+        deadline_ms: float | None,
     ):
         url = f"{self.base_url}{path}"
         data = None
@@ -89,18 +220,24 @@ class ServiceClient:
             headers["X-Client-Id"] = self.client_id
         if self.trace_id:
             headers["X-Trace-Id"] = self.trace_id
+        budget = deadline_ms if deadline_ms is not None else self.deadline_ms
+        if budget is not None:
+            headers["X-Deadline-Ms"] = f"{budget:g}"
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
         request = urllib.request.Request(url, data=data, headers=headers)
+        trace_id = None
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                trace_id = resp.headers.get("X-Trace-Id")
                 body = resp.read()
                 return body.decode("utf-8") if raw else json.loads(body)
         except urllib.error.HTTPError as exc:
+            trace_id = exc.headers.get("X-Trace-Id") if exc.headers else None
             try:
                 body = json.loads(exc.read())
-            except (json.JSONDecodeError, UnicodeDecodeError):
+            except (json.JSONDecodeError, UnicodeDecodeError, OSError):
                 body = {"error": exc.reason}
             retry_after = None
             header = exc.headers.get("Retry-After") if exc.headers else None
@@ -109,7 +246,32 @@ class ServiceClient:
                     retry_after = float(header)
                 except ValueError:
                     pass
-            raise ServiceError(exc.code, body, retry_after) from None
+            raise ServiceError(
+                exc.code, body, retry_after, trace_id=trace_id
+            ) from None
+        except urllib.error.URLError as exc:
+            # Connection refused, DNS failure, TLS errors, or a socket
+            # timeout before the response line: no HTTP status exists.
+            raise ServiceError(
+                0, {"error": f"transport error: {exc.reason}"}
+            ) from None
+        except (TimeoutError, ConnectionError, http.client.HTTPException) as exc:
+            # Socket timeout, connection reset, or truncated read
+            # *mid-body*: the status line arrived but the payload never
+            # finished.
+            raise ServiceError(
+                0,
+                {"error": f"transport error: {exc or type(exc).__name__}"},
+                trace_id=trace_id,
+            ) from None
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            # A 200 whose body is not the JSON it claims to be —
+            # truncated by a dying server or corrupted in transit.
+            raise ServiceError(
+                0,
+                {"error": f"malformed response body: {exc}"},
+                trace_id=trace_id,
+            ) from None
 
     # ---------------------------------------------------------- endpoints
     def healthz(self) -> dict:
@@ -126,17 +288,28 @@ class ServiceClient:
         """The slow-trace exemplar ring from ``GET /debug/traces``."""
         return self._request("/debug/traces")
 
-    def distill(self, question: str, answer: str, context: str) -> dict:
+    def distill(
+        self,
+        question: str,
+        answer: str,
+        context: str,
+        deadline_ms: float | None = None,
+    ) -> dict:
         """One distillation; raises :class:`ServiceError` on 4xx/5xx."""
         return self._request(
             "/distill",
             {"question": question, "answer": answer, "context": context},
+            deadline_ms=deadline_ms,
         )
 
-    def distill_batch(self, items: list[dict]) -> dict:
+    def distill_batch(
+        self, items: list[dict], deadline_ms: float | None = None
+    ) -> dict:
         """Batch distillation with per-item error isolation (one 429 sheds
         the whole batch — admission is all-or-nothing)."""
-        return self._request("/batch", {"items": items})
+        return self._request(
+            "/batch", {"items": items}, deadline_ms=deadline_ms
+        )
 
     def ask(
         self,
@@ -145,6 +318,7 @@ class ServiceClient:
         k: int | None = None,
         page_size: int | None = None,
         cursor: str | None = None,
+        deadline_ms: float | None = None,
     ) -> dict:
         """Open-context ask: no context — the service retrieves its own.
 
@@ -164,7 +338,7 @@ class ServiceClient:
             payload["page_size"] = page_size
         if cursor is not None:
             payload["cursor"] = cursor
-        return self._request("/ask", payload)
+        return self._request("/ask", payload, deadline_ms=deadline_ms)
 
     def ask_pages(
         self,

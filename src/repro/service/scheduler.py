@@ -53,8 +53,9 @@ from dataclasses import dataclass, field
 
 from repro.core.batch import BatchDistiller
 from repro.core.result import DistillationResult
+from repro.faults import fault_point
 from repro.obs import trace as obs_trace
-from repro.service.admission import QueueFullError
+from repro.service.admission import DeadlineExceededError, QueueFullError
 
 __all__ = [
     "DistillRequest",
@@ -100,6 +101,9 @@ class DistillRequest:
     parent_span_id: str | None = field(
         default=None, repr=False, compare=False
     )
+    # Absolute ``time.monotonic()`` instant the request's end-to-end
+    # budget (``X-Deadline-Ms``) runs out; None = no deadline.
+    deadline: float | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.trace is None:
@@ -110,6 +114,11 @@ class DistillRequest:
     @property
     def triple(self) -> tuple[str, str, str]:
         return (self.question, self.answer, self.context)
+
+    def expired(self, now: float | None = None) -> bool:
+        if self.deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) >= self.deadline
 
     def result(self, timeout: float | None = None) -> DistillationResult:
         """Block until the batch containing this request has flushed."""
@@ -139,6 +148,7 @@ class SchedulerStats:
     flushed: int = 0
     inflight: int = 0
     ewma_batch_ms: float = 0.0
+    deadline_expired: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -164,6 +174,7 @@ class SchedulerStats:
             "inflight": self.inflight,
             "ewma_batch_ms": self.ewma_batch_ms,
             "mean_batch_size": self.mean_batch_size,
+            "deadline_expired": self.deadline_expired,
         }
 
 
@@ -224,6 +235,7 @@ class MicroBatchScheduler:
         self._coalesced = 0
         self._shed = 0
         self._flushed = 0
+        self._deadline_expired = 0
         self._ewma_batch_s = 0.0
         self.batch_sizes: list[int] = []
         # Optional telemetry hook: called after every flush (outside the
@@ -236,18 +248,28 @@ class MicroBatchScheduler:
 
     # ------------------------------------------------------------- submit
     def submit(
-        self, question: str, answer: str, context: str
+        self,
+        question: str,
+        answer: str,
+        context: str,
+        deadline: float | None = None,
     ) -> DistillRequest:
         """Queue one request (or attach to an identical in-flight one).
 
         Returns immediately with the request holding a pending future.
+        ``deadline`` is an absolute ``time.monotonic()`` instant; a
+        request whose deadline has already passed is refused without
+        touching the queue, and one that expires while queued fails at
+        flush time before any engine work runs.
 
         Raises:
             RuntimeError: the scheduler is closed.
             QueueFullError: the queue is at ``max_queue_depth`` and the
                 triple could not coalesce onto in-flight work.
+            DeadlineExceededError: ``deadline`` is already in the past.
         """
-        request = DistillRequest(question, answer, context)
+        self._check_deadline(deadline)
+        request = DistillRequest(question, answer, context, deadline=deadline)
         with self._cond:
             self._admit_locked(request)
             if not request.coalesced:
@@ -255,7 +277,9 @@ class MicroBatchScheduler:
         return request
 
     def submit_many(
-        self, triples: list[tuple[str, str, str]]
+        self,
+        triples: list[tuple[str, str, str]],
+        deadline: float | None = None,
     ) -> list[DistillRequest]:
         """Queue several triples atomically, preserving their order.
 
@@ -263,9 +287,13 @@ class MicroBatchScheduler:
         in-flight work) coalesce onto one computation.  Admission is
         all-or-nothing: if the non-coalescable remainder does not fit
         under ``max_queue_depth``, the whole call is shed with
-        :class:`QueueFullError` and nothing is enqueued.
+        :class:`QueueFullError` and nothing is enqueued.  ``deadline``
+        (absolute monotonic) applies to every request in the call.
         """
-        requests = [DistillRequest(*triple) for triple in triples]
+        self._check_deadline(deadline)
+        requests = [
+            DistillRequest(*triple, deadline=deadline) for triple in triples
+        ]
         with self._cond:
             if self._closed:
                 raise RuntimeError("scheduler is closed")
@@ -287,6 +315,15 @@ class MicroBatchScheduler:
                 self._admit_locked(request, checked=True)
             self._cond.notify_all()
         return requests
+
+    def _check_deadline(self, deadline: float | None) -> None:
+        """Refuse a request whose budget is spent before it queues."""
+        if deadline is not None and time.monotonic() >= deadline:
+            with self._cond:
+                self._deadline_expired += 1
+            raise DeadlineExceededError(
+                "request deadline expired before it could be queued",
+            )
 
     def _admit_locked(
         self, request: DistillRequest, checked: bool = False
@@ -462,11 +499,55 @@ class MicroBatchScheduler:
             )
         return token, flush_span
 
+    def _cull_expired(
+        self, batch: list[DistillRequest]
+    ) -> list[DistillRequest]:
+        """Fail queued requests whose deadline passed, before engine work.
+
+        Each expired request (and everything coalesced onto it) resolves
+        with :class:`DeadlineExceededError` — a fast 504 at the HTTP
+        edge — and records a ``deadline.expired`` event on its trace.
+        Returns the still-live remainder of the batch.
+        """
+        now = time.monotonic()
+        live: list[DistillRequest] = []
+        expired_failed = 0
+        for request in batch:
+            if not request.expired(now):
+                live.append(request)
+                continue
+            waited_ms = round((now - request.enqueued_at) * 1000.0, 3)
+            if request.trace is not None:
+                obs_trace.record_event(
+                    request.trace,
+                    "deadline.expired",
+                    parent_id=request.parent_span_id,
+                    waited_ms=waited_ms,
+                )
+            _done, bad = self._resolve(
+                request,
+                error=DeadlineExceededError(
+                    "request deadline expired after "
+                    f"{waited_ms:.0f}ms in the scheduler queue",
+                    waited_ms=waited_ms,
+                ),
+            )
+            expired_failed += bad
+        if expired_failed:
+            with self._cond:
+                self._failed += expired_failed
+                self._deadline_expired += expired_failed
+        return live
+
     def _flush(self, batch: list[DistillRequest], reason: str) -> None:
+        batch = self._cull_expired(batch)
+        if not batch:
+            return
         flush_started = time.monotonic()
         token, flush_span = self._begin_batch_trace(batch, reason)
         try:
             try:
+                fault_point("scheduler.flush", detail=reason)
                 results = self.distiller.distill_many(
                     [request.triple for request in batch]
                 )
@@ -482,6 +563,21 @@ class MicroBatchScheduler:
                     failed += bad
             else:
                 for request in batch:
+                    if request.expired():
+                        # The serial fallback is slow; budgets can run
+                        # out between items.  Still fail fast.
+                        done, bad = self._resolve(
+                            request,
+                            error=DeadlineExceededError(
+                                "request deadline expired during the "
+                                "per-request fallback"
+                            ),
+                        )
+                        with self._cond:
+                            self._deadline_expired += bad
+                        completed += done
+                        failed += bad
+                        continue
                     try:
                         result = self.distiller.distill_one(*request.triple)
                     except Exception as exc:
@@ -537,7 +633,19 @@ class MicroBatchScheduler:
                 flushed=self._flushed,
                 inflight=len(self._inflight),
                 ewma_batch_ms=round(1000.0 * self._ewma_batch_s, 3),
+                deadline_expired=self._deadline_expired,
             )
+
+    @property
+    def alive(self) -> bool:
+        """True while the flusher thread is running (healthz ``failing``
+        when it is not and the scheduler was never closed)."""
+        return self._thread.is_alive()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
 
     # ------------------------------------------------------------ closing
     def close(self, timeout: float | None = 10.0, drain: bool = True) -> None:

@@ -44,6 +44,19 @@ seconds, rounded up) and ``retry_after_seconds`` (exact float) in the
 body.  Clients identify themselves with an ``X-Client-Id`` header;
 anonymous requests share one default token bucket.
 
+Deadlines: serving requests may carry ``X-Deadline-Ms``, an end-to-end
+budget in milliseconds.  A request whose budget runs out — before it
+queues, while queued (failing fast without consuming engine work), or
+mid-execution — answers ``504 Gateway Timeout`` with a parseable JSON
+body.  A malformed header answers ``400``.
+
+Degradation: while a circuit breaker is open (process pool or
+retrieval), responses carry ``degraded: true`` and ``/healthz`` reports
+``"degraded"``; a dead scheduler reports ``"failing"`` with status
+``503`` so probes restart the process.  Error responses echo
+``X-Trace-Id`` exactly like successes, so a failed request can be
+correlated with its trace and logs.
+
 Thread safety: ``ThreadingHTTPServer`` gives every connection its own
 handler thread; handlers only touch the service's thread-safe surface.
 """
@@ -57,8 +70,10 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import urlsplit
 
+from repro.faults import fault_point
 from repro.obs.logs import get_logger
 from repro.service.admission import (
+    DeadlineExceededError,
     QueueFullError,
     RateLimitedError,
     ShedError,
@@ -88,6 +103,7 @@ _TRACED_ROUTES = frozenset(("/distill", "/batch", "/ask"))
 _PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 _access_log = get_logger("server.access")
+_log = get_logger("server")
 
 
 class DistillHTTPServer(ThreadingHTTPServer):
@@ -179,6 +195,14 @@ class _DistillHandler(BaseHTTPRequestHandler):
         _access_log.info("access", fields=log_fields)
 
     def _route(self, method: str, path: str) -> None:
+        try:
+            # The HTTP-edge fault-injection site: chaos tests target
+            # "http.request" to fail/delay/kill requests at the front
+            # door before any service code runs.
+            fault_point("http.request", detail=f"{method} {path}")
+        except Exception as exc:
+            self._send_server_error(exc, where=f"{method} {path}")
+            return
         if method == "GET":
             self._route_get(path)
         else:
@@ -186,7 +210,12 @@ class _DistillHandler(BaseHTTPRequestHandler):
 
     def _route_get(self, path: str) -> None:
         if path == "/healthz":
-            self._send_json(200, self.service.healthz())
+            health = self.service.healthz()
+            # "failing" means the flusher thread is gone: answer 503 so
+            # liveness probes restart the process.  "degraded" is still
+            # 200 — the service is serving, just from a reduced path.
+            status = 503 if health.get("status") == "failing" else 200
+            self._send_json(status, health)
         elif path == "/stats":
             self._send_json(200, self.service.stats())
         elif path == "/metrics":
@@ -221,6 +250,11 @@ class _DistillHandler(BaseHTTPRequestHandler):
         if payload is None:
             return
         try:
+            self._deadline_ms = self._parse_deadline_ms()
+        except ValueError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        try:
             handler(payload)
         except ShedError as exc:
             # Load shed: tell the client when to come back.  Retry-After
@@ -242,11 +276,47 @@ class _DistillHandler(BaseHTTPRequestHandler):
                     "Retry-After": str(max(1, math.ceil(exc.retry_after)))
                 },
             )
+        except DeadlineExceededError as exc:
+            # The client's X-Deadline-Ms budget ran out: 504, with a
+            # parseable body saying where the budget went.
+            body: dict = {"error": str(exc)}
+            if exc.deadline_ms is not None:
+                body["deadline_ms"] = exc.deadline_ms
+            if exc.waited_ms is not None:
+                body["waited_ms"] = exc.waited_ms
+            self._send_json(504, body)
         except ValueError as exc:
             # Invalid inputs (e.g. empty context) are the client's fault.
             self._send_json(400, {"error": str(exc)})
         except Exception as exc:  # pragma: no cover - defensive
-            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+            self._send_server_error(exc, where=f"POST {path}")
+
+    def _send_server_error(self, exc: Exception, where: str) -> None:
+        """Answer 500 with a structured, stack-carrying error log."""
+        _log.error(
+            "unhandled error serving request",
+            exc_info=True,
+            fields={
+                "where": where,
+                "trace_id": getattr(self, "_trace_id", None),
+            },
+        )
+        self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def _parse_deadline_ms(self) -> float | None:
+        """The ``X-Deadline-Ms`` budget, or None; ValueError if garbage."""
+        raw = self.headers.get("X-Deadline-Ms")
+        if raw is None or not raw.strip():
+            return None
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"X-Deadline-Ms must be a number, got {raw!r}"
+            ) from None
+        if not math.isfinite(value):
+            raise ValueError("X-Deadline-Ms must be finite")
+        return value
 
     def _send_method_not_allowed(self, path: str) -> None:
         allowed = ", ".join(ROUTES[path])
@@ -282,6 +352,7 @@ class _DistillHandler(BaseHTTPRequestHandler):
                 payload["answer"],
                 payload["context"],
                 client_id=self.client_id,
+                deadline_ms=self._deadline_ms,
             ),
         )
 
@@ -295,7 +366,11 @@ class _DistillHandler(BaseHTTPRequestHandler):
             return
         self._send_json(
             200,
-            self.service.distill_batch_dicts(items, client_id=self.client_id),
+            self.service.distill_batch_dicts(
+                items,
+                client_id=self.client_id,
+                deadline_ms=self._deadline_ms,
+            ),
         )
 
     def _handle_ask(self, payload: dict) -> None:
@@ -348,6 +423,7 @@ class _DistillHandler(BaseHTTPRequestHandler):
                     page_size=payload.get("page_size"),
                     cursor=cursor,
                     client_id=self.client_id,
+                    deadline_ms=self._deadline_ms,
                 )
             else:
                 response = self.service.ask_dict(
@@ -355,6 +431,7 @@ class _DistillHandler(BaseHTTPRequestHandler):
                     payload["answer"],
                     payload.get("k"),
                     client_id=self.client_id,
+                    deadline_ms=self._deadline_ms,
                 )
         except ShedError:
             # A RuntimeError subclass, but it means 429 — let the central

@@ -30,6 +30,7 @@ scheduler's bounded queue.  Both layers raise a
 from __future__ import annotations
 
 import time
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import asdict, dataclass
 from typing import Sequence
 
@@ -37,9 +38,13 @@ from repro.core.batch import BatchDistiller
 from repro.core.open_context import AskOutcome, build_outcome
 from repro.core.pipeline import GCED, DistillationResult
 from repro.core.serialize import result_to_dict
+from repro.faults import installed as faults_installed
 from repro.obs.trace import span as obs_span
 from repro.retrieval.retriever import CorpusRetriever
-from repro.service.admission import AdmissionController
+from repro.service.admission import (
+    AdmissionController,
+    DeadlineExceededError,
+)
 from repro.service.paging import decode_cursor, paginate_ask
 from repro.service.scheduler import DistillRequest, MicroBatchScheduler
 from repro.service.telemetry import ServiceTelemetry
@@ -71,6 +76,10 @@ class ServiceConfig:
             disables tracing, requests with ``X-Trace-Id`` always trace).
         slow_trace_ms: traces at/above this duration enter the
             ``/debug/traces`` exemplar ring.
+        breaker_failures: consecutive failures that trip the process-pool
+            and retrieval circuit breakers open (degraded mode).
+        breaker_reset_s: cooldown before an open breaker admits a
+            half-open trial call.
     """
 
     dataset: str = "squad11"
@@ -89,6 +98,8 @@ class ServiceConfig:
     top_k: int = 3
     trace_sample: float = 1.0
     slow_trace_ms: float = 250.0
+    breaker_failures: int = 3
+    breaker_reset_s: float = 30.0
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -125,6 +136,8 @@ class DistillService:
         top_k: int = 3,
         trace_sample: float = 1.0,
         slow_trace_ms: float = 250.0,
+        breaker_failures: int = 3,
+        breaker_reset_s: float = 30.0,
     ) -> None:
         self.gced = gced
         self.corpus_info = corpus_info
@@ -148,13 +161,27 @@ class DistillService:
             client_burst=client_burst,
             trace_sample=trace_sample,
             slow_trace_ms=slow_trace_ms,
+            breaker_failures=breaker_failures,
+            breaker_reset_s=breaker_reset_s,
         )
         self.admission = AdmissionController(
             rate=self.config.client_rate, burst=self.config.client_burst
         )
         self.distiller = BatchDistiller(
-            gced, cache_size=cache_size, workers=workers, backend=backend
+            gced,
+            cache_size=cache_size,
+            workers=workers,
+            backend=backend,
+            breaker_failures=self.config.breaker_failures,
+            breaker_reset_s=self.config.breaker_reset_s,
         )
+        if self.retriever is not None:
+            # The retriever is usually built before the service exists;
+            # align its breaker thresholds with the serving config.
+            self.retriever.breaker.failure_threshold = (
+                self.config.breaker_failures
+            )
+            self.retriever.breaker.reset_after_s = self.config.breaker_reset_s
         self.scheduler = MicroBatchScheduler(
             self.distiller,
             max_batch_size=self.config.max_batch_size,
@@ -247,6 +274,8 @@ class DistillService:
                     "client_burst",
                     "trace_sample",
                     "slow_trace_ms",
+                    "breaker_failures",
+                    "breaker_reset_s",
                 )
                 if key in kwargs
             },
@@ -254,6 +283,43 @@ class DistillService:
         return cls(gced, corpus_info=corpus_info, config=config, **kwargs)
 
     # ------------------------------------------------------------ serving
+    @staticmethod
+    def _deadline(deadline_ms: float | None) -> float | None:
+        """Client budget (``X-Deadline-Ms``) → absolute monotonic instant.
+
+        A non-positive budget maps to *now*: it fails fast at submit
+        rather than raising ``ValueError`` (the client named a budget;
+        the honest answer is that it is already spent).
+        """
+        if deadline_ms is None:
+            return None
+        return time.monotonic() + max(0.0, float(deadline_ms)) / 1000.0
+
+    @staticmethod
+    def _await(
+        request: DistillRequest,
+        timeout: float | None,
+        deadline: float | None,
+    ) -> DistillationResult:
+        """Wait for ``request``, bounding the wait by the deadline too.
+
+        A deadline that runs out mid-execution surfaces as
+        :class:`DeadlineExceededError` (→ 504), never a bare futures
+        timeout.
+        """
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            timeout = remaining if timeout is None else min(timeout, remaining)
+            timeout = max(0.0, timeout)
+        try:
+            return request.result(timeout)
+        except FuturesTimeoutError:
+            if deadline is not None and time.monotonic() >= deadline:
+                raise DeadlineExceededError(
+                    "request deadline expired while waiting for the result"
+                ) from None
+            raise
+
     def distill(
         self,
         question: str,
@@ -261,21 +327,30 @@ class DistillService:
         context: str,
         timeout: float | None = None,
         client_id: str | None = None,
+        deadline_ms: float | None = None,
     ) -> DistillationResult:
         """Distill one triple through the micro-batching scheduler.
 
         Identical concurrent requests coalesce onto one computation.
+        ``deadline_ms`` is the request's end-to-end budget: once spent,
+        the request fails with :class:`DeadlineExceededError` — at
+        submit, while queued (before consuming engine work), or while
+        waiting on the result.
 
         Raises:
             RateLimitedError: ``client_id``'s token bucket is empty.
             QueueFullError: the scheduler's admission queue is full.
+            DeadlineExceededError: the ``deadline_ms`` budget ran out.
             ValueError: invalid inputs (e.g. blank context).
         """
+        deadline = self._deadline(deadline_ms)
         with obs_span("admission.admit", cost=1.0):
             self.admission.admit(client_id, cost=1.0)
-        request = self.scheduler.submit(question, answer, context)
+        request = self.scheduler.submit(
+            question, answer, context, deadline=deadline
+        )
         with obs_span("scheduler.wait"):
-            return request.result(timeout)
+            return self._await(request, timeout, deadline)
 
     def distill_dict(
         self,
@@ -283,10 +358,18 @@ class DistillService:
         answer: str,
         context: str,
         client_id: str | None = None,
+        deadline_ms: float | None = None,
     ) -> dict:
         """JSON-safe single distillation, as served by ``/distill``."""
-        result = self.distill(question, answer, context, client_id=client_id)
-        return result_to_dict(result, question, answer)
+        result = self.distill(
+            question,
+            answer,
+            context,
+            client_id=client_id,
+            deadline_ms=deadline_ms,
+        )
+        payload = result_to_dict(result, question, answer)
+        return self._mark_degraded(payload)
 
     def submit(
         self, question: str, answer: str, context: str
@@ -303,6 +386,7 @@ class DistillService:
         triples: list[tuple[str, str, str]],
         timeout: float | None = None,
         client_id: str | None = None,
+        deadline_ms: float | None = None,
     ) -> list[DistillationResult | Exception]:
         """Distill many triples; failures come back per-item, not raised.
 
@@ -310,17 +394,20 @@ class DistillService:
         yields its exception object while its batch-mates still yield
         results (the scheduler's error-isolation contract).  Admission is
         all-or-nothing and charged at ``len(triples)`` tokens: a shed
-        batch raises (it never partially enqueues).
+        batch raises (it never partially enqueues).  ``deadline_ms``
+        applies to the whole batch; expired items come back as
+        :class:`DeadlineExceededError` entries.
         """
+        deadline = self._deadline(deadline_ms)
         cost = float(len(triples)) or 1.0
         with obs_span("admission.admit", cost=cost):
             self.admission.admit(client_id, cost=cost)
-        requests = self.scheduler.submit_many(triples)
+        requests = self.scheduler.submit_many(triples, deadline=deadline)
         outcomes: list[DistillationResult | Exception] = []
         with obs_span("scheduler.wait", n=len(requests)):
             for request in requests:
                 try:
-                    outcomes.append(request.result(timeout))
+                    outcomes.append(self._await(request, timeout, deadline))
                 except Exception as exc:
                     outcomes.append(exc)
         return outcomes
@@ -333,6 +420,7 @@ class DistillService:
         k: int | None = None,
         timeout: float | None = None,
         client_id: str | None = None,
+        deadline_ms: float | None = None,
     ) -> AskOutcome:
         """Open-context distillation: retrieve top-k, distill, re-rank.
 
@@ -349,9 +437,10 @@ class DistillService:
         """
         if k is None:
             k = self.top_k
+        deadline = self._deadline(deadline_ms)
         with obs_span("admission.admit", cost=float(k)):
             self.admission.admit(client_id, cost=float(k))
-        return self._ask_outcome(question, answer, k, timeout)
+        return self._ask_outcome(question, answer, k, timeout, deadline)
 
     def _ask_outcome(
         self,
@@ -359,6 +448,7 @@ class DistillService:
         answer: str,
         k: int,
         timeout: float | None = None,
+        deadline: float | None = None,
     ) -> AskOutcome:
         """The retrieve -> distill -> re-rank body, past admission."""
         if self.retriever is None:
@@ -370,12 +460,15 @@ class DistillService:
         results: list[DistillationResult | Exception] = []
         if hits:
             requests = self.scheduler.submit_many(
-                [(question, answer, hit.text) for hit in hits]
+                [(question, answer, hit.text) for hit in hits],
+                deadline=deadline,
             )
             with obs_span("scheduler.wait", n=len(requests)):
                 for request in requests:
                     try:
-                        results.append(request.result(timeout))
+                        results.append(
+                            self._await(request, timeout, deadline)
+                        )
                     except Exception as exc:
                         results.append(exc)
         return build_outcome(question, answer, hits, results)
@@ -386,9 +479,17 @@ class DistillService:
         answer: str,
         k: int | None = None,
         client_id: str | None = None,
+        deadline_ms: float | None = None,
     ) -> dict:
         """JSON-safe open-context ask, as served by fat-mode ``/ask``."""
-        return self.ask(question, answer, k, client_id=client_id).to_dict()
+        outcome = self.ask(
+            question,
+            answer,
+            k,
+            client_id=client_id,
+            deadline_ms=deadline_ms,
+        )
+        return self._mark_degraded(outcome.to_dict())
 
     def ask_page_dict(
         self,
@@ -398,6 +499,7 @@ class DistillService:
         page_size: int | None = None,
         cursor: str | None = None,
         client_id: str | None = None,
+        deadline_ms: float | None = None,
     ) -> dict:
         """One page of an open-context ask, as served by paged ``/ask``.
 
@@ -436,16 +538,19 @@ class DistillService:
             cost = float(k)
         if page_size < 1:
             raise ValueError("page_size must be at least 1")
+        deadline = self._deadline(deadline_ms)
         with obs_span("admission.admit", cost=cost):
             self.admission.admit(client_id, cost=cost)
-        outcome = self._ask_outcome(question, answer, k)
-        return paginate_ask(outcome.to_dict(), k, offset, page_size)
+        outcome = self._ask_outcome(question, answer, k, deadline=deadline)
+        page = paginate_ask(outcome.to_dict(), k, offset, page_size)
+        return self._mark_degraded(page)
 
     def distill_batch_dicts(
         self,
         items: list[dict],
         timeout: float | None = None,
         client_id: str | None = None,
+        deadline_ms: float | None = None,
     ) -> dict:
         """JSON-safe batch distillation, as served by ``/batch``."""
         triples = [
@@ -456,7 +561,9 @@ class DistillService:
             )
             for item in items
         ]
-        outcomes = self.distill_batch(triples, timeout, client_id=client_id)
+        outcomes = self.distill_batch(
+            triples, timeout, client_id=client_id, deadline_ms=deadline_ms
+        )
         results = []
         errors = 0
         for (question, answer, _context), outcome in zip(triples, outcomes):
@@ -465,15 +572,62 @@ class DistillService:
                 results.append({"error": str(outcome) or type(outcome).__name__})
             else:
                 results.append(result_to_dict(outcome, question, answer))
-        return {"results": results, "errors": errors}
+        return self._mark_degraded({"results": results, "errors": errors})
 
     # ------------------------------------------------------ observability
     @property
     def uptime_seconds(self) -> float:
         return time.monotonic() - self._started
 
+    @property
+    def degraded(self) -> bool:
+        """True while any circuit breaker is open/half-open: the service
+        is still answering, but from a reduced path (serial coordinator
+        execution and/or reduced-shard retrieval)."""
+        if self.distiller.degraded:
+            return True
+        return self.retriever is not None and self.retriever.degraded
+
+    def _mark_degraded(self, payload: dict) -> dict:
+        """Stamp ``degraded: true`` on a response served degraded.
+
+        Healthy responses are untouched — byte-identical to what the
+        service returned before breakers existed (the determinism
+        contract the self-test compares against).
+        """
+        if self.degraded:
+            payload["degraded"] = True
+        return payload
+
     def healthz(self) -> dict:
-        return {"status": "ok", "uptime_seconds": self.uptime_seconds}
+        """Liveness + degradation: ``ok`` | ``degraded`` | ``failing``.
+
+        ``failing`` means the scheduler's flusher thread is gone (the
+        service cannot serve at all — the probe should restart it);
+        ``degraded`` means a breaker is open and requests are served
+        from a reduced path.
+        """
+        alive = self.scheduler.alive or self.scheduler.closed
+        if not alive:
+            status = "failing"
+        elif self.degraded:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "uptime_seconds": self.uptime_seconds,
+            "degraded": self.degraded,
+            "checks": {
+                "scheduler_alive": alive,
+                "pool_breaker": self.distiller.pool_breaker.state,
+                "retrieval_breaker": (
+                    self.retriever.breaker.state
+                    if self.retriever is not None
+                    else None
+                ),
+            },
+        }
 
     def stats(self) -> dict:
         """Everything ``/stats`` reports: config, queue, timings, caches.
@@ -525,6 +679,23 @@ class DistillService:
             },
             "admission": self.admission.stats(),
             "scheduler": self.scheduler.stats().to_dict(),
+            # Fault-tolerance plane: breaker states, degraded counters,
+            # pool crash-recovery stats, and the installed fault plan
+            # (None unless REPRO_FAULTS injection is active).
+            "faults": {
+                "degraded": self.degraded,
+                "pool": self.distiller.recovery_info(),
+                "retrieval": (
+                    self.retriever.recovery_info()
+                    if self.retriever is not None
+                    else None
+                ),
+                "plan": (
+                    faults_installed().stats()
+                    if faults_installed() is not None
+                    else None
+                ),
+            },
             # Pipeline-snapshot plane (None unless the distiller runs
             # snapshot-spawned process workers): build cost, segment
             # size, per-worker load times, and hydration hit rate.

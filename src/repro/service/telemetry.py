@@ -20,6 +20,7 @@ from __future__ import annotations
 import itertools
 import threading
 
+from repro.faults import installed as faults_installed
 from repro.obs.exemplars import SlowTraceRing
 from repro.obs.metrics import (
     MetricFamily,
@@ -287,6 +288,93 @@ class ServiceTelemetry:
                     samples=cache_misses,
                 )
             )
+        # Fault-tolerance plane: breaker states (0 closed, 1 half-open,
+        # 2 open), degraded-mode counters, crash-recovery counters, and
+        # injected faults when a REPRO_FAULTS plan is active.
+        breaker_samples = [
+            Sample(
+                service.distiller.pool_breaker.stats()["state_code"],
+                (("breaker", "process_pool"),),
+            )
+        ]
+        if service.retriever is not None:
+            breaker_samples.append(
+                Sample(
+                    service.retriever.breaker.stats()["state_code"],
+                    (("breaker", "retrieval"),),
+                )
+            )
+        families.append(
+            gauge_family(
+                f"{_PREFIX}_breaker_state",
+                "Circuit breaker state (0 closed, 1 half-open, 2 open)",
+                samples=breaker_samples,
+            )
+        )
+        families.append(
+            gauge_family(
+                f"{_PREFIX}_degraded",
+                "1 while any breaker has the service on a reduced path",
+                1.0 if service.degraded else 0.0,
+            )
+        )
+        recovery = service.distiller.recovery_info()
+        executor_stats = recovery.get("executor") or {}
+        families.append(
+            counter_family(
+                f"{_PREFIX}_pool_breaks_total",
+                "Times the worker process pool broke and was respawned",
+                executor_stats.get("pool_breaks", 0),
+            )
+        )
+        families.append(
+            counter_family(
+                f"{_PREFIX}_chunk_retries_total",
+                "Chunks retried successfully after a pool break",
+                executor_stats.get("chunk_retries", 0),
+            )
+        )
+        families.append(
+            gauge_family(
+                f"{_PREFIX}_recovery_seconds",
+                "Duration of the most recent pool respawn-and-retry",
+                executor_stats.get("last_recovery_ms", 0.0) / 1000.0,
+            )
+        )
+        families.append(
+            counter_family(
+                f"{_PREFIX}_degraded_batches_total",
+                "Batches executed serially in the coordinator (breaker open)",
+                recovery.get("degraded_batches", 0),
+            )
+        )
+        families.append(
+            counter_family(
+                f"{_PREFIX}_deadline_expired_total",
+                "Requests failed because their X-Deadline-Ms budget ran out",
+                scheduler.deadline_expired,
+            )
+        )
+        plan = faults_installed()
+        if plan is not None:
+            fired_by_site: dict[str, int] = {}
+            for spec_stats in plan.stats()["specs"]:
+                site = spec_stats["site"]
+                fired_by_site[site] = (
+                    fired_by_site.get(site, 0) + spec_stats["fired"]
+                )
+            fault_samples = [
+                Sample(count, (("site", site),))
+                for site, count in sorted(fired_by_site.items())
+            ]
+            if fault_samples:
+                families.append(
+                    counter_family(
+                        f"{_PREFIX}_faults_injected_total",
+                        "Faults fired by the installed REPRO_FAULTS plan",
+                        samples=fault_samples,
+                    )
+                )
         snapshot = service.distiller.snapshot_info()
         if snapshot is not None:
             families.append(
