@@ -62,6 +62,7 @@ SOURCE_FILES = (
     "snapshot.json",
     "obs_overhead.json",
     "fault_recovery.json",
+    "ingest_recovery.json",
 )
 # Hard floor on multi-core batch speedup, enforced only when the runner
 # opts in via PERF_GATE_MULTICORE=1 (a single-CPU runner cannot meet it).

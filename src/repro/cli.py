@@ -272,6 +272,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="cooldown before an open breaker admits a half-open trial",
     )
     p_serve.add_argument(
+        "--ingest-dir",
+        default="",
+        help="durable live-ingest directory (WAL + segment); enables "
+        "POST /ingest and DELETE /docs/<id> and recovers any state "
+        "already there",
+    )
+    p_serve.add_argument(
+        "--compact-every",
+        type=int,
+        default=0,
+        help="fold the ingest WAL into a fresh segment after this many "
+        "applied operations (0 = only explicit compaction)",
+    )
+    p_serve.add_argument(
+        "--fleet",
+        action="store_true",
+        help="serve retrieval through a supervised per-shard worker "
+        "fleet (scatter-gather with restart + degrade-to-survivors)",
+    )
+    p_serve.add_argument(
         "--log-level",
         default="info",
         choices=("debug", "info", "warning", "error"),
@@ -282,6 +302,63 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="serve on an ephemeral port, exercise every endpoint "
         "concurrently, verify byte-identity with single-shot distill, exit",
+    )
+
+    p_ingest = sub.add_parser(
+        "ingest",
+        help="manage the durable live-corpus plane (offline dir or "
+        "running service)",
+    )
+    p_ingest.add_argument(
+        "--url",
+        default=None,
+        help="running service base URL (uses POST /ingest + DELETE "
+        "/docs); mutually exclusive with --dir",
+    )
+    p_ingest.add_argument(
+        "--dir",
+        type=pathlib.Path,
+        default=None,
+        help="ingest directory to open offline (recovers WAL state; "
+        "mutually exclusive with --url)",
+    )
+    p_ingest.add_argument(
+        "--corpus",
+        type=pathlib.Path,
+        default=None,
+        help="bootstrap corpus (one paragraph per line) for a fresh "
+        "--dir with no segment yet",
+    )
+    p_ingest.add_argument(
+        "--add",
+        action="append",
+        default=[],
+        metavar="TEXT",
+        help="durably append one paragraph (repeatable)",
+    )
+    p_ingest.add_argument(
+        "--add-file",
+        type=pathlib.Path,
+        default=None,
+        help="durably append one paragraph per non-blank line",
+    )
+    p_ingest.add_argument(
+        "--delete",
+        action="append",
+        type=int,
+        default=[],
+        metavar="DOC_ID",
+        help="tombstone one document id (repeatable)",
+    )
+    p_ingest.add_argument(
+        "--compact",
+        action="store_true",
+        help="fold the WAL into a fresh segment (offline --dir only)",
+    )
+    p_ingest.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the ingest stats block (default when no other action)",
     )
 
     p_trace = sub.add_parser(
@@ -556,6 +633,9 @@ def _run_serve(args: argparse.Namespace) -> int:
         slow_trace_ms=args.slow_trace_ms,
         breaker_failures=args.breaker_failures,
         breaker_reset_s=args.breaker_reset_s,
+        ingest_dir=args.ingest_dir,
+        compact_every=args.compact_every,
+        fleet=args.fleet,
     )
     print(f"building service resources for {args.dataset} ...", file=sys.stderr)
     service = DistillService.build(config)
@@ -784,6 +864,76 @@ def _serve_self_test(service) -> int:
     return 0
 
 
+def _run_ingest(args: argparse.Namespace) -> int:
+    """Live-corpus writes, against a running service or an offline dir."""
+    import json
+
+    if (args.url is None) == (args.dir is None):
+        print("error: provide exactly one of --url or --dir", file=sys.stderr)
+        return 2
+    texts = list(args.add)
+    if args.add_file is not None:
+        texts.extend(
+            line.strip()
+            for line in args.add_file.read_text().splitlines()
+            if line.strip()
+        )
+    wants_stats = args.stats or not (texts or args.delete or args.compact)
+
+    if args.url is not None:
+        from repro.service import ServiceClient, ServiceError
+
+        if args.compact:
+            print(
+                "error: --compact is offline-only (use --dir; a running "
+                "service compacts via --compact-every)",
+                file=sys.stderr,
+            )
+            return 2
+        client = ServiceClient(args.url)
+        try:
+            if texts:
+                print(json.dumps(client.ingest(texts)))
+            for doc_id in args.delete:
+                print(json.dumps(client.delete_doc(doc_id)))
+            if wants_stats:
+                print(json.dumps(client.stats().get("ingest"), indent=2))
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        return 0
+
+    from repro.retrieval import IngestManager
+
+    corpus = None
+    if args.corpus is not None:
+        corpus = [
+            line.strip()
+            for line in args.corpus.read_text().splitlines()
+            if line.strip()
+        ]
+    try:
+        manager = IngestManager.open(args.dir, base_corpus=corpus)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with manager:
+        if texts:
+            print(json.dumps({"doc_ids": manager.add_documents(texts)}))
+        for doc_id in args.delete:
+            try:
+                manager.delete_document(doc_id)
+                print(json.dumps({"deleted": doc_id}))
+            except KeyError:
+                print(f"error: no live document {doc_id}", file=sys.stderr)
+                return 1
+        if args.compact:
+            print(json.dumps(manager.compact()))
+        if wants_stats:
+            print(json.dumps(manager.stats(), indent=2))
+    return 0
+
+
 def _run_trace(args: argparse.Namespace) -> int:
     import json
 
@@ -910,6 +1060,7 @@ def main(argv: list[str] | None = None) -> int:
         "index": _run_index,
         "ask": _run_ask,
         "serve": _run_serve,
+        "ingest": _run_ingest,
         "trace": _run_trace,
         "dataset": _run_dataset,
         "experiment": _run_experiment,

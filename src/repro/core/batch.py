@@ -97,6 +97,42 @@ def _worker_info() -> dict | None:
     return dict(_WORKER_INIT) if _WORKER_INIT is not None else None
 
 
+def _adopt_handle(handle) -> dict | None:
+    """Re-hydration broadcast task: adopt a newer snapshot in place.
+
+    Runs in a live pool worker.  Attaches the refreshed snapshot,
+    activates it, and re-adopts — :meth:`GCED.adopt_snapshot` treats a
+    same-or-older generation as an idempotent no-op, so a worker that
+    receives the broadcast twice (pool scheduling is best-effort) does
+    the expensive index refresh only once.  The previously active
+    snapshot is closed (never unlinked — workers don't own segments).
+    """
+    gced = _WORKER_GCED
+    if gced is None:
+        return None
+    from repro.engine.snapshot import PipelineSnapshot, activate, active
+
+    previous = active()
+    if previous is not None and previous.fingerprint == handle.fingerprint:
+        if getattr(previous, "generation", 0) >= handle.generation:
+            return {
+                "pid": os.getpid(),
+                "adopted": True,
+                "generation": handle.generation,
+                "noop": True,
+            }
+    snap = PipelineSnapshot.attach(handle)
+    activate(snap)
+    adopted = gced.adopt_snapshot(snap)
+    if previous is not None:
+        previous.close()
+    return {
+        "pid": os.getpid(),
+        "adopted": adopted,
+        "generation": handle.generation,
+    }
+
+
 def _worker_distill(triple: Triple) -> tuple[DistillationResult, PipelineProfile]:
     """Distill in a pool worker, returning the result plus the profile
     *delta* (stage timings and cache hits attributable to this call) so
@@ -301,6 +337,8 @@ class BatchDistiller:
             reset_after_s=breaker_reset_s,
         )
         self._degraded_batches = 0
+        self._snapshot_refreshes = 0
+        self._last_refresh: dict | None = None
 
     # ------------------------------------------------------------- single
     def distill_one(
@@ -492,6 +530,64 @@ class BatchDistiller:
             "executor": executor_stats,
         }
 
+    def refresh_snapshot(self) -> dict | None:
+        """Rebuild the pipeline snapshot and re-hydrate the live pool.
+
+        The data-plane refresh path (wired to post-compaction by the
+        service): builds a new snapshot at ``generation + 1`` from the
+        pipeline's *current* warm state, broadcasts an adopt task to the
+        running workers — same pids, no respawn — and points future
+        respawns at the new handle.  Thread/serial backends (and
+        snapshot-less pools) share the coordinator's objects directly,
+        so there is nothing to refresh: returns ``None``.
+        """
+        snap = self._snapshot
+        if (
+            snap is None
+            or self.backend != "process"
+            or self.executor.workers <= 1
+        ):
+            return None
+        from repro.engine.snapshot import dump_for_workers
+
+        fresh = self.gced.build_snapshot(generation=snap.generation + 1)
+        payload = dump_for_workers(self.gced)
+        set_initargs = getattr(self.executor, "set_initargs", None)
+        if callable(set_initargs):
+            set_initargs((payload, fresh.handle))
+        report = self.executor.warmup(
+            probe=functools.partial(_adopt_handle, fresh.handle)
+        )
+        owned = self._owns_snapshot
+        self._snapshot = fresh
+        self._owns_snapshot = True
+        if owned:
+            # Safe while stale workers still map it: unlink removes the
+            # name, the memory lives until their mappings close.
+            snap.close(unlink=True)
+        workers = [
+            info
+            for info in report.worker_infos
+            if isinstance(info, dict) and "pid" in info
+        ]
+        outcome = {
+            "generation": fresh.generation,
+            "broadcast_ms": round(report.seconds * 1000.0, 3),
+            "workers": sorted(
+                workers, key=lambda w: (w["pid"], w.get("noop", False))
+            ),
+        }
+        with self._stats_lock:
+            self._snapshot_refreshes += 1
+            self._last_refresh = outcome
+        _log.info(
+            "pipeline snapshot refreshed in place",
+            generation=fresh.generation,
+            workers=len({w["pid"] for w in workers}),
+            broadcast_ms=outcome["broadcast_ms"],
+        )
+        return outcome
+
     def snapshot_info(self) -> dict | None:
         """Snapshot-plane observability (None when no snapshot is used).
 
@@ -514,8 +610,14 @@ class BatchDistiller:
             elif name.startswith("hydration_misses."):
                 misses += int(value)
         lookups = hits + misses
+        with self._stats_lock:
+            refreshes = self._snapshot_refreshes
+            last_refresh = self._last_refresh
         return {
             "fingerprint": snap.fingerprint,
+            "generation": snap.generation,
+            "refreshes": refreshes,
+            "last_refresh": last_refresh,
             "build_ms": snap.meta.get("build_ms"),
             "bytes": snap.nbytes,
             "shared_memory": snap.shm_name is not None,

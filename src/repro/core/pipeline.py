@@ -139,6 +139,10 @@ class GCED:
         # demand by pipeline_snapshot); owns a shared-memory segment, so
         # it never pickles and is invalidated on config change.
         self._snapshot = None
+        # Generation of the snapshot this pipeline last adopted (worker
+        # side); None until the first adopt.  A newer generation re-wires
+        # the caches *and* refreshes the retrieval index in place.
+        self._adopted_generation = None
 
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
@@ -148,6 +152,7 @@ class GCED:
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self.__dict__.setdefault("_snapshot", None)
+        self.__dict__.setdefault("_adopted_generation", None)
 
     # ------------------------------------------------------------ pipeline
     def make_context(self, question: str, answer: str, context: str) -> StageContext:
@@ -213,7 +218,7 @@ class GCED:
         return ctx.result
 
     # -------------------------------------------------------- snapshot plane
-    def build_snapshot(self, use_shared_memory: bool = True):
+    def build_snapshot(self, use_shared_memory: bool = True, generation: int = 0):
         """Serialize this pipeline's warm state into a fresh snapshot.
 
         Sections (each present only when it has content): ``lm`` — the
@@ -270,6 +275,7 @@ class GCED:
                 "counts": counts,
             },
             use_shared_memory=use_shared_memory,
+            generation=generation,
         )
         snapshot.meta["build_ms"] = round(
             (time.perf_counter() - started) * 1000.0, 3
@@ -292,11 +298,17 @@ class GCED:
             and snapshot.fingerprint == fingerprint
         ):
             return snapshot
+        generation = 0
         if snapshot is not None:
             if snapshot.fingerprint != fingerprint:
                 self.profile.count("snapshot_stale")
+            # A rebuild over the same config is a *refresh* of a changed
+            # data plane (e.g. post-compaction): bump the generation so
+            # live pools can tell the new snapshot from the one they
+            # already adopted.
+            generation = snapshot.generation + 1
             snapshot.close(unlink=True)
-        self._snapshot = self.build_snapshot()
+        self._snapshot = self.build_snapshot(generation=generation)
         return self._snapshot
 
     def adopt_snapshot(self, snapshot) -> bool:
@@ -307,12 +319,23 @@ class GCED:
         when the snapshot was built under a different config fingerprint:
         ablation switches change scores, so hydrating across configs
         would smuggle one config's results into another's outputs.
+
+        Generations make re-adoption idempotent: adopting the same (or
+        an older) generation again is a no-op returning True; adopting a
+        *newer* generation of the same config re-wires the cache loaders
+        and refreshes the retrieval index in place — how a live worker
+        pool picks up a compacted corpus without a respawn.
         """
         from repro.engine.snapshot import EntryMap
 
         if snapshot.fingerprint != self.config.fingerprint():
             self.profile.count("snapshot_stale")
             return False
+        generation = getattr(snapshot, "generation", 0)
+        previous = getattr(self, "_adopted_generation", None)
+        if previous is not None and generation <= previous:
+            self.profile.count("snapshot_readopt_noop")
+            return True
 
         def entry_map(name: str) -> EntryMap | None:
             try:
@@ -347,8 +370,42 @@ class GCED:
                 cache.loader = (
                     lambda key, _entries=entries: _entries.get(key, MISSING)
                 )
+        if previous is not None and generation > previous:
+            # A refresh of an already-adopted pipeline: the hollow index
+            # bound at spawn may have rehydrated stale postings — rebuild
+            # it from the new snapshot's section, preserving identity.
+            self._refresh_index_from(snapshot)
+            self.profile.count("snapshot_refreshed")
+        self._adopted_generation = generation
         self.profile.count("snapshot_adopted")
         return True
+
+    def _refresh_index_from(self, snapshot) -> None:
+        """Replace the retriever's index with the snapshot's section."""
+        if self.retriever is None:
+            return
+        try:
+            blob = snapshot.section("index")
+        except (KeyError, RuntimeError):
+            return
+        import json as _json
+
+        from repro.retrieval.index import InvertedIndex
+        from repro.retrieval.mutable import MutableInvertedIndex
+
+        payload = _json.loads(blob.decode("utf-8"))
+        if payload.get("format") == "gced-mutable-index":
+            base = InvertedIndex.from_dict(payload["index"])
+            tombstones = payload.get("tombstones", ())
+            current = self.retriever.index
+            if isinstance(current, MutableInvertedIndex):
+                current.rebase(base, tombstones)
+            else:
+                self.retriever.index = MutableInvertedIndex(
+                    base, tombstones=tombstones
+                )
+        else:
+            self.retriever.index = InvertedIndex.from_dict(payload)
 
     def hydration_counts(self) -> dict[str, tuple[int, int]]:
         """Per-cache ``(hits, misses)`` of snapshot read-through traffic."""

@@ -196,6 +196,17 @@ class ParallelExecutor(Executor):
                     )
         return self._pool
 
+    def set_initargs(self, initargs: tuple) -> None:
+        """Replace the initializer arguments for *future* pool spawns.
+
+        Existing workers are untouched — callers refresh them in place
+        (e.g. by broadcasting an adopt task); this only ensures a later
+        :meth:`_respawn` re-initializes workers from current state (a
+        fresh snapshot handle) instead of the one captured at build time.
+        """
+        with self._pool_lock:
+            self._initargs = initargs
+
     def warmup(self, probe: Callable | None = None) -> WarmupReport:
         """Create the pool and run per-worker initializers eagerly.
 

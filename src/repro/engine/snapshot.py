@@ -117,6 +117,7 @@ class SnapshotHandle:
     shm_name: str | None = None
     inline: bytes | None = None
     meta: dict = field(default_factory=dict)
+    generation: int = 0
 
 
 class PipelineSnapshot:
@@ -135,6 +136,7 @@ class PipelineSnapshot:
         fingerprint: str = "",
         meta: dict | None = None,
         use_shared_memory: bool = True,
+        generation: int = 0,
     ) -> None:
         layout: list[tuple[str, int, int]] = []
         offset = 0
@@ -145,6 +147,10 @@ class PipelineSnapshot:
         self.fingerprint = fingerprint
         self.meta = dict(meta or {})
         self.nbytes = offset
+        # Monotonic refresh counter: a snapshot rebuilt over a changed
+        # data plane (e.g. post-compaction) carries a higher generation,
+        # letting live pools adopt it idempotently without a respawn.
+        self.generation = int(generation)
         self._owner = True
         self._closed = False
         self._shm = None
@@ -187,6 +193,7 @@ class PipelineSnapshot:
             shm_name=self.shm_name,
             inline=self._inline,
             meta=dict(self.meta),
+            generation=self.generation,
         )
 
     @classmethod
@@ -198,6 +205,7 @@ class PipelineSnapshot:
         snapshot.fingerprint = handle.fingerprint
         snapshot.meta = dict(handle.meta)
         snapshot.nbytes = handle.nbytes
+        snapshot.generation = handle.generation
         snapshot._owner = False
         snapshot._closed = False
         snapshot._shm = None

@@ -98,6 +98,21 @@ class CircuitBreaker:
         self._trial_inflight = False
         self.trips += 1
 
+    # ----------------------------------------------------------- pickling
+    def __getstate__(self) -> dict:
+        # Locks can't cross process boundaries, and an injected clock may
+        # be a closure; the worker-side copy gets fresh ones.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        state["clock"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+        if self.clock is None:
+            self.clock = time.monotonic
+
     # ------------------------------------------------------------- state
     @property
     def state(self) -> str:

@@ -356,8 +356,19 @@ class MetricsRegistry:
         name: str,
         help: str,
         buckets: Sequence[float] = DEFAULT_BUCKETS,
-    ) -> Histogram:
-        return self._register(name, "histogram", help, Histogram(buckets))
+        labelnames: Sequence[str] = (),
+    ):
+        """Register a histogram (a :class:`_Labelled` family if labelled).
+
+        Labelled children share ``buckets``, so every ``{route=...}``
+        series of one family stays merge- and render-compatible.
+        """
+        instrument = (
+            Histogram(buckets)
+            if not labelnames
+            else _Labelled(tuple(labelnames), lambda: Histogram(buckets))
+        )
+        return self._register(name, "histogram", help, instrument)
 
     def register_callback(
         self, fn: Callable[[], Iterable[MetricFamily]]
@@ -405,7 +416,7 @@ def _samples_of(instrument) -> list[Sample]:
     if isinstance(instrument, _Labelled):
         samples: list[Sample] = []
         for labels, child in instrument.items():
-            if isinstance(child, Histogram):  # pragma: no cover - unused shape
+            if isinstance(child, Histogram):
                 for sub in _histogram_samples(child):
                     samples.append(
                         Sample(sub.value, labels + sub.labels, sub.suffix)

@@ -17,15 +17,24 @@ from repro.retrieval.bm25 import (
     TfidfScorer,
     make_scorer,
 )
+from repro.retrieval.fleet import ShardFleet, ShardWorker
 from repro.retrieval.index import IndexShard, InvertedIndex, build_shard
+from repro.retrieval.ingest import IngestManager
+from repro.retrieval.mutable import MutableInvertedIndex
 from repro.retrieval.retriever import CorpusRetriever, RetrievedParagraph
 from repro.retrieval.store import (
     INDEX_FORMAT,
     INDEX_VERSION,
+    SEGMENT_VERSION,
+    Segment,
     index_to_json,
     load_index,
+    load_segment,
     save_index,
+    save_segment,
+    segment_to_json,
 )
+from repro.retrieval.wal import WalRecord, WriteAheadLog, replay_directory
 from repro.retrieval.weighting import (
     bm25_idf,
     bm25_tf,
@@ -41,10 +50,18 @@ __all__ = [
     "INDEX_FORMAT",
     "INDEX_VERSION",
     "IndexShard",
+    "IngestManager",
     "InvertedIndex",
+    "MutableInvertedIndex",
     "RankingScorer",
     "RetrievedParagraph",
+    "SEGMENT_VERSION",
+    "Segment",
+    "ShardFleet",
+    "ShardWorker",
     "TfidfScorer",
+    "WalRecord",
+    "WriteAheadLog",
     "bm25_idf",
     "bm25_tf",
     "build_shard",
@@ -52,8 +69,12 @@ __all__ = [
     "index_to_json",
     "load_index",
     "log_tf",
+    "load_segment",
     "make_scorer",
+    "replay_directory",
     "save_index",
+    "save_segment",
+    "segment_to_json",
     "smoothed_idf",
     "unseen_idf",
 ]

@@ -1,0 +1,366 @@
+"""Supervised shard fleet: scatter-gather retrieval over shard workers.
+
+The single-process retriever scores every shard inline; the fleet mode
+splits that work across one long-lived worker per shard — the serving
+topology the coordinator/worker layout of a real deployment would use —
+and adds the supervision the inline path cannot: per-shard heartbeats
+and health states, automatic restart of dead workers, one retry of a
+failed shard per search, and per-shard circuit breakers
+(:class:`~repro.faults.CircuitBreaker`) so a persistently failing shard
+is dropped from the scatter set instead of failing every request.
+
+**Determinism.**  Each worker scores its shard through a
+:class:`_ShardView` that exposes shard-local postings but *fleet-global*
+statistics (``n_docs`` / ``avg_doc_len`` / ``doc_freq``).  A document
+lives in exactly one shard, so its score is accumulated from the same
+term weights in the same sorted-term order as a whole-index
+``score_all`` — the merged scatter-gather ranking, ordered by
+``(-score, doc_id)``, is byte-identical to the inline ranking.  When a
+shard is dropped (breaker open, retry exhausted), the result is the
+deterministic ranking over the surviving shards' documents — degraded
+recall, never an error.
+
+The ``shard.search`` fault site sits in the worker scoring path so
+chaos tests can fail a specific shard deterministically.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Callable
+
+from repro.faults import CircuitBreaker, fault_point
+from repro.obs.logs import get_logger
+from repro.obs.trace import span as obs_span
+from repro.retrieval.bm25 import BM25Scorer, RankingScorer
+from repro.retrieval.index import Posting
+
+__all__ = ["ShardFleet", "ShardWorker"]
+
+_log = get_logger("fleet")
+
+HEALTHY = "healthy"
+SUSPECT = "suspect"
+DOWN = "down"
+
+
+class _ShardView:
+    """One shard's postings behind fleet-global corpus statistics."""
+
+    def __init__(self, index, shard_id: int) -> None:
+        self._index = index
+        self._shard_id = shard_id
+        self._n_shards = (
+            index.n_shards
+            if hasattr(index, "n_shards")
+            else len(index.shards)
+        )
+
+    @property
+    def n_docs(self) -> int:
+        return self._index.n_docs
+
+    @property
+    def avg_doc_len(self) -> float:
+        return self._index.avg_doc_len
+
+    def doc_freq(self, term: str) -> int:
+        return self._index.doc_freq(term)
+
+    def doc_length(self, doc_id: int) -> int:
+        return self._index.doc_length(doc_id)
+
+    def postings(self, term: str) -> tuple[Posting, ...]:
+        return tuple(
+            posting
+            for posting in self._index.postings(term)
+            if posting[0] % self._n_shards == self._shard_id
+        )
+
+
+class _SearchJob:
+    """One scatter unit: a query handed to a worker, awaited by the
+    coordinator."""
+
+    __slots__ = ("query", "event", "scores", "error")
+
+    def __init__(self, query: str) -> None:
+        self.query = query
+        self.event = threading.Event()
+        self.scores: dict[int, float] | None = None
+        self.error: BaseException | None = None
+
+    def wait(self, timeout: float) -> bool:
+        return self.event.wait(timeout)
+
+
+_STOP = object()
+
+
+class ShardWorker:
+    """A restartable scoring thread bound to one shard.
+
+    The thread drains a job queue and stamps a heartbeat every loop
+    iteration (busy or idle), so the supervisor can tell a stalled
+    worker (``suspect``: stale heartbeat) from a dead one (``down``:
+    thread exited).  :meth:`restart` replaces the thread; queued jobs
+    survive the swap because the queue outlives the thread.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        view: _ShardView,
+        scorer: RankingScorer,
+        clock: Callable[[], float] = time.monotonic,
+        heartbeat_timeout_s: float = 2.0,
+        idle_tick_s: float = 0.05,
+    ) -> None:
+        self.shard_id = shard_id
+        self.view = view
+        self.scorer = scorer
+        self.clock = clock
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.idle_tick_s = idle_tick_s
+        self.restarts = 0
+        self.jobs_done = 0
+        self.jobs_failed = 0
+        self._queue: queue.Queue = queue.Queue()
+        self._thread: threading.Thread | None = None
+        self._closed = False
+        self._last_beat = clock()
+        self.start()
+
+    # ----------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        self._last_beat = self.clock()
+        self._thread = threading.Thread(
+            target=self._run,
+            name=f"shard-worker-{self.shard_id}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def restart(self) -> None:
+        """Replace the worker thread (after a crash or stall)."""
+        self.restarts += 1
+        self.start()
+
+    def close(self) -> None:
+        self._closed = True
+        self._queue.put(_STOP)
+        if self._thread is not None:
+            self._thread.join(timeout=1.0)
+
+    def _run(self) -> None:
+        while True:
+            self._last_beat = self.clock()
+            try:
+                job = self._queue.get(timeout=self.idle_tick_s)
+            except queue.Empty:
+                continue
+            if job is _STOP:
+                return
+            try:
+                fault_point(
+                    "shard.search", detail=f"{self.shard_id}:{job.query}"
+                )
+                job.scores = self.scorer.score_all(self.view, job.query)
+                self.jobs_done += 1
+            except BaseException as exc:  # surfaced to the coordinator
+                job.error = exc
+                self.jobs_failed += 1
+            finally:
+                job.event.set()
+
+    # ---------------------------------------------------------- health
+    def submit(self, query: str) -> _SearchJob:
+        job = _SearchJob(query)
+        self._queue.put(job)
+        return job
+
+    @property
+    def alive(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def health(self) -> str:
+        if self._closed or not self.alive:
+            return DOWN
+        if self.clock() - self._last_beat > self.heartbeat_timeout_s:
+            return SUSPECT
+        return HEALTHY
+
+
+class ShardFleet:
+    """Scatter-gather coordinator over one :class:`ShardWorker` per shard.
+
+    Args:
+        index: the shared index (mutable or immutable) — workers read it
+            in place, so live ingest is visible to the fleet immediately.
+        scorer: ranking scorer (shared; scorers are stateless).
+        search_timeout_s: per-shard gather deadline before the retry.
+        heartbeat_timeout_s: heartbeat staleness that marks ``suspect``.
+        clock: injectable monotonic clock (tests freeze it).
+        breaker_failures / breaker_reset_s: per-shard breaker tuning.
+    """
+
+    def __init__(
+        self,
+        index,
+        scorer: RankingScorer | None = None,
+        search_timeout_s: float = 5.0,
+        heartbeat_timeout_s: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+        breaker_failures: int = 3,
+        breaker_reset_s: float = 30.0,
+    ) -> None:
+        self.index = index
+        self.scorer = scorer or BM25Scorer()
+        self.search_timeout_s = search_timeout_s
+        self._lock = threading.Lock()
+        self._searches = 0
+        self._degraded_searches = 0
+        self._retries = 0
+        n_shards = (
+            index.n_shards
+            if hasattr(index, "n_shards")
+            else len(index.shards)
+        )
+        self.workers = [
+            ShardWorker(
+                shard_id,
+                _ShardView(index, shard_id),
+                self.scorer,
+                clock=clock,
+                heartbeat_timeout_s=heartbeat_timeout_s,
+            )
+            for shard_id in range(n_shards)
+        ]
+        self.breakers = [
+            CircuitBreaker(
+                name=f"shard-{shard_id}",
+                failure_threshold=breaker_failures,
+                reset_after_s=breaker_reset_s,
+            )
+            for shard_id in range(n_shards)
+        ]
+
+    # ------------------------------------------------------------ serving
+    def supervise(self) -> None:
+        """Restart dead workers (called before every scatter)."""
+        for worker in self.workers:
+            if not worker.alive and not worker._closed:
+                _log.warning(
+                    "shard worker dead; restarting", shard=worker.shard_id
+                )
+                worker.restart()
+
+    def search(self, query: str, k: int) -> list[tuple[int, float]]:
+        """Top-k ``(doc_id, score)`` via scatter-gather, best first.
+
+        A failed or timed-out shard is retried once on a restarted
+        worker; a shard that fails the retry (or whose breaker is open)
+        is dropped from the merge — its breaker records the failure, so
+        repeated trouble opens the circuit and later searches skip the
+        scatter entirely until the reset window.
+        """
+        with obs_span("fleet.search", k=k) as search_span:
+            self.supervise()
+            jobs: list[tuple[int, _SearchJob]] = []
+            skipped = 0
+            for worker, breaker in zip(self.workers, self.breakers):
+                if not breaker.allow():
+                    skipped += 1
+                    continue
+                jobs.append((worker.shard_id, worker.submit(query)))
+            merged: dict[int, float] = {}
+            failed = 0
+            for shard_id, job in jobs:
+                scores = self._gather(shard_id, job, query)
+                if scores is None:
+                    failed += 1
+                    continue
+                merged.update(scores)
+            degraded = bool(skipped or failed)
+            with self._lock:
+                self._searches += 1
+                if degraded:
+                    self._degraded_searches += 1
+            search_span.tag(
+                shards=len(jobs), skipped=skipped, failed=failed
+            )
+        ranked = sorted(merged.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[:k]
+
+    def _gather(
+        self, shard_id: int, job: _SearchJob, query: str
+    ) -> dict[int, float] | None:
+        """Await one shard, retrying once on a restarted worker."""
+        worker = self.workers[shard_id]
+        breaker = self.breakers[shard_id]
+        if job.wait(self.search_timeout_s) and job.error is None:
+            breaker.record_success()
+            return job.scores
+        with self._lock:
+            self._retries += 1
+        _log.warning(
+            "shard search failed; retrying once",
+            shard=shard_id,
+            error=repr(job.error) if job.error else "timeout",
+        )
+        if not worker.alive:
+            worker.restart()
+        retry = worker.submit(query)
+        if retry.wait(self.search_timeout_s) and retry.error is None:
+            breaker.record_success()
+            return retry.scores
+        breaker.record_failure()
+        _log.warning(
+            "shard retry failed; degrading to surviving shards",
+            shard=shard_id,
+            breaker=breaker.state,
+        )
+        return None
+
+    # ------------------------------------------------------------- health
+    @property
+    def degraded(self) -> bool:
+        return any(breaker.degraded for breaker in self.breakers)
+
+    def health(self) -> dict:
+        """Per-shard health/restart/breaker view for ``/stats``."""
+        return {
+            "n_shards": len(self.workers),
+            "workers": [
+                {
+                    "shard_id": worker.shard_id,
+                    "state": worker.health(),
+                    "restarts": worker.restarts,
+                    "jobs_done": worker.jobs_done,
+                    "jobs_failed": worker.jobs_failed,
+                    "breaker": breaker.state,
+                }
+                for worker, breaker in zip(self.workers, self.breakers)
+            ],
+        }
+
+    def stats(self) -> dict:
+        with self._lock:
+            counters = {
+                "searches": self._searches,
+                "degraded_searches": self._degraded_searches,
+                "retries": self._retries,
+            }
+        return {**counters, **self.health()}
+
+    def close(self) -> None:
+        for worker in self.workers:
+            worker.close()
+
+    def __enter__(self) -> "ShardFleet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

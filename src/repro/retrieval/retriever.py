@@ -115,6 +115,7 @@ class CorpusRetriever:
     ) -> None:
         self.index = index
         self.scorer = scorer or BM25Scorer()
+        self.fleet = None
         self.breaker = CircuitBreaker(
             name="retrieval",
             failure_threshold=breaker_failures,
@@ -123,6 +124,39 @@ class CorpusRetriever:
         self._reduced: _ReducedIndexView | None = None
         self._stats_lock = threading.Lock()
         self._degraded_searches = 0
+
+    # ----------------------------------------------------------- pickling
+    def __getstate__(self) -> dict:
+        # A retriever crosses process boundaries inside the pipeline
+        # snapshot payload.  Locks, fleets (threads), and cached views
+        # stay behind; the worker side searches inline over its
+        # snapshot-hydrated index.
+        state = self.__dict__.copy()
+        del state["_stats_lock"]
+        state["fleet"] = None
+        state["_reduced"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._stats_lock = threading.Lock()
+
+    @property
+    def n_shards(self) -> int:
+        """Shard count without materializing a mutable index's overlay."""
+        index = self.index
+        if hasattr(index, "n_shards"):
+            return index.n_shards
+        return len(index.shards)
+
+    def attach_fleet(self, fleet) -> None:
+        """Route searches through a :class:`~repro.retrieval.fleet.ShardFleet`.
+
+        The fleet and the inline scorer rank identically (see the fleet
+        module docstring); the retrieval breaker and reduced-shard
+        fallback wrap the fleet exactly as they wrap inline search.
+        """
+        self.fleet = fleet
 
     # ------------------------------------------------------------ building
     @classmethod
@@ -175,7 +209,10 @@ class CorpusRetriever:
             else:
                 try:
                     fault_point("retrieval.search", detail=query)
-                    hits = self.scorer.top_k(self.index, query, k)
+                    if self.fleet is not None:
+                        hits = self.fleet.search(query, k)
+                    else:
+                        hits = self.scorer.top_k(self.index, query, k)
                 except Exception:
                     self.breaker.record_failure()
                     _log.warning(
@@ -200,14 +237,22 @@ class CorpusRetriever:
         ]
 
     def _search_reduced(self, query: str, k: int) -> list[tuple[int, float]]:
-        """Rank over the first half of the shards (the degraded path)."""
-        if self._reduced is None:
-            self._reduced = _ReducedIndexView(
-                self.index, max(1, len(self.index.shards) // 2)
-            )
+        """Rank over the first half of the shards (the degraded path).
+
+        The view is cached only for immutable indexes — a mutable index
+        changes under live ingest, so its degraded view is rebuilt per
+        search from the materialized overlay.
+        """
+        n_keep = max(1, self.n_shards // 2)
+        if isinstance(self.index, InvertedIndex):
+            if self._reduced is None:
+                self._reduced = _ReducedIndexView(self.index, n_keep)
+            reduced = self._reduced
+        else:
+            reduced = _ReducedIndexView(self.index, n_keep)
         with self._stats_lock:
             self._degraded_searches += 1
-        return self.scorer.top_k(self._reduced, query, k)
+        return self.scorer.top_k(reduced, query, k)
 
     @property
     def degraded(self) -> bool:
@@ -221,8 +266,8 @@ class CorpusRetriever:
         return {
             "degraded": self.degraded,
             "degraded_searches": degraded_searches,
-            "reduced_shards": max(1, len(self.index.shards) // 2),
-            "n_shards": len(self.index.shards),
+            "reduced_shards": max(1, self.n_shards // 2),
+            "n_shards": self.n_shards,
             "breaker": self.breaker.stats(),
         }
 

@@ -184,11 +184,14 @@ class ServiceClient:
         payload: dict | None = None,
         raw: bool = False,
         deadline_ms: float | None = None,
+        method: str | None = None,
     ):
         attempt = 0
         while True:
             try:
-                return self._request_once(path, payload, raw, deadline_ms)
+                return self._request_once(
+                    path, payload, raw, deadline_ms, method
+                )
             except ServiceError as exc:
                 policy = self.retry
                 if (
@@ -212,6 +215,7 @@ class ServiceClient:
         payload: dict | None,
         raw: bool,
         deadline_ms: float | None,
+        method: str | None = None,
     ):
         url = f"{self.base_url}{path}"
         data = None
@@ -226,7 +230,9 @@ class ServiceClient:
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(url, data=data, headers=headers)
+        request = urllib.request.Request(
+            url, data=data, headers=headers, method=method
+        )
         trace_id = None
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as resp:
@@ -339,6 +345,20 @@ class ServiceClient:
         if cursor is not None:
             payload["cursor"] = cursor
         return self._request("/ask", payload, deadline_ms=deadline_ms)
+
+    def ingest(self, texts: list[str]) -> dict:
+        """Durably append paragraphs to the live corpus.
+
+        Returns ``{"doc_ids": [...], "live_docs": n, "generation": g}``;
+        the writes are WAL-fsynced server-side before this returns.
+        Raises :class:`ServiceError` with ``status == 503`` when the
+        service runs without an ingest directory.
+        """
+        return self._request("/ingest", {"texts": texts})
+
+    def delete_doc(self, doc_id: int) -> dict:
+        """Tombstone one document by id (``status == 404`` if not live)."""
+        return self._request(f"/docs/{int(doc_id)}", method="DELETE")
 
     def ask_pages(
         self,

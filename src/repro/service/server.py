@@ -19,6 +19,12 @@ Endpoints:
   responds with candidates ranked by hybrid evidence score.  Add
   ``"page_size"`` for a paged response, and follow its ``next_cursor``
   with ``{"cursor": ...}`` bodies for the remaining pages.
+* ``POST /ingest`` — body ``{"texts": [...]}``; durably appends
+  paragraphs to the live corpus (WAL-fsynced before the 200) and
+  responds with the assigned ``doc_ids``.  ``503`` when the service was
+  started without an ingest directory.
+* ``DELETE /docs/<doc_id>`` — tombstones one document (WAL-durable);
+  ``404`` for an unknown or already-deleted id.
 * ``GET /healthz`` — liveness probe.
 * ``GET /stats`` — per-stage timings, queue/admission counters, cache
   hit rates (see ``docs/operations.md`` for the field reference).
@@ -90,6 +96,8 @@ ROUTES: dict[str, tuple[str, ...]] = {
     "/distill": ("POST",),
     "/batch": ("POST",),
     "/ask": ("POST",),
+    "/ingest": ("POST",),
+    "/docs": ("DELETE",),
     "/healthz": ("GET",),
     "/stats": ("GET",),
     "/metrics": ("GET",),
@@ -98,7 +106,7 @@ ROUTES: dict[str, tuple[str, ...]] = {
 
 # Serving routes get request traces; observability/health probes do not
 # (tracing a metrics scrape would pollute the slow-trace ring).
-_TRACED_ROUTES = frozenset(("/distill", "/batch", "/ask"))
+_TRACED_ROUTES = frozenset(("/distill", "/batch", "/ask", "/ingest", "/docs"))
 
 _PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
@@ -141,6 +149,20 @@ class _DistillHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         self._dispatch("POST")
 
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("DELETE")
+
+    @staticmethod
+    def _route_key(path: str) -> str:
+        """Collapse parameterized paths to their route for labelling.
+
+        ``/docs/17`` traces and counts as ``/docs`` — metric labels must
+        stay low-cardinality no matter how many documents exist.
+        """
+        if path == "/docs" or path.startswith("/docs/"):
+            return "/docs"
+        return path
+
     def _dispatch(self, method: str) -> None:
         """Route one request under telemetry: trace, metrics, access log.
 
@@ -151,16 +173,17 @@ class _DistillHandler(BaseHTTPRequestHandler):
         """
         started = time.perf_counter()
         path = urlsplit(self.path).path
+        route_key = self._route_key(path)
         self._status = 0
         self._shed_reason: str | None = None
         self._trace_id: str | None = None
         telemetry = getattr(self.service, "telemetry", None)
         handle = None
-        if telemetry is not None and path in _TRACED_ROUTES:
+        if telemetry is not None and route_key in _TRACED_ROUTES:
             handle = telemetry.maybe_trace(
                 "http.request",
                 trace_id=self.headers.get("X-Trace-Id") or None,
-                route=path,
+                route=route_key,
                 method=method,
             )
         if handle is not None:
@@ -172,7 +195,7 @@ class _DistillHandler(BaseHTTPRequestHandler):
         elapsed = time.perf_counter() - started
         if telemetry is not None:
             telemetry.observe_request(
-                route=path if path in ROUTES else "unknown",
+                route=route_key if route_key in ROUTES else "unknown",
                 status=self._status,
                 seconds=elapsed,
                 shed_reason=self._shed_reason,
@@ -205,6 +228,8 @@ class _DistillHandler(BaseHTTPRequestHandler):
             return
         if method == "GET":
             self._route_get(path)
+        elif method == "DELETE":
+            self._route_delete(path)
         else:
             self._route_post(path)
 
@@ -226,23 +251,44 @@ class _DistillHandler(BaseHTTPRequestHandler):
             )
         elif path == "/debug/traces":
             self._send_json(200, self.service.telemetry.slow_ring.snapshot())
-        elif path in ROUTES:
-            self._send_method_not_allowed(path)
+        elif self._route_key(path) in ROUTES:
+            self._send_method_not_allowed(self._route_key(path))
         else:
             self._send_json(404, {"error": f"unknown path {path!r}"})
+
+    def _route_delete(self, path: str) -> None:
+        if self._route_key(path) != "/docs":
+            if path in ROUTES:
+                self._send_method_not_allowed(path)
+            else:
+                self._send_json(404, {"error": f"unknown path {path!r}"})
+            return
+        raw_id = path[len("/docs/"):] if path.startswith("/docs/") else ""
+        try:
+            doc_id = int(raw_id)
+        except ValueError:
+            self._send_json(
+                400, {"error": "DELETE /docs/<doc_id> needs an integer id"}
+            )
+            return
+        self._deadline_ms = None
+        self._invoke(
+            lambda: self._handle_delete_doc(doc_id), where=f"DELETE {path}"
+        )
 
     def _route_post(self, path: str) -> None:
         handler = {
             "/distill": self._handle_distill,
             "/batch": self._handle_batch,
             "/ask": self._handle_ask,
+            "/ingest": self._handle_ingest,
         }.get(path)
         if handler is None:
             # Routing is decided before the body is read, so the
             # keep-alive stream would desync — drop the connection.
             self.close_connection = True
-            if path in ROUTES:
-                self._send_method_not_allowed(path)
+            if self._route_key(path) in ROUTES:
+                self._send_method_not_allowed(self._route_key(path))
             else:
                 self._send_json(404, {"error": f"unknown path {path!r}"})
             return
@@ -254,8 +300,12 @@ class _DistillHandler(BaseHTTPRequestHandler):
         except ValueError as exc:
             self._send_json(400, {"error": str(exc)})
             return
+        self._invoke(lambda: handler(payload), where=f"POST {path}")
+
+    def _invoke(self, call, where: str) -> None:
+        """Run a route handler under the shared error → status mapping."""
         try:
-            handler(payload)
+            call()
         except ShedError as exc:
             # Load shed: tell the client when to come back.  Retry-After
             # is whole seconds per RFC 9110; the body keeps the float.
@@ -289,7 +339,7 @@ class _DistillHandler(BaseHTTPRequestHandler):
             # Invalid inputs (e.g. empty context) are the client's fault.
             self._send_json(400, {"error": str(exc)})
         except Exception as exc:  # pragma: no cover - defensive
-            self._send_server_error(exc, where=f"POST {path}")
+            self._send_server_error(exc, where=where)
 
     def _send_server_error(self, exc: Exception, where: str) -> None:
         """Answer 500 with a structured, stack-carrying error log."""
@@ -439,6 +489,50 @@ class _DistillHandler(BaseHTTPRequestHandler):
             raise
         except RuntimeError as exc:
             # No retriever attached: the endpoint is unavailable, not broken.
+            self._send_json(503, {"error": str(exc)})
+            return
+        self._send_json(200, response)
+
+    def _handle_ingest(self, payload: dict) -> None:
+        """``POST /ingest``: durable live-corpus appends.
+
+        200 with the assigned doc ids once the WAL is fsynced; 400 on a
+        malformed batch; 503 without an ingest plane; 429 when shed.
+        """
+        texts = payload.get("texts")
+        if (
+            not isinstance(texts, list)
+            or not texts
+            or not all(isinstance(text, str) for text in texts)
+        ):
+            self._send_json(
+                400, {"error": "'texts' must be a non-empty list of strings"}
+            )
+            return
+        try:
+            response = self.service.ingest_dicts(
+                texts, client_id=self.client_id
+            )
+        except ShedError:
+            raise
+        except RuntimeError as exc:
+            # No ingest plane configured: unavailable, not broken.
+            self._send_json(503, {"error": str(exc)})
+            return
+        self._send_json(200, response)
+
+    def _handle_delete_doc(self, doc_id: int) -> None:
+        """``DELETE /docs/<id>``: WAL-durable tombstone; 404 unknown id."""
+        try:
+            response = self.service.delete_doc_dict(
+                doc_id, client_id=self.client_id
+            )
+        except ShedError:
+            raise
+        except KeyError:
+            self._send_json(404, {"error": f"no live document {doc_id}"})
+            return
+        except RuntimeError as exc:
             self._send_json(503, {"error": str(exc)})
             return
         self._send_json(200, response)

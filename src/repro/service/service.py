@@ -40,6 +40,8 @@ from repro.core.pipeline import GCED, DistillationResult
 from repro.core.serialize import result_to_dict
 from repro.faults import installed as faults_installed
 from repro.obs.trace import span as obs_span
+from repro.retrieval.fleet import ShardFleet
+from repro.retrieval.ingest import IngestManager
 from repro.retrieval.retriever import CorpusRetriever
 from repro.service.admission import (
     AdmissionController,
@@ -80,6 +82,13 @@ class ServiceConfig:
             and retrieval circuit breakers open (degraded mode).
         breaker_reset_s: cooldown before an open breaker admits a
             half-open trial call.
+        ingest_dir: durable live-ingest directory (WAL + segment).  Empty
+            disables the write path (``POST /ingest`` answers 503).
+        compact_every: fold the WAL into a fresh segment after this many
+            applied operations (``0`` = only explicit compaction).
+        fleet: serve searches through a supervised per-shard worker
+            fleet (scatter-gather with restart + degrade-to-survivors)
+            instead of inline scoring.
     """
 
     dataset: str = "squad11"
@@ -100,6 +109,9 @@ class ServiceConfig:
     slow_trace_ms: float = 250.0
     breaker_failures: int = 3
     breaker_reset_s: float = 30.0
+    ingest_dir: str = ""
+    compact_every: int = 0
+    fleet: bool = False
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -138,6 +150,9 @@ class DistillService:
         slow_trace_ms: float = 250.0,
         breaker_failures: int = 3,
         breaker_reset_s: float = 30.0,
+        ingest_dir: str = "",
+        compact_every: int = 0,
+        fleet: bool = False,
     ) -> None:
         self.gced = gced
         self.corpus_info = corpus_info
@@ -163,10 +178,29 @@ class DistillService:
             slow_trace_ms=slow_trace_ms,
             breaker_failures=breaker_failures,
             breaker_reset_s=breaker_reset_s,
+            ingest_dir=ingest_dir,
+            compact_every=compact_every,
+            fleet=fleet,
         )
         self.admission = AdmissionController(
             rate=self.config.client_rate, burst=self.config.client_burst
         )
+        # Durable write path.  Wired *before* the distiller so the
+        # pipeline snapshot (built at distiller construction for process
+        # backends) already carries the mutable, WAL-recovered index.
+        self.ingest: IngestManager | None = None
+        if self.config.ingest_dir and self.retriever is not None:
+            self.ingest = IngestManager.open(
+                self.config.ingest_dir,
+                seed_index=self.retriever.index,
+                compact_every=self.config.compact_every,
+                on_compact=self._on_compact,
+            )
+            self.retriever.index = self.ingest.index
+        if self.retriever is not None and gced.retriever is None:
+            # Ship the index through the pipeline-snapshot plane so
+            # post-compaction refreshes re-hydrate pool workers in place.
+            gced.retriever = self.retriever
         self.distiller = BatchDistiller(
             gced,
             cache_size=cache_size,
@@ -182,6 +216,18 @@ class DistillService:
                 self.config.breaker_failures
             )
             self.retriever.breaker.reset_after_s = self.config.breaker_reset_s
+        # Supervised shard fleet (opt-in).  Wraps the index *after* the
+        # ingest plane swapped in its mutable wrapper; compaction rebases
+        # that wrapper in place, so the fleet's reference stays live.
+        self.fleet: ShardFleet | None = None
+        if self.config.fleet and self.retriever is not None:
+            self.fleet = ShardFleet(
+                self.retriever.index,
+                scorer=self.retriever.scorer,
+                breaker_failures=self.config.breaker_failures,
+                breaker_reset_s=self.config.breaker_reset_s,
+            )
+            self.retriever.attach_fleet(self.fleet)
         self.scheduler = MicroBatchScheduler(
             self.distiller,
             max_batch_size=self.config.max_batch_size,
@@ -276,6 +322,9 @@ class DistillService:
                     "slow_trace_ms",
                     "breaker_failures",
                     "breaker_reset_s",
+                    "ingest_dir",
+                    "compact_every",
+                    "fleet",
                 )
                 if key in kwargs
             },
@@ -574,6 +623,72 @@ class DistillService:
                 results.append(result_to_dict(outcome, question, answer))
         return self._mark_degraded({"results": results, "errors": errors})
 
+    # ------------------------------------------------------- live corpus
+    def _on_compact(self, generation: int) -> None:
+        """Post-compaction hook: push the fresh corpus to pool workers.
+
+        ``refresh_snapshot`` rebuilds the pipeline snapshot at a bumped
+        generation and broadcasts it to the *existing* worker pool (no
+        respawn); callers without a process pool get a cheap no-op.
+        Exceptions are swallowed by the ingest manager — a failed refresh
+        never rolls back a committed compaction.
+        """
+        self.distiller.refresh_snapshot()
+
+    def ingest_dicts(
+        self, texts: Sequence[str], client_id: str | None = None
+    ) -> dict:
+        """Durably add paragraphs to the live corpus (``POST /ingest``).
+
+        The documents are WAL-appended and fsynced before they are
+        applied to the in-memory index — once this returns, the writes
+        survive a crash at any point.  Charged at ``len(texts)`` tokens.
+
+        Raises:
+            RuntimeError: the service was started without ``ingest_dir``.
+            ValueError: empty batch or blank/non-string document.
+            RateLimitedError: ``client_id``'s token bucket is empty.
+        """
+        if self.ingest is None:
+            raise RuntimeError(
+                "service has no ingest plane; start with ingest_dir"
+            )
+        cost = float(len(texts)) or 1.0
+        with obs_span("admission.admit", cost=cost):
+            self.admission.admit(client_id, cost=cost)
+        doc_ids = self.ingest.add_documents(list(texts))
+        return self._mark_degraded(
+            {
+                "doc_ids": doc_ids,
+                "live_docs": self.ingest.index.n_docs,
+                "generation": self.ingest.generation,
+            }
+        )
+
+    def delete_doc_dict(
+        self, doc_id: int, client_id: str | None = None
+    ) -> dict:
+        """Tombstone one document (``DELETE /docs/<id>``).
+
+        The delete is WAL-durable before it takes effect; the doc id is
+        never reused.  Raises :class:`KeyError` for an unknown or
+        already-deleted id (the HTTP front end maps it to 404).
+        """
+        if self.ingest is None:
+            raise RuntimeError(
+                "service has no ingest plane; start with ingest_dir"
+            )
+        with obs_span("admission.admit", cost=1.0):
+            self.admission.admit(client_id, cost=1.0)
+        self.ingest.delete_document(int(doc_id))
+        return self._mark_degraded(
+            {
+                "deleted": int(doc_id),
+                "live_docs": self.ingest.index.n_docs,
+                "generation": self.ingest.generation,
+            }
+        )
+
     # ------------------------------------------------------ observability
     @property
     def uptime_seconds(self) -> float:
@@ -585,6 +700,8 @@ class DistillService:
         is still answering, but from a reduced path (serial coordinator
         execution and/or reduced-shard retrieval)."""
         if self.distiller.degraded:
+            return True
+        if self.fleet is not None and self.fleet.degraded:
             return True
         return self.retriever is not None and self.retriever.degraded
 
@@ -625,6 +742,9 @@ class DistillService:
                     self.retriever.breaker.state
                     if self.retriever is not None
                     else None
+                ),
+                "fleet_degraded": (
+                    self.fleet.degraded if self.fleet is not None else None
                 ),
             },
         }
@@ -669,7 +789,7 @@ class DistillService:
                     {
                         "docs": self.retriever.index.n_docs,
                         "terms": self.retriever.index.n_terms,
-                        "shards": len(self.retriever.index.shards),
+                        "shards": self.retriever.n_shards,
                         "scorer": self.retriever.scorer.name,
                         "top_k": self.top_k,
                     }
@@ -700,6 +820,14 @@ class DistillService:
             # snapshot-spawned process workers): build cost, segment
             # size, per-worker load times, and hydration hit rate.
             "snapshot": self.distiller.snapshot_info(),
+            # Durable live-corpus plane (None without ingest_dir): WAL
+            # bytes, tombstones, compaction generation, replay counters.
+            "ingest": (
+                self.ingest.stats() if self.ingest is not None else None
+            ),
+            # Supervised shard-fleet plane (None unless fleet serving is
+            # on): per-worker health, restarts, and breaker states.
+            "fleet": self.fleet.stats() if self.fleet is not None else None,
             "batch": {
                 "n_distilled": batch_stats.n_distilled,
                 "n_cache_hits": batch_stats.n_cache_hits,
@@ -719,6 +847,10 @@ class DistillService:
         requests, then stop the executor pool.  Idempotent."""
         self.scheduler.close(drain=drain)
         self.distiller.close()
+        if self.fleet is not None:
+            self.fleet.close()
+        if self.ingest is not None:
+            self.ingest.close()
 
     def __enter__(self) -> "DistillService":
         return self

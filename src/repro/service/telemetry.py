@@ -69,6 +69,11 @@ class ServiceTelemetry:
             f"{_PREFIX}_http_request_duration_seconds",
             "Wall-clock HTTP request latency",
         )
+        self.http_route_latency = registry.histogram(
+            f"{_PREFIX}_http_request_seconds",
+            "Wall-clock HTTP request latency, by route",
+            labelnames=("route",),
+        )
         self.http_shed = registry.counter(
             f"{_PREFIX}_http_shed_total",
             "Requests shed by admission control, by reason",
@@ -124,6 +129,7 @@ class ServiceTelemetry:
         """Record one finished HTTP request."""
         self.http_requests.labels(route=route, status=str(status)).inc()
         self.http_latency.observe(seconds)
+        self.http_route_latency.labels(route=route).observe(seconds)
         if shed_reason is not None:
             self.http_shed.labels(reason=shed_reason).inc()
 
@@ -375,6 +381,111 @@ class ServiceTelemetry:
                         samples=fault_samples,
                     )
                 )
+        # Durable live-corpus plane: document/tombstone counts, WAL size,
+        # compaction generation, and crash-recovery replay counters.
+        ingest = getattr(service, "ingest", None)
+        if ingest is not None:
+            ingest_stats = ingest.stats()
+            families.extend(
+                [
+                    counter_family(
+                        f"{_PREFIX}_ingest_docs_total",
+                        "Live-corpus operations applied, by operation",
+                        samples=[
+                            Sample(
+                                ingest_stats["docs_added"], (("op", "add"),)
+                            ),
+                            Sample(
+                                ingest_stats["docs_deleted"],
+                                (("op", "delete"),),
+                            ),
+                        ],
+                    ),
+                    gauge_family(
+                        f"{_PREFIX}_ingest_live_docs",
+                        "Documents currently live (added minus tombstoned)",
+                        ingest_stats["live_docs"],
+                    ),
+                    gauge_family(
+                        f"{_PREFIX}_ingest_tombstones",
+                        "Deleted doc ids awaiting compaction",
+                        ingest_stats["tombstones"],
+                    ),
+                    gauge_family(
+                        f"{_PREFIX}_ingest_wal_bytes",
+                        "Bytes in the per-shard write-ahead logs",
+                        ingest_stats["wal_bytes"],
+                    ),
+                    gauge_family(
+                        f"{_PREFIX}_ingest_generation",
+                        "Compaction generation of the active segment",
+                        ingest_stats["generation"],
+                    ),
+                    counter_family(
+                        f"{_PREFIX}_ingest_compactions_total",
+                        "WAL-into-segment compactions completed",
+                        ingest_stats["compactions"],
+                    ),
+                    counter_family(
+                        f"{_PREFIX}_ingest_replayed_records_total",
+                        "WAL records re-applied during crash recovery",
+                        ingest_stats["replayed_records"],
+                    ),
+                    counter_family(
+                        f"{_PREFIX}_ingest_torn_bytes_total",
+                        "Torn-tail bytes truncated from WALs on recovery",
+                        ingest_stats["torn_bytes"],
+                    ),
+                ]
+            )
+        # Supervised shard-fleet plane: per-shard health/restarts plus
+        # scatter-gather search counters.
+        fleet = getattr(service, "fleet", None)
+        if fleet is not None:
+            fleet_stats = fleet.stats()
+            state_codes = {"healthy": 0, "suspect": 1, "down": 2}
+            workers = fleet_stats["workers"]
+            families.extend(
+                [
+                    gauge_family(
+                        f"{_PREFIX}_shard_state",
+                        "Shard worker health (0 healthy, 1 suspect, 2 down)",
+                        samples=[
+                            Sample(
+                                state_codes.get(worker["state"], 2),
+                                (("shard", str(worker["shard_id"])),),
+                            )
+                            for worker in workers
+                        ],
+                    ),
+                    counter_family(
+                        f"{_PREFIX}_shard_restarts_total",
+                        "Shard worker restarts by the supervisor",
+                        samples=[
+                            Sample(
+                                worker["restarts"],
+                                (("shard", str(worker["shard_id"])),),
+                            )
+                            for worker in workers
+                        ],
+                    ),
+                    counter_family(
+                        f"{_PREFIX}_shard_searches_total",
+                        "Scatter-gather searches served by the fleet",
+                        fleet_stats["searches"],
+                    ),
+                    counter_family(
+                        f"{_PREFIX}_shard_retries_total",
+                        "Shard searches retried after a worker restart",
+                        fleet_stats["retries"],
+                    ),
+                    counter_family(
+                        f"{_PREFIX}_shard_degraded_searches_total",
+                        "Fleet searches answered without every shard",
+                        fleet_stats["degraded_searches"],
+                    ),
+                ]
+            )
         snapshot = service.distiller.snapshot_info()
         if snapshot is not None:
             families.append(

@@ -419,3 +419,106 @@ class TestCompilerHydration:
         assert hydrated == baseline
         assert fresh.cache.loader_hits == 1
         assert len(fresh.cache) == 1
+
+
+# ----------------------------------------------------- snapshot generations
+
+
+class TestSnapshotGeneration:
+    def test_handle_carries_generation(self):
+        snap = PipelineSnapshot(
+            {"x": b"1"}, use_shared_memory=False, generation=3
+        )
+        attached = PipelineSnapshot.attach(snap.handle)
+        assert attached.generation == 3
+        snap.close(unlink=True)
+
+    def test_pipeline_snapshot_refresh_bumps_generation(self, artifacts):
+        gced = GCED(qa_model=artifacts.reader, artifacts=artifacts)
+        first = gced.pipeline_snapshot()
+        try:
+            assert first.generation == 0
+            second = gced.pipeline_snapshot(refresh=True)
+            assert second.generation == 1
+        finally:
+            gced.pipeline_snapshot().close(unlink=True)
+
+    def test_readopting_same_generation_is_noop(self, artifacts):
+        gced = GCED(qa_model=artifacts.reader, artifacts=artifacts)
+        snap = gced.build_snapshot(use_shared_memory=False, generation=1)
+        try:
+            assert gced.adopt_snapshot(snap) is True
+            adopted = gced.profile.counters.get("snapshot_adopted")
+            assert gced.adopt_snapshot(snap) is True
+            assert gced.profile.counters.get("snapshot_readopt_noop") == 1
+            assert gced.profile.counters.get("snapshot_adopted") == adopted
+        finally:
+            snap.close(unlink=True)
+
+    def test_newer_generation_rebases_index_in_place(self, artifacts):
+        from repro.retrieval import CorpusRetriever
+        from repro.retrieval.mutable import MutableInvertedIndex
+
+        main_index = MutableInvertedIndex(
+            InvertedIndex.build(CORPUS, n_shards=2)
+        )
+        main = GCED(
+            qa_model=artifacts.reader,
+            artifacts=artifacts,
+            retriever=CorpusRetriever(main_index),
+        )
+        worker_index = MutableInvertedIndex(
+            InvertedIndex.build(CORPUS, n_shards=2)
+        )
+        worker = GCED(
+            qa_model=artifacts.reader,
+            artifacts=artifacts,
+            retriever=CorpusRetriever(worker_index),
+        )
+        first = main.build_snapshot(use_shared_memory=False, generation=0)
+        second = None
+        try:
+            assert worker.adopt_snapshot(first) is True
+            new_text = "a freshly ingested paragraph about compaction"
+            new_id = main_index.add(new_text)
+            second = main.build_snapshot(use_shared_memory=False, generation=1)
+            assert worker.adopt_snapshot(second) is True
+            # Same object, new content: the pool's references stay valid.
+            assert worker.retriever.index is worker_index
+            assert worker_index.doc_text(new_id) == new_text
+            assert worker.profile.counters.get("snapshot_refreshed") == 1
+        finally:
+            first.close(unlink=True)
+            if second is not None:
+                second.close(unlink=True)
+
+    def test_refresh_snapshot_rehydrates_live_pool_in_place(self, artifacts):
+        from repro.retrieval import CorpusRetriever
+        from repro.retrieval.mutable import MutableInvertedIndex
+
+        index = MutableInvertedIndex(InvertedIndex.build(CORPUS, n_shards=2))
+        gced = GCED(
+            qa_model=artifacts.reader,
+            artifacts=artifacts,
+            retriever=CorpusRetriever(index),
+        )
+        with BatchDistiller(gced, workers=2, backend="process") as batch:
+            before = batch.snapshot_info()
+            batch.executor.warmup()  # ensure every worker process is up
+            pool_pids = set(batch.executor._pool._processes)
+            index.add("a brand new live document about snapshots")
+            outcome = batch.refresh_snapshot()
+            assert outcome is not None
+            assert outcome["generation"] == before["generation"] + 1
+            # Same pids: the pool was re-hydrated, not respawned.
+            assert set(batch.executor._pool._processes) == pool_pids
+            assert {w["pid"] for w in outcome["workers"]} <= pool_pids
+            info = batch.snapshot_info()
+            assert info["refreshes"] == 1
+            assert info["generation"] == outcome["generation"]
+            assert info["last_refresh"]["broadcast_ms"] >= 0
+
+    def test_refresh_snapshot_noop_for_thread_backend(self, artifacts):
+        gced = GCED(qa_model=artifacts.reader, artifacts=artifacts)
+        with BatchDistiller(gced, workers=2, backend="thread") as batch:
+            assert batch.refresh_snapshot() is None
